@@ -1,0 +1,50 @@
+// Shared helpers for the experiment harnesses.
+#ifndef REDFAT_BENCH_COMMON_H_
+#define REDFAT_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/support/check.h"
+
+namespace redfat {
+
+// Fig. 5 step 1: instrument in profiling mode, run the test suite (train
+// inputs), and distill the allow-list.
+inline AllowList ProfileAndAllow(const BinaryImage& img, std::vector<uint64_t> train_inputs) {
+  RedFatTool prof(RedFatOptions::Profile());
+  Result<InstrumentResult> ir = prof.Instrument(img);
+  REDFAT_CHECK(ir.ok());
+  RunConfig cfg;
+  cfg.inputs = std::move(train_inputs);
+  cfg.policy = Policy::kLog;
+  const RunOutcome out = RunImage(ir.value().image, RuntimeKind::kRedFat, cfg);
+  REDFAT_CHECK(out.result.reason == HaltReason::kExit);
+  return BuildAllowList(out.prof_counts, ir.value().sites);
+}
+
+inline InstrumentResult MustInstrument(const BinaryImage& img, const RedFatOptions& opts,
+                                       const AllowList* allow = nullptr) {
+  RedFatTool tool(opts);
+  Result<InstrumentResult> r = tool.Instrument(img, allow);
+  REDFAT_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+inline double Geomean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace redfat
+
+#endif  // REDFAT_BENCH_COMMON_H_

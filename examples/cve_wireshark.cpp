@@ -1,0 +1,65 @@
+// CVE-2012-4295 (wireshark) — the paper's running example (Fig. 1).
+//
+//   static int channelised_fill_sdh_g707_format(sdh_g707_format_t* in_fmt,
+//       ..., guint8 speed) {
+//     ...
+//     in_fmt->m_vc_index_array[speed - 1] = 0;   // line 15
+//   }
+//
+// `speed` arrives from a crafted packet. m_vc_index_array has 5 one-byte
+// elements; a large `speed` writes far past the struct — far enough to skip
+// every redzone, which is why Valgrind Memcheck (16-byte redzones) misses
+// it while RedFat's pointer-arithmetic check does not.
+#include <cstdio>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/dbi/memcheck.h"
+#include "src/workloads/cve.h"
+
+using namespace redfat;
+
+int main() {
+  std::vector<VulnCase> cves = CveCases();
+  const VulnCase* wireshark = nullptr;
+  for (const VulnCase& c : cves) {
+    if (c.name.find("wireshark") != std::string::npos) {
+      wireshark = &c;
+    }
+  }
+  if (wireshark == nullptr) {
+    return 1;
+  }
+  std::printf("%s — non-incremental heap overflow, attacker offset %llu\n\n",
+              wireshark->name.c_str(),
+              static_cast<unsigned long long>(wireshark->attack_inputs.at(0)));
+
+  // Valgrind-Memcheck-style DBI: redzone-only checking.
+  RunConfig attack;
+  attack.inputs = wireshark->attack_inputs;
+  attack.policy = Policy::kLog;
+  const RunOutcome mc = RunMemcheck(wireshark->image, attack);
+  std::printf("Memcheck : %zu reports — the write skipped over every redzone into a\n"
+              "           neighboring allocation's live bytes; shadow memory says OK.\n",
+              mc.errors.size());
+
+  // RedFat: (Redzone)+(LowFat). The check validates the pointer arithmetic
+  // against the *victim's* bounds, recovered from the pointer value itself,
+  // so no offset can escape it.
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult hardened = tool.Instrument(wireshark->image).value();
+  attack.policy = Policy::kHarden;
+  const RunOutcome rf = RunImage(hardened.image, RuntimeKind::kRedFat, attack);
+  std::printf("RedFat   : %s\n",
+              rf.result.reason == HaltReason::kMemErrorAbort
+                  ? "ABORTED before the write (bounds violation at the store site)"
+                  : "missed (unexpected!)");
+
+  // And the benign packet still parses fine.
+  RunConfig benign;
+  benign.inputs = wireshark->benign_inputs;
+  const RunOutcome ok = RunImage(hardened.image, RuntimeKind::kRedFat, benign);
+  std::printf("benign   : exit=%llu, no reports — hardening is transparent to valid use\n",
+              static_cast<unsigned long long>(ok.result.exit_status));
+  return rf.result.reason == HaltReason::kMemErrorAbort && mc.errors.empty() ? 0 : 1;
+}

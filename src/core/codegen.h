@@ -1,0 +1,38 @@
+// Check code generation: lowers the Fig. 4 pseudo-code into rfi trampoline
+// code.
+//
+// The emitted body implements the merged state/size scheme of §4.2:
+// metadata is a single u64 SIZE stored at the object's slot base (inside
+// the redzone), with SIZE == 0 encoding Free. The default configuration
+// uses the branchless merged lower/upper-bound comparison:
+//
+//     UB' = zext32(LB - (BASE+16)) + BASE+16 + len
+//     error iff UB' > BASE+16+SIZE
+//
+// which folds the UAF, lower-bound and upper-bound checks into one
+// compare+branch (an out-of-range LB underflows the 32-bit difference and
+// produces a huge UB').
+//
+// Register discipline: each check body needs 4 scratch registers that must
+// not alias the operand's base/index. Dead registers (clobber analysis,
+// §6) are used for free; live ones are push/pop-saved, and the flags are
+// pushf/popf-saved unless proven dead. Stack-relative operands get their
+// displacement biased by the bytes pushed so far.
+#ifndef REDFAT_SRC_CORE_CODEGEN_H_
+#define REDFAT_SRC_CORE_CODEGEN_H_
+
+#include "src/asm/assembler.h"
+#include "src/core/options.h"
+#include "src/core/plan.h"
+#include "src/rw/liveness.h"
+
+namespace redfat {
+
+// Emits the complete trampoline payload (site counters, register/flags
+// saves, one body per planned check, restores) for `tramp`.
+void EmitTrampolinePayload(Assembler& as, const PlannedTrampoline& tramp,
+                           const ClobberInfo& clobbers, const RedFatOptions& opts);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_CODEGEN_H_

@@ -1,0 +1,101 @@
+#include "src/core/fuzz_profile.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/support/check.h"
+#include "src/support/rng.h"
+
+namespace redfat {
+
+namespace {
+
+// AFL-flavored input mutations over the u64-vector input model.
+std::vector<uint64_t> Mutate(const std::vector<uint64_t>& parent, Rng* rng) {
+  std::vector<uint64_t> child = parent;
+  if (child.empty()) {
+    child.push_back(rng->Next());
+  }
+  const unsigned n = 1 + static_cast<unsigned>(rng->Below(3));
+  for (unsigned i = 0; i < n; ++i) {
+    const size_t pos = rng->Below(child.size());
+    switch (rng->Below(5)) {
+      case 0:  // single bit flip
+        child[pos] ^= uint64_t{1} << rng->Below(64);
+        break;
+      case 1:  // byte flip
+        child[pos] ^= uint64_t{0xff} << (8 * rng->Below(8));
+        break;
+      case 2:  // interesting small values
+        child[pos] = rng->Below(64);
+        break;
+      case 3:  // arithmetic nudge
+        child[pos] += rng->Below(16) - 8;
+        break;
+      default:  // replace wholesale
+        child[pos] = rng->Next();
+        break;
+    }
+  }
+  if (rng->Chance(1, 8)) {
+    child.push_back(rng->Next());
+  }
+  return child;
+}
+
+}  // namespace
+
+FuzzProfileResult FuzzProfile(const InstrumentResult& profiling,
+                              const FuzzProfileConfig& config) {
+  Rng rng(config.seed);
+  FuzzProfileResult result;
+
+  std::unordered_map<uint32_t, Vm::ProfCounts> accumulated;
+  std::unordered_set<uint32_t> seen_sites;
+  std::vector<std::vector<uint64_t>> corpus;
+  corpus.push_back(config.initial_inputs);
+
+  auto run_one = [&](const std::vector<uint64_t>& inputs) -> bool {
+    RunConfig cfg;
+    cfg.inputs = inputs;
+    cfg.policy = Policy::kLog;  // profiling must never abort
+    cfg.instruction_limit = config.instruction_limit;
+    const RunOutcome out = RunImage(profiling.image, config.runtime, cfg);
+    ++result.runs;
+    // Crashing/timing-out inputs still contribute observations: the checks
+    // that *did* run are valid evidence (AFL keeps crashers separately; we
+    // only need coverage).
+    bool novel = false;
+    for (const auto& [site, counts] : out.prof_counts) {
+      Vm::ProfCounts& acc = accumulated[site];
+      acc.passes += counts.passes;
+      acc.fails += counts.fails;
+      if (seen_sites.insert(site).second) {
+        novel = true;
+      }
+    }
+    return novel && out.result.reason == HaltReason::kExit;
+  };
+
+  run_one(config.initial_inputs);
+  while (result.runs < config.max_runs) {
+    const std::vector<uint64_t>& parent = corpus[rng.Below(corpus.size())];
+    std::vector<uint64_t> child = Mutate(parent, &rng);
+    if (run_one(child)) {
+      corpus.push_back(std::move(child));  // novelty: keep for further mutation
+    }
+  }
+
+  result.corpus_size = corpus.size();
+  result.sites_observed = seen_sites.size();
+  for (const auto& [site, counts] : accumulated) {
+    (void)site;
+    if (counts.fails > 0 && counts.passes == 0) {
+      ++result.sites_always_fail;
+    }
+  }
+  result.allow = BuildAllowList(accumulated, profiling.sites);
+  return result;
+}
+
+}  // namespace redfat

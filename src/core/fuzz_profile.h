@@ -1,0 +1,47 @@
+// Coverage-boosted profiling (paper §5: "automated coverage-guided testing
+// tools, such as AFL over binaries, can be used to boost coverage").
+//
+// The quality of the allow-list is bounded by the test suite's coverage: a
+// site the profile never executes stays (Redzone)-only in production. This
+// module closes part of that gap with an AFL-style loop over the profiling
+// binary: mutate inputs, keep mutants that light up new instrumentation
+// sites (the corpus), and accumulate per-site pass/fail counts across every
+// run. The allow-list is distilled from the union, so one sporadic failure
+// anywhere disqualifies a site (same conservative rule as single-run
+// profiling).
+#ifndef REDFAT_SRC_CORE_FUZZ_PROFILE_H_
+#define REDFAT_SRC_CORE_FUZZ_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+
+namespace redfat {
+
+struct FuzzProfileConfig {
+  uint64_t seed = 1;
+  unsigned max_runs = 48;
+  // Seed corpus entry (e.g. the train input). Must drive the program to a
+  // normal exit.
+  std::vector<uint64_t> initial_inputs;
+  uint64_t instruction_limit = 50'000'000;
+  RuntimeKind runtime = RuntimeKind::kRedFat;
+};
+
+struct FuzzProfileResult {
+  AllowList allow;
+  unsigned runs = 0;            // executions performed
+  size_t corpus_size = 0;       // inputs retained for novelty
+  size_t sites_observed = 0;    // distinct full-check sites ever executed
+  size_t sites_always_fail = 0; // anti-idiom candidates found
+};
+
+// `profiling` must come from RedFatTool(RedFatOptions::Profile()).
+FuzzProfileResult FuzzProfile(const InstrumentResult& profiling,
+                              const FuzzProfileConfig& config);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_FUZZ_PROFILE_H_

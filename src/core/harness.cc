@@ -1,0 +1,68 @@
+#include "src/core/harness.h"
+
+#include "src/heap/legacy_heap.h"
+#include "src/heap/lowfat.h"
+#include "src/heap/redfat_allocator.h"
+#include "src/heap/shadow_allocator.h"
+
+namespace redfat {
+
+RunOutcome RunImage(const BinaryImage& image, RuntimeKind runtime, const RunConfig& config) {
+  return RunImages({&image}, runtime, config);
+}
+
+RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind runtime,
+                     const RunConfig& config) {
+  Vm vm(config.model);
+  GlibcLikeAllocator glibc;
+  RedFatAllocator libredfat;
+  ShadowRedFatAllocator libredfat_shadow;
+  switch (runtime) {
+    case RuntimeKind::kBaseline:
+      vm.set_allocator(&glibc);
+      break;
+    case RuntimeKind::kRedFat:
+      WriteLowFatTables(&vm.memory());
+      vm.set_allocator(&libredfat);
+      break;
+    case RuntimeKind::kRedFatShadow:
+      WriteLowFatTables(&vm.memory());
+      vm.set_allocator(&libredfat_shadow);
+      break;
+  }
+  vm.set_policy(config.policy);
+  vm.set_inputs(config.inputs);
+  vm.set_rng_seed(config.rng_seed);
+  vm.set_instruction_limit(config.instruction_limit);
+  for (const BinaryImage* image : images) {
+    vm.LoadImage(*image);  // the last image's entry wins
+  }
+
+  RunOutcome out;
+  out.result = vm.Run();
+  out.outputs = vm.outputs();
+  out.errors = vm.mem_errors();
+  out.counters = vm.counters();
+  out.prof_counts = vm.prof_counts();
+  out.touched_pages = vm.memory().TouchedPages();
+  return out;
+}
+
+CoverageStats ComputeCoverage(const std::unordered_map<uint32_t, uint64_t>& counters,
+                              const std::vector<SiteRecord>& sites) {
+  CoverageStats cov;
+  for (const SiteRecord& site : sites) {
+    auto it = counters.find(site.id);
+    if (it == counters.end()) {
+      continue;
+    }
+    if (site.kind == CheckKind::kFull) {
+      cov.full += it->second;
+    } else {
+      cov.redzone_only += it->second;
+    }
+  }
+  return cov;
+}
+
+}  // namespace redfat

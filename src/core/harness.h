@@ -1,0 +1,69 @@
+// Execution harness: runs a binary under a chosen runtime binding and
+// collects the measurements the experiments need.
+//
+// Runtime bindings (the LD_PRELOAD axis):
+//   * kBaseline — glibc-like allocator, no tables. For original binaries.
+//   * kRedFat   — libredfat allocator + low-fat tables written into guest
+//                 memory. Required for any RedFat-instrumented binary.
+#ifndef REDFAT_SRC_CORE_HARNESS_H_
+#define REDFAT_SRC_CORE_HARNESS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bin/image.h"
+#include "src/core/plan.h"
+#include "src/vm/vm.h"
+
+namespace redfat {
+
+// kRedFatShadow binds the ASAN-style shadow runtime; only meaningful for
+// binaries instrumented with RedzoneImpl::kShadow (and vice versa).
+enum class RuntimeKind { kBaseline, kRedFat, kRedFatShadow };
+
+struct RunConfig {
+  Policy policy = Policy::kHarden;
+  std::vector<uint64_t> inputs;
+  uint64_t rng_seed = 1;
+  uint64_t instruction_limit = 200'000'000'000ULL;
+  CycleModel model;
+};
+
+struct RunOutcome {
+  RunResult result;
+  std::vector<uint64_t> outputs;
+  std::vector<MemErrorReport> errors;
+  std::unordered_map<uint32_t, uint64_t> counters;
+  std::unordered_map<uint32_t, Vm::ProfCounts> prof_counts;
+  uint64_t touched_pages = 0;  // guest memory footprint proxy
+};
+
+RunOutcome RunImage(const BinaryImage& image, RuntimeKind runtime, const RunConfig& config);
+
+// Multi-image execution (§7.4: executable + separately-instrumented shared
+// objects). Images are mapped in order; control starts at the *last*
+// image's entry point. Protection is per-image: only instrumented images
+// carry checks at runtime.
+RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind runtime,
+                     const RunConfig& config);
+
+// Dynamic coverage (Table 1 "coverage" column): fraction of executed,
+// instrumented memory operations protected by the full (Redzone)+(LowFat)
+// check vs. (Redzone)-only.
+struct CoverageStats {
+  uint64_t full = 0;
+  uint64_t redzone_only = 0;
+
+  double FullFraction() const {
+    const uint64_t total = full + redzone_only;
+    return total == 0 ? 0.0 : static_cast<double>(full) / static_cast<double>(total);
+  }
+};
+
+CoverageStats ComputeCoverage(const std::unordered_map<uint32_t, uint64_t>& counters,
+                              const std::vector<SiteRecord>& sites);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_HARNESS_H_

@@ -1,0 +1,96 @@
+// Configuration of the RedFat instrumentation (paper §§4-6).
+//
+// The flags map 1:1 to the columns of Table 1:
+//   unoptimized : elim/batch/merge all false
+//   +elim       : elim
+//   +batch      : elim + batch
+//   +merge      : elim + batch + merge
+//   -size       : ... + size_hardening=false
+//   -reads      : ... + check_reads=false
+#ifndef REDFAT_SRC_CORE_OPTIONS_H_
+#define REDFAT_SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/isa/abi.h"
+
+namespace redfat {
+
+// How the (Redzone) component is implemented (§4.1):
+//   kLowFatMetadata — the paper's scheme: state/size metadata stored inside
+//     the 16-byte redzone, located via base(ptr). Shares machinery with the
+//     (LowFat) component and checks exact malloc bounds (padding included).
+//   kShadow — ASAN/Memcheck-style shadow bytes at kGuestShadowBase. Needs a
+//     separate lookup, O(size) marking in the allocator, extra memory, and
+//     cannot see overflows into allocation padding. Provided for the
+//     redzone-implementation ablation; requires RuntimeKind::kRedFatShadow.
+enum class RedzoneImpl { kLowFatMetadata, kShadow };
+
+struct RedFatOptions {
+  // What to instrument.
+  bool check_reads = true;
+  bool check_writes = true;
+
+  RedzoneImpl redzone_impl = RedzoneImpl::kLowFatMetadata;
+
+  // Check contents (Fig. 4).
+  bool lowfat = true;          // allow the (LowFat) component at all
+  bool size_hardening = true;  // metadata validation (lines 23-24)
+  // Use the branchless merged lower/upper-bound check via u32 underflow
+  // (§4.2 "Mergeable code"). Off = separate UAF/LB/UB compare+branch chain.
+  bool merged_ub = true;
+
+  // Optimizations (§6).
+  bool elim = true;   // check elimination (provably non-heap operands)
+  bool batch = true;  // check batching (one trampoline per reorderable group)
+  bool merge = true;  // check merging (union range of same-shape operands)
+  // Low-level: use dead registers/flags instead of save/restore pairs.
+  bool clobber_analysis = true;
+
+  // Profiling mode emits the Fig. 5 step-1 instrumentation: every site gets
+  // the full check, failures are recorded (not reported) and passes counted.
+  enum class Mode { kProduction, kProfile };
+  Mode mode = Mode::kProduction;
+
+  // Where this binary's trampoline section is placed. Executables use the
+  // default; shared objects instrumented separately (§7.4) must pick a
+  // non-overlapping address within rel32 reach of their own text.
+  uint64_t trampoline_base = kTrampolineBase;
+
+  static RedFatOptions Unoptimized() {
+    RedFatOptions o;
+    o.elim = o.batch = o.merge = false;
+    return o;
+  }
+  static RedFatOptions Elim() {
+    RedFatOptions o;
+    o.batch = o.merge = false;
+    return o;
+  }
+  static RedFatOptions Batch() {
+    RedFatOptions o;
+    o.merge = false;
+    return o;
+  }
+  static RedFatOptions Merge() { return RedFatOptions{}; }
+  static RedFatOptions NoSize() {
+    RedFatOptions o;
+    o.size_hardening = false;
+    return o;
+  }
+  static RedFatOptions NoReads() {
+    RedFatOptions o;
+    o.size_hardening = false;
+    o.check_reads = false;
+    return o;
+  }
+  static RedFatOptions Profile() {
+    RedFatOptions o;
+    o.mode = Mode::kProfile;
+    return o;
+  }
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_OPTIONS_H_

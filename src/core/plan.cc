@@ -1,0 +1,204 @@
+#include "src/core/plan.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+bool IsEliminable(const MemOperand& mem) {
+  if (mem.has_index()) {
+    return false;
+  }
+  // No index register, and the base (if any) provably stays >= 2 GiB away
+  // from low-fat heap regions: absolute operands (|disp| < 2 GiB, region 0),
+  // stack-relative (stack top is 16 GiB, heap starts at 32 GiB) and
+  // rip-relative (code in the low 2 GiB).
+  return !mem.has_base() || mem.base == Reg::kRsp || mem.base == Reg::kRip;
+}
+
+bool HasUnambiguousPointer(const MemOperand& mem) {
+  return mem.has_base() && mem.base != Reg::kRsp && mem.base != Reg::kRip;
+}
+
+namespace {
+
+struct RegSet {
+  uint32_t bits = 0;
+  void Add(Reg r) {
+    if (IsGpr(r)) {
+      bits |= 1u << RegIndex(r);
+    }
+  }
+  bool Contains(Reg r) const { return IsGpr(r) && (bits & (1u << RegIndex(r))) != 0; }
+};
+
+bool OperandRegsUnmodified(const MemOperand& mem, const RegSet& written) {
+  if (mem.has_base() && mem.base != Reg::kRip && written.Contains(mem.base)) {
+    return false;
+  }
+  if (mem.has_index() && written.Contains(mem.index)) {
+    return false;
+  }
+  return true;
+}
+
+// Merging key: operands sharing segment/base/index/scale and check kind are
+// candidates for one union-range check (§6). rip-relative operands are
+// excluded (their displacement is anchored per-instruction).
+using MergeKey = std::tuple<uint8_t, uint8_t, uint8_t, uint8_t>;
+
+MergeKey KeyOf(const PlannedCheck& c) {
+  return MergeKey{static_cast<uint8_t>(c.mem.base), static_cast<uint8_t>(c.mem.index),
+                  c.mem.scale_log2, static_cast<uint8_t>(c.kind)};
+}
+
+void MergeChecks(PlannedTrampoline* tramp, PlanStats* stats) {
+  std::map<MergeKey, std::vector<PlannedCheck>> groups;
+  std::vector<PlannedCheck> keep;
+  for (PlannedCheck& c : tramp->checks) {
+    if (c.mem.rip_relative()) {
+      keep.push_back(std::move(c));
+    } else {
+      groups[KeyOf(c)].push_back(std::move(c));
+    }
+  }
+  std::vector<PlannedCheck> merged;
+  for (auto& [key, list] : groups) {
+    (void)key;
+    PlannedCheck m = list.front();
+    int64_t lo = m.mem.disp;
+    int64_t hi = m.mem.disp + m.access_len;
+    for (size_t i = 1; i < list.size(); ++i) {
+      const PlannedCheck& c = list[i];
+      lo = std::min<int64_t>(lo, c.mem.disp);
+      hi = std::max<int64_t>(hi, c.mem.disp + c.access_len);
+      m.is_write = m.is_write || c.is_write;
+      m.member_sites.insert(m.member_sites.end(), c.member_sites.begin(),
+                            c.member_sites.end());
+    }
+    REDFAT_CHECK(lo >= INT32_MIN && hi - lo <= UINT32_MAX);
+    m.mem.disp = static_cast<int32_t>(lo);
+    m.access_len = static_cast<uint32_t>(hi - lo);
+    merged.push_back(std::move(m));
+  }
+  tramp->checks.clear();
+  for (auto& c : merged) {
+    tramp->checks.push_back(std::move(c));
+  }
+  for (auto& c : keep) {
+    tramp->checks.push_back(std::move(c));
+  }
+  stats->checks_emitted += tramp->checks.size();
+}
+
+}  // namespace
+
+InstrumentPlan BuildPlan(const Disassembly& dis, const CfgInfo& cfg, const RedFatOptions& opts,
+                         const AllowList* allow) {
+  InstrumentPlan plan;
+  PlanStats& st = plan.stats;
+
+  PlannedTrampoline current;
+  bool open = false;
+  RegSet written;
+  uint32_t current_block = 0;
+
+  auto close = [&]() {
+    if (open && !current.checks.empty()) {
+      if (opts.merge) {
+        MergeChecks(&current, &st);
+      } else {
+        st.checks_emitted += current.checks.size();
+      }
+      ++st.trampolines;
+      plan.trampolines.push_back(std::move(current));
+    }
+    current = PlannedTrampoline{};
+    open = false;
+    written = RegSet{};
+  };
+
+  std::vector<Reg> regs;
+  for (size_t i = 0; i < dis.insns.size(); ++i) {
+    const DisasmInsn& di = dis.insns[i];
+    if (i == 0 || cfg.block_id[i] != current_block || cfg.jump_targets.count(di.addr) != 0) {
+      close();
+      current_block = cfg.block_id[i];
+    }
+
+    if (IsMemAccess(di.insn.op)) {
+      ++st.mem_operands;
+      const bool is_write = IsMemWrite(di.insn.op);
+      const bool considered = is_write ? opts.check_writes : opts.check_reads;
+      if (considered) {
+        ++st.considered;
+        if (opts.elim && IsEliminable(di.insn.mem)) {
+          ++st.eliminated;
+        } else {
+          // Decide the check kind (§3 "opportunistic hardening"). In
+          // profiling mode, and in "full-on" mode (no allow-list given),
+          // every unambiguous-pointer site gets the full check.
+          CheckKind kind = CheckKind::kRedzoneOnly;
+          if (opts.lowfat && HasUnambiguousPointer(di.insn.mem)) {
+            const bool allowed = opts.mode == RedFatOptions::Mode::kProfile ||
+                                 allow == nullptr || allow->Contains(di.addr);
+            if (allowed) {
+              kind = CheckKind::kFull;
+            }
+          }
+          const uint32_t site_id = static_cast<uint32_t>(plan.sites.size());
+          plan.sites.push_back(SiteRecord{site_id, di.addr, is_write, kind});
+          if (kind == CheckKind::kFull) {
+            ++st.full_sites;
+          } else {
+            ++st.redzone_sites;
+          }
+
+          PlannedCheck check;
+          check.mem = di.insn.mem;
+          check.access_len = di.insn.mem.access_size();
+          check.kind = kind;
+          check.is_write = is_write;
+          check.member_sites.push_back(site_id);
+          check.anchor_next = di.end();
+
+          if (!opts.batch) {
+            close();
+            current.addr = di.addr;
+            current.insn_index = i;
+            current.checks.push_back(std::move(check));
+            open = true;
+            close();
+          } else {
+            if (open && !OperandRegsUnmodified(di.insn.mem, written)) {
+              close();
+            }
+            if (!open) {
+              current.addr = di.addr;
+              current.insn_index = i;
+              open = true;
+              written = RegSet{};  // relevant writes start at the leader
+            }
+            current.checks.push_back(std::move(check));
+          }
+        }
+      }
+    }
+
+    RegsWritten(di.insn, &regs);
+    for (Reg r : regs) {
+      written.Add(r);
+    }
+    if (IsControlFlow(di.insn.op) || di.insn.op == Op::kHostCall || di.insn.op == Op::kTrap) {
+      // Calls/hostcalls may free objects or change any register: batch barrier.
+      close();
+    }
+  }
+  close();
+  return plan;
+}
+
+}  // namespace redfat

@@ -1,0 +1,100 @@
+// Instrumentation planning: which memory operands get which check, and how
+// checks are grouped into trampolines.
+//
+// Pipeline (all static analysis over the stripped binary):
+//   1. enumerate explicit memory operands (reads/writes per options);
+//   2. check elimination (§6): drop operands that provably cannot reach the
+//      heap under the fixed address-space layout;
+//   3. per-site policy: full (Redzone)+(LowFat) if the site is allow-listed
+//      and its pointer arithmetic is unambiguous (a non-rsp/rip base
+//      register exists), else (Redzone)-only;
+//   4. check batching (§6): group consecutive same-block sites whose
+//      operands can be evaluated at the leader without changing their
+//      effective address;
+//   5. check merging (§6): fold same-shape operands within a batch into one
+//      check over the union of their access ranges.
+#ifndef REDFAT_SRC_CORE_PLAN_H_
+#define REDFAT_SRC_CORE_PLAN_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/rw/disasm.h"
+
+namespace redfat {
+
+enum class CheckKind : uint8_t {
+  kRedzoneOnly,  // base computed from the accessed address only
+  kFull,         // (Redzone)+(LowFat): base computed from the pointer first
+};
+
+// Allow-list of instrumentation sites proven (by profiling) safe for the
+// (LowFat) component, keyed by original instruction address — stable across
+// re-instrumentation of the same input binary (Fig. 5).
+struct AllowList {
+  std::unordered_set<uint64_t> addrs;
+  bool Contains(uint64_t addr) const { return addrs.count(addr) != 0; }
+};
+
+// One check to emit inside a trampoline. A merged check covers several
+// member sites.
+struct PlannedCheck {
+  MemOperand mem;          // operand shape; disp may be lowered by merging
+  uint32_t access_len = 0; // bytes covered (merging widens this)
+  CheckKind kind = CheckKind::kRedzoneOnly;
+  bool is_write = false;   // any member is a write
+  // Original instruction addresses covered (for Count accounting) and the
+  // primary site id used in error reports.
+  std::vector<uint32_t> member_sites;
+  uint64_t anchor_next = 0;  // orig next-insn addr of the first member (rip-rel fixups)
+};
+
+// A trampoline to install at `addr` running `checks` then the displaced
+// instruction.
+struct PlannedTrampoline {
+  uint64_t addr = 0;
+  size_t insn_index = 0;
+  std::vector<PlannedCheck> checks;
+};
+
+struct SiteRecord {
+  uint32_t id = 0;
+  uint64_t addr = 0;
+  bool is_write = false;
+  CheckKind kind = CheckKind::kRedzoneOnly;
+};
+
+struct PlanStats {
+  size_t mem_operands = 0;       // all explicit memory operands in the binary
+  size_t considered = 0;         // after the read/write filter
+  size_t eliminated = 0;         // dropped by check elimination
+  size_t full_sites = 0;
+  size_t redzone_sites = 0;
+  size_t trampolines = 0;        // after batching
+  size_t checks_emitted = 0;     // after merging
+};
+
+struct InstrumentPlan {
+  std::vector<PlannedTrampoline> trampolines;
+  std::vector<SiteRecord> sites;  // indexed by site id
+  PlanStats stats;
+};
+
+// Is this operand provably unable to reach low-fat heap memory (§6 check
+// elimination)? True for operands with no index register whose base is
+// absent, rsp, or rip — all at least 2 GiB away from the heap regions under
+// the fixed layout.
+bool IsEliminable(const MemOperand& mem);
+
+// Does the operand carry unambiguous pointer arithmetic (§3), i.e. a base
+// register that is plausibly the pointer? rsp/rip-based operands do not.
+bool HasUnambiguousPointer(const MemOperand& mem);
+
+InstrumentPlan BuildPlan(const Disassembly& dis, const CfgInfo& cfg, const RedFatOptions& opts,
+                         const AllowList* allow);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_PLAN_H_

@@ -1,0 +1,69 @@
+#include "src/core/redfat.h"
+
+#include "src/core/codegen.h"
+#include "src/rw/liveness.h"
+#include "src/support/check.h"
+
+namespace redfat {
+
+RedFatTool::RedFatTool(RedFatOptions opts) : opts_(opts) {
+  if (opts_.mode == RedFatOptions::Mode::kProfile) {
+    // Profiling needs per-site pass/fail attribution; a merged check would
+    // conflate its member sites.
+    opts_.merge = false;
+  }
+}
+
+Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
+                                                const AllowList* allow) const {
+  Rewriter rewriter(input);
+  if (!rewriter.ok()) {
+    return Error(rewriter.error());
+  }
+  InstrumentResult out;
+  InstrumentPlan plan = BuildPlan(rewriter.disasm(), rewriter.cfg(), opts_, allow);
+
+  std::vector<PatchRequest> requests;
+  requests.reserve(plan.trampolines.size());
+  for (const PlannedTrampoline& tramp : plan.trampolines) {
+    const ClobberInfo clobbers =
+        ComputeClobbers(rewriter.disasm(), rewriter.cfg(), tramp.insn_index);
+    PatchRequest req;
+    req.addr = tramp.addr;
+    // Capture by value: the plan outlives only this function.
+    req.emit_payload = [tramp, clobbers, opts = opts_](Assembler& as) {
+      EmitTrampolinePayload(as, tramp, clobbers, opts);
+    };
+    requests.push_back(std::move(req));
+  }
+
+  Result<BinaryImage> rewritten =
+      rewriter.Apply(requests, &out.rewrite_stats, opts_.trampoline_base);
+  if (!rewritten.ok()) {
+    return Error(rewritten.error());
+  }
+  out.image = std::move(rewritten).value();
+  out.sites = std::move(plan.sites);
+  out.plan_stats = plan.stats;
+  return out;
+}
+
+AllowList BuildAllowList(const std::unordered_map<uint32_t, Vm::ProfCounts>& prof_counts,
+                         const std::vector<SiteRecord>& sites) {
+  AllowList allow;
+  for (const SiteRecord& site : sites) {
+    if (site.kind != CheckKind::kFull) {
+      continue;
+    }
+    auto it = prof_counts.find(site.id);
+    if (it == prof_counts.end()) {
+      continue;  // never observed: stay conservative (Redzone-only)
+    }
+    if (it->second.fails == 0 && it->second.passes > 0) {
+      allow.addrs.insert(site.addr);
+    }
+  }
+  return allow;
+}
+
+}  // namespace redfat

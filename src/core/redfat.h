@@ -1,0 +1,58 @@
+// The RedFat tool driver: stripped binary in, hardened binary out.
+//
+// Mirrors the paper's command-line tool: it disassembles the input, plans
+// the instrumentation (plan.h), generates check code (codegen.h) and applies
+// it through the E9Patch-style rewriter (rw/rewriter.h). The two-phase
+// workflow of Fig. 5 is:
+//
+//   RedFatTool prof(RedFatOptions::Profile());
+//   auto test_binary = prof.Instrument(input);            // step 1
+//   ... run test_binary against a test suite (Policy::kLog) ...
+//   AllowList allow = BuildAllowList(vm.prof_counts(), test_binary.sites);
+//   RedFatTool tool(options);
+//   auto hardened = tool.Instrument(input, &allow);       // step 2
+#ifndef REDFAT_SRC_CORE_REDFAT_H_
+#define REDFAT_SRC_CORE_REDFAT_H_
+
+#include <unordered_map>
+
+#include "src/bin/image.h"
+#include "src/core/options.h"
+#include "src/core/plan.h"
+#include "src/rw/rewriter.h"
+#include "src/support/result.h"
+#include "src/vm/vm.h"
+
+namespace redfat {
+
+struct InstrumentResult {
+  BinaryImage image;
+  std::vector<SiteRecord> sites;  // indexed by site id
+  PlanStats plan_stats;
+  RewriteStats rewrite_stats;
+};
+
+class RedFatTool {
+ public:
+  explicit RedFatTool(RedFatOptions opts);
+
+  // Instruments `input`. With an allow-list, only listed sites receive the
+  // full (Redzone)+(LowFat) check; without one, every eligible site does
+  // ("full-on" mode, used to measure false positives).
+  Result<InstrumentResult> Instrument(const BinaryImage& input,
+                                      const AllowList* allow = nullptr) const;
+
+  const RedFatOptions& options() const { return opts_; }
+
+ private:
+  RedFatOptions opts_;
+};
+
+// Fig. 5 step 1 output -> allow-list: full-check sites that were observed
+// at least once and never failed the (LowFat) component.
+AllowList BuildAllowList(const std::unordered_map<uint32_t, Vm::ProfCounts>& prof_counts,
+                         const std::vector<SiteRecord>& sites);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_REDFAT_H_

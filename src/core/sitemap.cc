@@ -1,0 +1,66 @@
+#include "src/core/sitemap.h"
+
+#include <cstdio>
+
+#include "src/support/str.h"
+
+namespace redfat {
+
+std::string SerializeSiteMap(const std::vector<SiteRecord>& sites) {
+  std::string out = "# redfat site map: id addr rw kind\n";
+  for (const SiteRecord& s : sites) {
+    out += StrFormat("%u 0x%llx %c %s\n", s.id, static_cast<unsigned long long>(s.addr),
+                     s.is_write ? 'w' : 'r',
+                     s.kind == CheckKind::kFull ? "full" : "redzone");
+  }
+  return out;
+}
+
+Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines) {
+  std::vector<SiteRecord> sites;
+  for (const std::string& line : lines) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    unsigned id = 0;
+    unsigned long long addr = 0;
+    char rw = 0;
+    char kind[16] = {};
+    if (std::sscanf(line.c_str(), "%u %llx %c %15s", &id, &addr, &rw, kind) != 4) {
+      return Error(StrFormat("sitemap: malformed line: %s", line.c_str()));
+    }
+    SiteRecord s;
+    s.id = id;
+    s.addr = addr;
+    s.is_write = rw == 'w';
+    s.kind = std::string(kind) == "full" ? CheckKind::kFull : CheckKind::kRedzoneOnly;
+    sites.push_back(s);
+  }
+  return sites;
+}
+
+std::string DescribeError(const MemErrorReport& error, const std::vector<SiteRecord>* sites) {
+  const char* what = "memory error";
+  switch (error.kind) {
+    case ErrorKind::kBounds:
+      what = "out-of-bounds";
+      break;
+    case ErrorKind::kUaf:
+      what = "use-after-free";
+      break;
+    case ErrorKind::kMeta:
+      what = "corrupted size metadata";
+      break;
+  }
+  if (sites != nullptr && error.site < sites->size()) {
+    const SiteRecord& s = (*sites)[error.site];
+    return StrFormat("%s %s at 0x%llx (site %u, %s check)", what,
+                     s.is_write ? "write" : "read",
+                     static_cast<unsigned long long>(s.addr), s.id,
+                     s.kind == CheckKind::kFull ? "lowfat+redzone" : "redzone");
+  }
+  return StrFormat("%s at site %u (rip=0x%llx)", what, error.site,
+                   static_cast<unsigned long long>(error.rip));
+}
+
+}  // namespace redfat

@@ -1,0 +1,29 @@
+// Site-map persistence: the instrumentation site table, saved alongside a
+// hardened binary so runtime error reports can be symbolized (real RedFat
+// logs the faulting check's details; our stripped RFBIN files carry no
+// metadata, so the tool writes it out-of-band).
+//
+// Text format, one line per site:  <id> <hex addr> <r|w> <full|redzone>
+#ifndef REDFAT_SRC_CORE_SITEMAP_H_
+#define REDFAT_SRC_CORE_SITEMAP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/support/result.h"
+#include "src/vm/vm.h"
+
+namespace redfat {
+
+std::string SerializeSiteMap(const std::vector<SiteRecord>& sites);
+Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines);
+
+// Human-readable one-line report, e.g.
+//   "out-of-bounds write at 0x400123 (site 5, full check)"
+// Sites may be null/short (e.g. Memcheck reports with site 0).
+std::string DescribeError(const MemErrorReport& error, const std::vector<SiteRecord>* sites);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_SITEMAP_H_

@@ -1,0 +1,74 @@
+// A glibc-like guest allocator.
+//
+// Serves three roles:
+//   * the allocator bound for *uninstrumented baseline* runs (plain malloc);
+//   * the fallback for allocations larger than the biggest low-fat size
+//     class (such objects become non-fat and lose low-fat protection, as in
+//     the paper's LowFat runtime);
+//   * the foundation of the Memcheck-style baseline allocator (dbi module).
+//
+// Layout per chunk (all in the non-fat legacy region):
+//     [size u64][pad u64][payload ...]     returned ptr = chunk + 16
+#ifndef REDFAT_SRC_HEAP_LEGACY_HEAP_H_
+#define REDFAT_SRC_HEAP_LEGACY_HEAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/abi.h"
+#include "src/vm/allocator.h"
+#include "src/vm/memory.h"
+
+namespace redfat {
+
+// Default modeled costs of a malloc/free call beyond the hostcall base.
+inline constexpr uint64_t kMallocCycles = 25;
+inline constexpr uint64_t kFreeCycles = 15;
+
+class LegacyHeap {
+ public:
+  // `padding` adds extra bytes before and after each payload (used by the
+  // Memcheck-style allocator to make room for redzones).
+  explicit LegacyHeap(uint64_t padding = 0) : padding_(padding) {}
+
+  // Returns the payload pointer, or 0 on exhaustion.
+  uint64_t Alloc(Memory& mem, uint64_t size);
+  // `ptr` must be a payload pointer returned by Alloc.
+  void Free(uint64_t ptr);
+  // Payload size recorded at allocation; CHECK-fails for unknown pointers.
+  uint64_t SizeOf(Memory& mem, uint64_t ptr) const;
+  // Was this pointer handed out (and not yet freed)?
+  bool IsLive(uint64_t ptr) const { return live_.count(ptr) != 0; }
+
+ private:
+  uint64_t padding_;
+  uint64_t bump_ = kLegacyHeapBase + 64;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_;  // by chunk size
+  std::unordered_map<uint64_t, uint64_t> live_;  // payload ptr -> chunk size
+};
+
+// GuestAllocator binding for baseline (uninstrumented) runs.
+class GlibcLikeAllocator : public GuestAllocator {
+ public:
+  AllocOutcome Malloc(Memory& mem, uint64_t size) override {
+    return AllocOutcome{heap_.Alloc(mem, size), kMallocCycles};
+  }
+  uint64_t Free(Memory& mem, uint64_t ptr) override {
+    (void)mem;
+    if (ptr != 0) {
+      heap_.Free(ptr);
+    }
+    return kFreeCycles;
+  }
+  const char* name() const override { return "glibc-like"; }
+
+  LegacyHeap& heap() { return heap_; }
+
+ private:
+  LegacyHeap heap_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_HEAP_LEGACY_HEAP_H_

@@ -1,0 +1,129 @@
+#include "src/heap/lowfat.h"
+
+#include <algorithm>
+
+#include "src/support/bits.h"
+#include "src/support/check.h"
+
+namespace redfat {
+
+namespace {
+
+LowFatTables BuildTables() {
+  LowFatTables t;
+  for (unsigned c = 1; c <= kNumSizeClasses; ++c) {
+    const uint64_t bytes = SizeClassBytes(c);
+    REDFAT_CHECK(bytes >= kMinAllocSize && bytes % 16 == 0);
+    const MagicDiv m = ComputeMagicDiv(bytes);
+    // The generated check code computes base(ptr) as mulh(ptr, magic)*size
+    // with NO post-shift; every size class must therefore admit a shift-free
+    // magic (true because non-power-of-two classes are all <= 512 bytes).
+    REDFAT_CHECK(m.shift == 0);
+    t.sizes[c] = bytes;
+    t.magics[c] = m.magic;
+    t.shifts[c] = m.shift;
+  }
+  return t;
+}
+
+}  // namespace
+
+const LowFatTables& GetLowFatTables() {
+  static const LowFatTables tables = BuildTables();
+  return tables;
+}
+
+void WriteLowFatTables(Memory* mem) {
+  const LowFatTables& t = GetLowFatTables();
+  for (unsigned r = 0; r < kNumRegions; ++r) {
+    mem->WriteU64(kSizesTableAddr + 8 * r, t.sizes[r]);
+    mem->WriteU64(kMagicsTableAddr + 8 * r, t.magics[r]);
+    mem->WriteU64(kShiftsTableAddr + 8 * r, t.shifts[r]);
+  }
+}
+
+uint64_t LowFatSize(uint64_t ptr) { return GetLowFatTables().sizes[RegionOf(ptr)]; }
+
+uint64_t LowFatBase(uint64_t ptr) {
+  const LowFatTables& t = GetLowFatTables();
+  const unsigned r = RegionOf(ptr);
+  if (t.sizes[r] == 0) {
+    return 0;
+  }
+  const uint64_t q = MulHigh64(ptr, t.magics[r]) >> t.shifts[r];
+  return q * t.sizes[r];
+}
+
+unsigned SizeClassFor(uint64_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  if (size <= 512) {
+    return static_cast<unsigned>((size + 15) / 16);
+  }
+  if (size > kMaxLowFatSize) {
+    return 0;
+  }
+  // Power-of-two classes: 1 KiB << (c - 33).
+  const unsigned k = CeilLog2(size);  // size > 512 => k >= 10
+  return 33 + (k - 10);
+}
+
+uint64_t LowFatHeap::Alloc(uint64_t size) {
+  const unsigned c = SizeClassFor(size);
+  if (c == 0) {
+    return 0;
+  }
+  ClassState& cs = classes_[c];
+  const uint64_t bytes = SizeClassBytes(c);
+  uint64_t slot = 0;
+  if (!cs.free_list.empty()) {
+    if (rng_.has_value() && cs.free_list.size() > 1) {
+      // Randomized reuse: swap a random entry to the back first.
+      const size_t pick = rng_->Below(cs.free_list.size());
+      std::swap(cs.free_list[pick], cs.free_list.back());
+    }
+    slot = cs.free_list.back();
+    cs.free_list.pop_back();
+  } else {
+    if (cs.next_bump == 0) {
+      cs.next_bump = AlignUp(static_cast<uint64_t>(c) << kRegionShift, bytes);
+      if (rng_.has_value()) {
+        // Random starting slot: up to 64 Ki slots of entropy per class.
+        cs.next_bump += bytes * rng_->Below(1 << 16);
+      }
+    }
+    const uint64_t region_end = (static_cast<uint64_t>(c) + 1) << kRegionShift;
+    if (cs.next_bump + bytes > region_end) {
+      return 0;  // region exhausted
+    }
+    slot = cs.next_bump;
+    cs.next_bump += bytes;
+    stats_.bump_bytes += bytes;
+  }
+  ++stats_.allocs;
+  ++stats_.live_slots;
+  return slot;
+}
+
+void LowFatHeap::Free(uint64_t slot) {
+  const unsigned r = RegionOf(slot);
+  REDFAT_CHECK(r >= 1 && r <= kNumSizeClasses);
+  const uint64_t bytes = SizeClassBytes(r);
+  REDFAT_CHECK(slot % bytes == 0);
+  ClassState& cs = classes_[r];
+  ++stats_.frees;
+  REDFAT_CHECK(stats_.live_slots > 0);
+  --stats_.live_slots;
+  if (quarantine_slots_ == 0) {
+    cs.free_list.push_back(slot);
+    return;
+  }
+  cs.quarantine.push_back(slot);
+  if (cs.quarantine.size() > quarantine_slots_) {
+    cs.free_list.push_back(cs.quarantine.front());
+    cs.quarantine.pop_front();
+  }
+}
+
+}  // namespace redfat

@@ -1,0 +1,111 @@
+// The low-fat heap (Duck & Yap, CC'16) over the guest address space.
+//
+// The guest virtual address space is partitioned into 32 GiB regions
+// (Fig. 2). Region #c (1 <= c <= kNumSizeClasses) is a subheap servicing
+// allocations of exactly SizeClassBytes(c) bytes, and every object in it is
+// placed at a multiple of that size. This yields O(1), pointer-only bounds
+// recovery:
+//
+//     size(p) = SIZES[p >> 35]
+//     base(p) = (p / size(p)) * size(p)     (magic-multiply division)
+//
+// Non-fat regions have SIZES[r] == 0 (the paper uses SIZE_MAX; the sentinel
+// choice only changes one comparison in the generated check).
+//
+// The allocator state (bump pointers, free lists, quarantine) is host-side:
+// it models the LD_PRELOADed libredfat runtime, which is host code from the
+// guest's perspective.
+#ifndef REDFAT_SRC_HEAP_LOWFAT_H_
+#define REDFAT_SRC_HEAP_LOWFAT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/isa/abi.h"
+#include "src/support/magic_div.h"
+#include "src/support/rng.h"
+#include "src/vm/memory.h"
+
+namespace redfat {
+
+// Precomputed per-region tables, shared by the host-side allocator and
+// (written into guest memory) by the generated check code.
+struct LowFatTables {
+  uint64_t sizes[kNumRegions] = {};   // 0 = non-fat region
+  uint64_t magics[kNumRegions] = {};  // mulh magic for division by sizes[r]
+  uint64_t shifts[kNumRegions] = {};  // post-mulh shift
+};
+
+// The singleton tables (computed once).
+const LowFatTables& GetLowFatTables();
+
+// Writes the three tables to their fixed guest addresses (kSizesTableAddr
+// etc.). Must be called by any runtime that binds low-fat-aware checks.
+void WriteLowFatTables(Memory* mem);
+
+// --- pointer-only operations (host-side mirrors of the check code) --------
+
+inline unsigned RegionOf(uint64_t ptr) {
+  const uint64_t r = ptr >> kRegionShift;
+  return r < kNumRegions ? static_cast<unsigned>(r) : 0;
+}
+
+// Allocation size of the region containing ptr; 0 if non-fat.
+uint64_t LowFatSize(uint64_t ptr);
+
+// Base (slot start) of the object containing ptr; 0 if non-fat.
+uint64_t LowFatBase(uint64_t ptr);
+
+// Smallest size class whose slots can hold `size` bytes; 0 if none (huge).
+unsigned SizeClassFor(uint64_t size);
+
+// --- the allocator itself --------------------------------------------------
+
+struct LowFatHeapStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t live_slots = 0;
+  uint64_t bump_bytes = 0;  // address space consumed by bump allocation
+};
+
+class LowFatHeap {
+ public:
+  // `quarantine_slots` delays slot reuse after free (per size class), making
+  // use-after-free detection deterministic in tests; 0 disables quarantine.
+  explicit LowFatHeap(unsigned quarantine_slots = 64)
+      : quarantine_slots_(quarantine_slots), classes_(kNumSizeClasses + 1) {}
+
+  // Basic heap randomization (paper §8: "our current implementation also
+  // incorporates basic heap randomization"): each size class starts its
+  // bump allocation at a random slot offset into the region, and freed
+  // slots are drawn from a random free-list position instead of LIFO.
+  // Probabilistic defense only; detection guarantees are unchanged.
+  void EnableRandomization(uint64_t seed) { rng_.emplace(seed); }
+
+  // Allocates a slot of the smallest class >= size. Returns the slot base
+  // (size-aligned) or 0 if size exceeds kMaxLowFatSize or the region is full.
+  uint64_t Alloc(uint64_t size);
+
+  // Frees a slot previously returned by Alloc. `slot` must be the slot base.
+  void Free(uint64_t slot);
+
+  const LowFatHeapStats& stats() const { return stats_; }
+
+ private:
+  struct ClassState {
+    uint64_t next_bump = 0;  // 0 = not yet initialized
+    std::vector<uint64_t> free_list;
+    std::deque<uint64_t> quarantine;
+  };
+
+  unsigned quarantine_slots_;
+  std::vector<ClassState> classes_;
+  LowFatHeapStats stats_;
+  std::optional<Rng> rng_;  // engaged iff randomization is enabled
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_HEAP_LOWFAT_H_

@@ -1,0 +1,42 @@
+#include "src/heap/redfat_allocator.h"
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+AllocOutcome RedFatAllocator::Malloc(Memory& mem, uint64_t size) {
+  const uint64_t total = size + kRedzoneSize;
+  uint64_t slot = 0;
+  if (total <= kMaxLowFatSize && total >= size /* overflow guard */) {
+    slot = lowfat_.Alloc(total);
+  }
+  if (slot == 0) {
+    // Huge (or exhausted-class) allocation: legacy fallback. The object is
+    // non-fat; checks over-approximate its bounds (i.e., skip it).
+    slot = legacy_.Alloc(mem, total);
+    if (slot == 0) {
+      return AllocOutcome{0, kMallocCycles};
+    }
+    ++fallback_allocs_;
+  }
+  // Metadata lives inside the redzone: state/size merged as one u64.
+  mem.WriteU64(slot, size);
+  return AllocOutcome{slot + kRedzoneSize, kMallocCycles + kRedzoneWrapperCycles};
+}
+
+uint64_t RedFatAllocator::Free(Memory& mem, uint64_t ptr) {
+  if (ptr == 0) {
+    return kFreeCycles;
+  }
+  const uint64_t slot = ptr - kRedzoneSize;
+  // Mark Free: SIZE == 0 makes every subsequent bounds check fail (§4.2).
+  mem.WriteU64(slot, 0);
+  if (LowFatSize(slot) != 0) {
+    lowfat_.Free(slot);
+  } else {
+    legacy_.Free(slot);
+  }
+  return kFreeCycles + kRedzoneWrapperCycles;
+}
+
+}  // namespace redfat

@@ -1,0 +1,55 @@
+// libredfat: the hardened allocator (paper §4.1, Fig. 3).
+//
+// A wrapper over the low-fat allocator that transparently prepends a
+// 16-byte redzone to every object:
+//
+//     malloc(SIZE) = lowfat_malloc(SIZE + 16) + 16
+//
+// The redzone doubles as shadow storage for the object's state/size
+// metadata: [slot] holds the malloc SIZE as a u64, with SIZE == 0 encoding
+// the Free state (the state/size merge described in §4.2 "Mergeable code").
+// Because the redzone at the start of the *next* slot ends the current
+// object, no trailing redzone is needed.
+//
+// Allocations larger than the biggest low-fat class fall back to the legacy
+// heap; such objects are non-fat and are passed over by the checks, exactly
+// like the LowFat runtime's legacy-malloc fallback.
+#ifndef REDFAT_SRC_HEAP_REDFAT_ALLOCATOR_H_
+#define REDFAT_SRC_HEAP_REDFAT_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "src/heap/legacy_heap.h"
+#include "src/heap/lowfat.h"
+#include "src/vm/allocator.h"
+
+namespace redfat {
+
+// Extra modeled cost of the redzone wrapper (metadata write) per call.
+inline constexpr uint64_t kRedzoneWrapperCycles = 5;
+
+class RedFatAllocator : public GuestAllocator {
+ public:
+  explicit RedFatAllocator(unsigned quarantine_slots = 64)
+      : lowfat_(quarantine_slots) {}
+
+  AllocOutcome Malloc(Memory& mem, uint64_t size) override;
+  uint64_t Free(Memory& mem, uint64_t ptr) override;
+  const char* name() const override { return "libredfat"; }
+
+  // Optional probabilistic defense layered on top of the deterministic
+  // checks (paper §8): randomized slot placement and reuse order.
+  void EnableHeapRandomization(uint64_t seed) { lowfat_.EnableRandomization(seed); }
+
+  const LowFatHeapStats& lowfat_stats() const { return lowfat_.stats(); }
+  uint64_t fallback_allocs() const { return fallback_allocs_; }
+
+ private:
+  LowFatHeap lowfat_;
+  LegacyHeap legacy_;
+  uint64_t fallback_allocs_ = 0;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_HEAP_REDFAT_ALLOCATOR_H_

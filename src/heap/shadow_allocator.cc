@@ -1,0 +1,56 @@
+#include "src/heap/shadow_allocator.h"
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+void ShadowRedFatAllocator::MarkShadow(Memory& mem, uint64_t addr, uint64_t size,
+                                       GuestShadow state) {
+  if (size == 0) {
+    return;
+  }
+  const uint64_t first = addr >> 3;
+  const uint64_t last = (addr + size - 1) >> 3;
+  mem.Fill(kGuestShadowBase + first, static_cast<uint8_t>(state), last - first + 1);
+}
+
+AllocOutcome ShadowRedFatAllocator::Malloc(Memory& mem, uint64_t size) {
+  const uint64_t total = size + kRedzoneSize;
+  uint64_t slot = 0;
+  if (total <= kMaxLowFatSize && total >= size) {
+    slot = lowfat_.Alloc(total);
+  }
+  if (slot == 0) {
+    slot = legacy_.Alloc(mem, total);
+    if (slot == 0) {
+      return AllocOutcome{0, kMallocCycles};
+    }
+  }
+  const uint64_t ptr = slot + kRedzoneSize;
+  MarkShadow(mem, slot, kRedzoneSize, GuestShadow::kRedzone);        // leading redzone
+  MarkShadow(mem, ptr, size, GuestShadow::kOk);                      // payload (clear stale)
+  MarkShadow(mem, ptr + size, kRedzoneSize, GuestShadow::kRedzone);  // trailing redzone
+  sizes_[ptr] = size;
+  // O(size) shadow marking is the scheme's intrinsic cost.
+  return AllocOutcome{ptr, kMallocCycles + 5 + (size + 2 * kRedzoneSize) / 64};
+}
+
+uint64_t ShadowRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
+  if (ptr == 0) {
+    return kFreeCycles;
+  }
+  auto it = sizes_.find(ptr);
+  REDFAT_CHECK(it != sizes_.end());
+  const uint64_t size = it->second;
+  sizes_.erase(it);
+  MarkShadow(mem, ptr, size, GuestShadow::kFreed);
+  const uint64_t slot = ptr - kRedzoneSize;
+  if (LowFatSize(slot) != 0) {
+    lowfat_.Free(slot);
+  } else {
+    legacy_.Free(slot);
+  }
+  return kFreeCycles + 5 + size / 64;
+}
+
+}  // namespace redfat

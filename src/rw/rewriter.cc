@@ -1,0 +1,202 @@
+#include "src/rw/rewriter.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace redfat {
+
+namespace {
+
+constexpr unsigned kJmpLen = 5;  // EncodedLength(Op::kJmp)
+
+// Re-emits a displaced instruction at the assembler's current position,
+// fixing up position-dependent fields. `old_next` is the address of the
+// instruction following the original copy.
+void RelocateInsn(Assembler& as, const DisasmInsn& di) {
+  const uint64_t old_next = di.end();
+  Instruction insn = di.insn;
+  switch (insn.op) {
+    case Op::kJmp:
+      as.JmpAbs(old_next + static_cast<uint64_t>(insn.imm));
+      return;
+    case Op::kJcc:
+      as.JccAbs(insn.cond, old_next + static_cast<uint64_t>(insn.imm));
+      return;
+    case Op::kCall: {
+      // Emulate: push the *original* return address, then jump. lea is used
+      // for the stack adjust because it leaves the flags untouched.
+      const uint64_t target = old_next + static_cast<uint64_t>(insn.imm);
+      REDFAT_CHECK(old_next <= INT32_MAX);  // code lives in the low 2 GiB
+      as.Lea(Reg::kRsp, MemAt(Reg::kRsp, -8));
+      as.StoreI(MemAt(Reg::kRsp, 0), static_cast<int32_t>(old_next));
+      as.JmpAbs(target);
+      return;
+    }
+    case Op::kCallR: {
+      REDFAT_CHECK(old_next <= INT32_MAX);
+      as.Lea(Reg::kRsp, MemAt(Reg::kRsp, -8));
+      as.StoreI(MemAt(Reg::kRsp, 0), static_cast<int32_t>(old_next));
+      as.JmpR(insn.r0);
+      return;
+    }
+    default:
+      break;
+  }
+  if (IsMemAccess(insn.op) || insn.op == Op::kLea) {
+    if (insn.mem.rip_relative()) {
+      const uint64_t new_next = as.Here() + EncodedLength(insn.op);
+      const int64_t new_disp = static_cast<int64_t>(insn.mem.disp) +
+                               static_cast<int64_t>(old_next) -
+                               static_cast<int64_t>(new_next);
+      REDFAT_CHECK(new_disp >= INT32_MIN && new_disp <= INT32_MAX);
+      insn.mem.disp = static_cast<int32_t>(new_disp);
+    }
+  }
+  as.Emit(insn);
+}
+
+}  // namespace
+
+Rewriter::Rewriter(const BinaryImage& image) : image_(image) {
+  if (image_.FindSection(Section::Kind::kTrampoline) != nullptr) {
+    error_ = "rewriter: image already contains a trampoline section";
+    return;
+  }
+  Result<Disassembly> dis = DisassembleText(image_);
+  if (!dis.ok()) {
+    error_ = dis.error();
+    return;
+  }
+  disasm_ = std::move(dis).value();
+  cfg_ = RecoverCfg(disasm_, image_);
+  ok_ = true;
+}
+
+Result<BinaryImage> Rewriter::Apply(const std::vector<PatchRequest>& requests,
+                                    RewriteStats* stats, uint64_t trampoline_base) {
+  REDFAT_CHECK(ok_);
+  RewriteStats local;
+  RewriteStats& st = stats != nullptr ? *stats : local;
+  st = RewriteStats{};
+  st.requested = requests.size();
+
+  std::unordered_map<uint64_t, const PatchRequest*> by_addr;
+  std::vector<uint64_t> addrs;
+  for (const PatchRequest& r : requests) {
+    if (disasm_.IndexAt(r.addr) == SIZE_MAX) {
+      return Error(StrFormat("rewriter: request at 0x%llx is not an instruction boundary",
+                             static_cast<unsigned long long>(r.addr)));
+    }
+    const bool inserted = by_addr.emplace(r.addr, &r).second;
+    if (!inserted) {
+      return Error(StrFormat("rewriter: duplicate request at 0x%llx",
+                             static_cast<unsigned long long>(r.addr)));
+    }
+    addrs.push_back(r.addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+
+  BinaryImage out = image_;
+  Section* text = out.FindSection(Section::Kind::kText);
+  REDFAT_CHECK(text != nullptr);
+  Assembler tramp(trampoline_base);
+
+  uint64_t consumed_until = 0;  // sites below this were merged into a prior span
+  for (const uint64_t addr : addrs) {
+    if (addr < consumed_until) {
+      continue;  // payload already emitted inside the covering span
+    }
+    const size_t start_index = disasm_.IndexAt(addr);
+
+    // Build the overwrite span: enough whole instructions to cover the jmp.
+    std::vector<size_t> span;
+    unsigned span_len = 0;
+    bool conflict_target = false;
+    bool conflict_call = false;
+    for (size_t i = start_index; span_len < kJmpLen; ++i) {
+      if (i >= disasm_.insns.size()) {
+        break;
+      }
+      const DisasmInsn& di = disasm_.insns[i];
+      if (i != start_index) {
+        if (cfg_.jump_targets.count(di.addr) != 0) {
+          conflict_target = true;
+          break;
+        }
+        if (di.insn.op == Op::kCall || di.insn.op == Op::kCallR) {
+          // Punning over a call is legal (we emulate it), but a call ends
+          // with control leaving the trampoline: any span instructions after
+          // it would be skipped. Only allow a call as the final span slot.
+          conflict_call = true;
+        }
+      }
+      span.push_back(i);
+      span_len += di.length;
+      if (conflict_call && span_len < kJmpLen) {
+        break;  // call mid-span: remaining slots unreachable
+      }
+    }
+    if (conflict_target) {
+      ++st.skipped_target_conflict;
+      continue;
+    }
+    if (conflict_call && span_len < kJmpLen) {
+      ++st.skipped_call_span;
+      continue;
+    }
+    if (span_len < kJmpLen) {
+      ++st.skipped_section_end;
+      continue;
+    }
+
+    // Emit the trampoline: payload(s) + relocated instructions + jump back.
+    const uint64_t tramp_start = tramp.Here();
+    for (const size_t i : span) {
+      const DisasmInsn& di = disasm_.insns[i];
+      auto it = by_addr.find(di.addr);
+      if (it != by_addr.end()) {
+        it->second->emit_payload(tramp);
+        ++st.applied;
+      }
+      RelocateInsn(tramp, di);
+    }
+    const DisasmInsn& last = disasm_.insns[span.back()];
+    const bool falls_through =
+        !(last.insn.op == Op::kJmp || last.insn.op == Op::kJmpR || last.insn.op == Op::kRet ||
+          last.insn.op == Op::kCall || last.insn.op == Op::kCallR ||
+          last.insn.op == Op::kHlt);
+    if (falls_through) {
+      tramp.JmpAbs(last.end());
+    }
+    ++st.trampolines;
+
+    // Patch the original bytes: jmp rel32 + ud2 filler.
+    const uint64_t patch_off = addr - text->vaddr;
+    const int64_t rel = static_cast<int64_t>(tramp_start) -
+                        static_cast<int64_t>(addr + kJmpLen);
+    REDFAT_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+    std::vector<uint8_t> jmp_bytes;
+    Encode({.op = Op::kJmp, .imm = rel}, &jmp_bytes);
+    REDFAT_CHECK(jmp_bytes.size() == kJmpLen);
+    std::copy(jmp_bytes.begin(), jmp_bytes.end(), text->bytes.begin() + patch_off);
+    for (unsigned f = kJmpLen; f < span_len; ++f) {
+      text->bytes[patch_off + f] = static_cast<uint8_t>(Op::kUd2);
+    }
+    consumed_until = last.end();
+  }
+
+  std::vector<uint8_t> tramp_bytes = tramp.Finish();
+  st.trampoline_bytes = tramp_bytes.size();
+  if (!tramp_bytes.empty()) {
+    Section ts;
+    ts.kind = Section::Kind::kTrampoline;
+    ts.vaddr = trampoline_base;
+    ts.bytes = std::move(tramp_bytes);
+    out.sections.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace redfat

@@ -1,0 +1,84 @@
+// E9Patch-style trampoline-based static binary rewriting (paper §2.2).
+//
+// For each requested instrumentation point, the instruction at that address
+// is overwritten with a 5-byte `jmp rel32` into a trampoline containing:
+//
+//     (1) the instrumentation payload (emitted by the caller),
+//     (2) the displaced instruction(s), relocated, and
+//     (3) a jump back to the instruction after the overwritten span.
+//
+// If the target instruction is shorter than 5 bytes, the jump "puns" over
+// the following instruction(s); all overwritten instructions are relocated
+// into the trampoline and the leftover bytes are filled with 1-byte ud2
+// (like E9Patch's int3 filler). Punning is refused — and the site skipped,
+// opportunistically — when a recovered jump target lands inside the span,
+// or when a call would be displaced (its pushed return address must be
+// emulated only for the first span slot).
+//
+// Relocation fixups: rel32 branches are re-anchored, rip-relative memory
+// operands get their displacement adjusted, and displaced calls are
+// emulated as push-return-address + jmp.
+#ifndef REDFAT_SRC_RW_REWRITER_H_
+#define REDFAT_SRC_RW_REWRITER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/asm/assembler.h"
+#include "src/bin/image.h"
+#include "src/rw/disasm.h"
+#include "src/support/result.h"
+
+namespace redfat {
+
+// Emits payload code into the trampoline assembler. The payload must
+// preserve all guest-visible state it does not own (the caller decides
+// which registers/flags are dead via its own clobber analysis).
+using PayloadEmitter = std::function<void(Assembler&)>;
+
+struct PatchRequest {
+  uint64_t addr = 0;
+  PayloadEmitter emit_payload;
+};
+
+struct RewriteStats {
+  size_t requested = 0;
+  size_t applied = 0;                 // payload emitted (own jump or merged into a span)
+  size_t skipped_target_conflict = 0; // recovered jump target inside the span
+  size_t skipped_call_span = 0;       // span would displace a call mid-span
+  size_t skipped_section_end = 0;     // not enough bytes before section end
+  uint64_t trampoline_bytes = 0;
+  size_t trampolines = 0;
+};
+
+class Rewriter {
+ public:
+  // The image must not already contain a trampoline section.
+  explicit Rewriter(const BinaryImage& image);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  const Disassembly& disasm() const { return disasm_; }
+  const CfgInfo& cfg() const { return cfg_; }
+
+  // Applies all requests and returns the rewritten image. Requests must be
+  // at unique instruction-boundary addresses inside the text section.
+  // `trampoline_base` places the new section (shared objects instrumented
+  // separately need distinct, non-overlapping bases — §7.4).
+  Result<BinaryImage> Apply(const std::vector<PatchRequest>& requests, RewriteStats* stats,
+                            uint64_t trampoline_base = kTrampolineBase);
+
+ private:
+  BinaryImage image_;
+  Disassembly disasm_;
+  CfgInfo cfg_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_RW_REWRITER_H_

@@ -1,0 +1,47 @@
+#include "src/shadow/shadow_map.h"
+
+namespace redfat {
+
+void ShadowMap::Mark(uint64_t addr, uint64_t size, ShadowState state) {
+  if (size == 0) {
+    return;
+  }
+  const uint64_t first = addr >> 3;
+  const uint64_t last = (addr + size - 1) >> 3;
+  for (uint64_t g = first; g <= last; ++g) {
+    std::unique_ptr<Chunk>& c = chunks_[g >> kChunkShift];
+    if (!c) {
+      c = std::make_unique<Chunk>();
+      c->fill(0);
+    }
+    (*c)[g & (kChunkGranules - 1)] = static_cast<uint8_t>(state);
+  }
+}
+
+ShadowState ShadowMap::Query(uint64_t addr) const {
+  const uint64_t g = addr >> 3;
+  auto it = chunks_.find(g >> kChunkShift);
+  if (it == chunks_.end()) {
+    return ShadowState::kDefault;
+  }
+  return static_cast<ShadowState>((*it->second)[g & (kChunkGranules - 1)]);
+}
+
+ShadowState ShadowMap::QueryRange(uint64_t addr, unsigned len) const {
+  if (len == 0) {
+    len = 1;
+  }
+  ShadowState last = ShadowState::kDefault;
+  const uint64_t first = addr >> 3;
+  const uint64_t last_g = (addr + len - 1) >> 3;
+  for (uint64_t g = first; g <= last_g; ++g) {
+    const ShadowState s = Query(g << 3);
+    if (s == ShadowState::kRedzone || s == ShadowState::kFree) {
+      return s;
+    }
+    last = s;
+  }
+  return last;
+}
+
+}  // namespace redfat

@@ -1,0 +1,55 @@
+// ASAN/Memcheck-style shadow memory (paper §2.1).
+//
+// Tracks one state byte per 8-byte granule of guest address space:
+//
+//     state_shadow(ptr) = *(SHADOW_MAP + ptr/8)
+//
+// Used by the Memcheck-like DBI baseline. Untracked memory (stack, globals,
+// code) is kDefault, which redzone-only checking treats as accessible —
+// matching Memcheck's behavior of only poisoning heap redzones and freed
+// blocks.
+#ifndef REDFAT_SRC_SHADOW_SHADOW_MAP_H_
+#define REDFAT_SRC_SHADOW_SHADOW_MAP_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace redfat {
+
+enum class ShadowState : uint8_t {
+  kDefault = 0,  // untracked (non-heap): access allowed
+  kAllocated = 1,
+  kRedzone = 2,
+  kFree = 3,
+};
+
+class ShadowMap {
+ public:
+  // Marks [addr, addr+size) with `state`, at 8-byte granularity. Partial
+  // granules at the edges are marked whole (conservative toward detection,
+  // like ASAN's 8-byte shadow without the partial-granule encoding).
+  void Mark(uint64_t addr, uint64_t size, ShadowState state);
+
+  ShadowState Query(uint64_t addr) const;
+
+  // Strongest "bad" state over an access of `len` bytes at `addr`:
+  // returns the first non-kDefault, non-kAllocated state found, else the
+  // last state seen (kAllocated or kDefault).
+  ShadowState QueryRange(uint64_t addr, unsigned len) const;
+
+  size_t TouchedChunks() const { return chunks_.size(); }
+
+ private:
+  // One chunk covers 4096 granules = 32 KiB of guest address space.
+  static constexpr unsigned kChunkShift = 12;
+  static constexpr uint64_t kChunkGranules = uint64_t{1} << kChunkShift;
+  using Chunk = std::array<uint8_t, kChunkGranules>;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SHADOW_SHADOW_MAP_H_

@@ -1,0 +1,50 @@
+// Bit-manipulation helpers shared across the project.
+#ifndef REDFAT_SRC_SUPPORT_BITS_H_
+#define REDFAT_SRC_SUPPORT_BITS_H_
+
+#include <cstdint>
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Largest k with 2^k <= x. Requires x != 0.
+constexpr unsigned FloorLog2(uint64_t x) {
+  unsigned k = 0;
+  while (x >>= 1) {
+    ++k;
+  }
+  return k;
+}
+
+// Smallest k with 2^k >= x. Requires x != 0.
+constexpr unsigned CeilLog2(uint64_t x) {
+  return IsPowerOfTwo(x) ? FloorLog2(x) : FloorLog2(x) + 1;
+}
+
+constexpr uint64_t AlignUp(uint64_t x, uint64_t a) {
+  REDFAT_CHECK(a != 0);
+  return (x + a - 1) / a * a;
+}
+
+constexpr uint64_t AlignDown(uint64_t x, uint64_t a) {
+  REDFAT_CHECK(a != 0);
+  return x / a * a;
+}
+
+// Sign-extend the low `bits` bits of x to 64 bits.
+constexpr int64_t SignExtend(uint64_t x, unsigned bits) {
+  REDFAT_CHECK(bits >= 1 && bits <= 64);
+  if (bits == 64) {
+    return static_cast<int64_t>(x);
+  }
+  const uint64_t m = uint64_t{1} << (bits - 1);
+  x &= (uint64_t{1} << bits) - 1;
+  return static_cast<int64_t>((x ^ m) - m);
+}
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_BITS_H_

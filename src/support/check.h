@@ -1,0 +1,36 @@
+// Internal invariant checking macros.
+//
+// REDFAT_CHECK aborts (with a message) when an internal invariant is
+// violated. These are enabled in all build types: this library models a
+// security tool, and silently continuing past a broken invariant would
+// invalidate every measurement downstream.
+#ifndef REDFAT_SRC_SUPPORT_CHECK_H_
+#define REDFAT_SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redfat {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "REDFAT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+[[noreturn]] inline void Fatal(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "fatal error at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace redfat
+
+#define REDFAT_CHECK(expr)                                   \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::redfat::CheckFailed(__FILE__, __LINE__, #expr);      \
+    }                                                        \
+  } while (0)
+
+#define REDFAT_FATAL(msg) ::redfat::Fatal(__FILE__, __LINE__, (msg))
+
+#endif  // REDFAT_SRC_SUPPORT_CHECK_H_

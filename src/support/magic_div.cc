@@ -1,0 +1,36 @@
+#include "src/support/magic_div.h"
+
+#include <initializer_list>
+
+#include "src/support/bits.h"
+#include "src/support/check.h"
+
+namespace redfat {
+
+MagicDiv ComputeMagicDiv(uint64_t d) {
+  REDFAT_CHECK(d >= 2);
+  if (IsPowerOfTwo(d)) {
+    // mulh(n, 2^(64-k)) == n >> k, exact for all n.
+    const unsigned k = FloorLog2(d);
+    return MagicDiv{uint64_t{1} << (64 - k), 0};
+  }
+  // Round-up magic: M = ceil(2^(64+s) / d), with s chosen so the rounding
+  // error e = M*d - 2^(64+s) (0 < e < d) satisfies n*e < 2^(64+s) for all
+  // n < 2^kMagicDividendBits, which guarantees exactness. Requiring
+  // d * 2^kMagicDividendBits <= 2^(64+s) suffices.
+  const unsigned need = kMagicDividendBits + CeilLog2(d);
+  const unsigned s = need > 64 ? need - 64 : 0;
+  const unsigned __int128 pow = static_cast<unsigned __int128>(1) << (64 + s);
+  const unsigned __int128 magic = (pow + d - 1) / d;
+  REDFAT_CHECK(magic < (static_cast<unsigned __int128>(1) << 64));
+  MagicDiv m{static_cast<uint64_t>(magic), s};
+  // Spot-check boundary dividends around multiples of d near the top of the
+  // guaranteed range; exhaustive verification lives in the test suite.
+  const uint64_t top = (uint64_t{1} << kMagicDividendBits) - 1;
+  for (uint64_t n : {uint64_t{0}, d - 1, d, d + 1, top - (top % d), top}) {
+    REDFAT_CHECK(ApplyMagicDiv(n, m) == n / d);
+  }
+  return m;
+}
+
+}  // namespace redfat

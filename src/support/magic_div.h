@@ -1,0 +1,48 @@
+// Division-by-constant via multiply-high and shift.
+//
+// The low-fat allocator computes base(ptr) = (ptr / size) * size where size
+// is a per-region constant that is generally *not* a power of two (e.g. 48).
+// Real LowFat replaces the division by a precomputed "magic" multiplication,
+// and the generated RedFat check code does the same. This module computes,
+// for each divisor d, a pair (magic, shift) with:
+//
+//     n / d == mulh64(n, magic) >> shift      for all n < 2^kMaxDividendBits
+//
+// where mulh64 is the high 64 bits of the 64x64->128 unsigned product.
+//
+// Low-fat pointers in this reproduction live below 62 regions * 32 GiB
+// (< 2 TiB = 2^41), so exactness for 41-bit dividends is sufficient; we keep
+// a few bits of margin.
+#ifndef REDFAT_SRC_SUPPORT_MAGIC_DIV_H_
+#define REDFAT_SRC_SUPPORT_MAGIC_DIV_H_
+
+#include <cstdint>
+
+namespace redfat {
+
+// Dividend width (bits) for which computed magics are guaranteed exact.
+inline constexpr unsigned kMagicDividendBits = 44;
+
+struct MagicDiv {
+  uint64_t magic = 0;
+  unsigned shift = 0;  // applied to the high 64 bits of the product
+};
+
+// High 64 bits of the unsigned 64x64 product.
+inline uint64_t MulHigh64(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b)) >> 64);
+}
+
+// Computes a (magic, shift) pair for divisor d (d >= 1). The result divides
+// exactly for all dividends below 2^kMagicDividendBits.
+MagicDiv ComputeMagicDiv(uint64_t d);
+
+// Applies a magic division: floor(n / d) given the magic for d.
+inline uint64_t ApplyMagicDiv(uint64_t n, const MagicDiv& m) {
+  return MulHigh64(n, m.magic) >> m.shift;
+}
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_MAGIC_DIV_H_

@@ -1,0 +1,79 @@
+// A small Result<T> type for fallible operations (decode failures, malformed
+// binaries, rewrite conflicts). Modeled loosely on absl::StatusOr but kept
+// dependency-free: a Result either holds a value or an error message.
+#ifndef REDFAT_SRC_SUPPORT_RESULT_H_
+#define REDFAT_SRC_SUPPORT_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+// Error with a human-readable message. Used as the failure arm of Result<T>.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return Error{...};` both
+  // work at fallible call sites.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Error error) : error_(std::move(error.message())) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    REDFAT_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    REDFAT_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    REDFAT_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    REDFAT_CHECK(!ok());
+    return error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::string error_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;                                           // success
+  Status(Error error) : error_(std::move(error.message())) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const std::string& error() const {
+    REDFAT_CHECK(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_RESULT_H_

@@ -1,0 +1,76 @@
+// Deterministic xorshift128+ pseudo-random generator.
+//
+// All randomized pieces of the project (workload generators, property tests)
+// use this generator so that every experiment is exactly reproducible from a
+// seed.
+#ifndef REDFAT_SRC_SUPPORT_RNG_H_
+#define REDFAT_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    auto mix = [&z]() {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      return t ^ (t >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+    if (s0_ == 0 && s1_ == 0) {
+      s1_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). Requires bound > 0.
+  uint64_t Below(uint64_t bound) {
+    REDFAT_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias (bias is irrelevant for the
+    // workloads but matters for property tests probing boundaries).
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    REDFAT_CHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) {
+    REDFAT_CHECK(den > 0 && num <= den);
+    return Below(den) < num;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,35 @@
+// Small string formatting helpers (printf-style into std::string).
+#ifndef REDFAT_SRC_SUPPORT_STR_H_
+#define REDFAT_SRC_SUPPORT_STR_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace redfat {
+
+inline std::string StrFormatV(const char* fmt, va_list args) {
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (n <= 0) {
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+__attribute__((format(printf, 1, 2))) inline std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = StrFormatV(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_STR_H_

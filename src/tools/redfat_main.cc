@@ -1,0 +1,190 @@
+// redfat — the hardening tool CLI (models the paper's `redfat` command).
+//
+//   redfat [options] input.rfbin output.rfbin
+//
+// Options:
+//   --profile              emit profiling instrumentation (Fig. 5, step 1)
+//   --allowlist FILE       allow-list file: one hex site address per line
+//   --profile-data FILE    build the allow-list from an `rfrun
+//                          --profile-dump` file (re-plans the input binary
+//                          deterministically to map site ids to addresses)
+//   --no-reads --no-size --no-lowfat            check content toggles
+//   --no-elim --no-batch --no-merge             optimization toggles
+//   --shadow               ASAN-style shadow redzones (ablation; run the
+//                          output under `rfrun --runtime=redfat-shadow`)
+//   -v                     verbose plan/rewrite statistics
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/redfat.h"
+#include "src/core/sitemap.h"
+#include "src/tools/tool_io.h"
+
+namespace redfat {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: redfat [--profile] [--allowlist FILE | --profile-data FILE]\n"
+               "              [--no-reads] [--no-size] [--no-lowfat] [--sitemap FILE]\n"
+               "              [--no-elim] [--no-batch] [--no-merge] [--shadow] [-v]\n"
+               "              input.rfbin output.rfbin\n");
+  return 2;
+}
+
+Result<AllowList> AllowListFromFile(const std::string& path) {
+  Result<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.ok()) {
+    return Error(lines.error());
+  }
+  AllowList allow;
+  for (const std::string& line : lines.value()) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    allow.addrs.insert(std::strtoull(line.c_str(), nullptr, 0));
+  }
+  return allow;
+}
+
+// Rebuilds the profiling plan for `input` (deterministic) and converts an
+// rfrun profile dump ("<site> <passes> <fails>" lines) into an allow-list.
+Result<AllowList> AllowListFromProfileData(const BinaryImage& input, const std::string& path) {
+  RedFatTool prof(RedFatOptions::Profile());
+  Result<InstrumentResult> ir = prof.Instrument(input);
+  if (!ir.ok()) {
+    return Error(ir.error());
+  }
+  Result<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.ok()) {
+    return Error(lines.error());
+  }
+  std::unordered_map<uint32_t, Vm::ProfCounts> counts;
+  for (const std::string& line : lines.value()) {
+    unsigned site = 0;
+    unsigned long long passes = 0;
+    unsigned long long fails = 0;
+    if (std::sscanf(line.c_str(), "%u %llu %llu", &site, &passes, &fails) == 3) {
+      counts[site] = Vm::ProfCounts{passes, fails};
+    }
+  }
+  return BuildAllowList(counts, ir.value().sites);
+}
+
+int Main(int argc, char** argv) {
+  RedFatOptions opts;
+  std::string allow_path;
+  std::string profile_data_path;
+  std::string sitemap_path;
+  bool verbose = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile") {
+      opts.mode = RedFatOptions::Mode::kProfile;
+    } else if (arg == "--no-reads") {
+      opts.check_reads = false;
+    } else if (arg == "--no-size") {
+      opts.size_hardening = false;
+    } else if (arg == "--no-lowfat") {
+      opts.lowfat = false;
+    } else if (arg == "--no-elim") {
+      opts.elim = false;
+    } else if (arg == "--no-batch") {
+      opts.batch = false;
+    } else if (arg == "--no-merge") {
+      opts.merge = false;
+    } else if (arg == "--shadow") {
+      opts.redzone_impl = RedzoneImpl::kShadow;
+    } else if (arg == "-v") {
+      verbose = true;
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else if (arg == "--profile-data" && i + 1 < argc) {
+      profile_data_path = argv[++i];
+    } else if (arg == "--sitemap" && i + 1 < argc) {
+      sitemap_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    return Usage();
+  }
+
+  Result<BinaryImage> input = LoadImageFile(positional[0]);
+  if (!input.ok()) {
+    std::fprintf(stderr, "redfat: %s\n", input.error().c_str());
+    return 1;
+  }
+
+  AllowList allow;
+  const AllowList* allow_ptr = nullptr;
+  if (!allow_path.empty()) {
+    Result<AllowList> a = AllowListFromFile(allow_path);
+    if (!a.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", a.error().c_str());
+      return 1;
+    }
+    allow = std::move(a).value();
+    allow_ptr = &allow;
+  } else if (!profile_data_path.empty()) {
+    Result<AllowList> a = AllowListFromProfileData(input.value(), profile_data_path);
+    if (!a.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", a.error().c_str());
+      return 1;
+    }
+    allow = std::move(a).value();
+    allow_ptr = &allow;
+  }
+
+  RedFatTool tool(opts);
+  Result<InstrumentResult> out = tool.Instrument(input.value(), allow_ptr);
+  if (!out.ok()) {
+    std::fprintf(stderr, "redfat: %s\n", out.error().c_str());
+    return 1;
+  }
+  const Status saved = SaveImageFile(positional[1], out.value().image);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "redfat: %s\n", saved.error().c_str());
+    return 1;
+  }
+  if (!sitemap_path.empty()) {
+    const std::string text = SerializeSiteMap(out.value().sites);
+    const Status s = WriteFileBytes(sitemap_path,
+                                    std::vector<uint8_t>(text.begin(), text.end()));
+    if (!s.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (verbose) {
+    const PlanStats& p = out.value().plan_stats;
+    const RewriteStats& r = out.value().rewrite_stats;
+    std::fprintf(stderr,
+                 "redfat: %zu memory operands, %zu eliminated, %zu full + %zu "
+                 "redzone-only sites\n"
+                 "redfat: %zu trampolines, %zu checks after merging, %llu trampoline "
+                 "bytes\n"
+                 "redfat: skipped %zu (jump-target) + %zu (call-span) + %zu "
+                 "(section-end)\n",
+                 p.mem_operands, p.eliminated, p.full_sites, p.redzone_sites, p.trampolines,
+                 p.checks_emitted, static_cast<unsigned long long>(r.trampoline_bytes),
+                 r.skipped_target_conflict, r.skipped_call_span, r.skipped_section_end);
+    if (allow_ptr != nullptr) {
+      std::fprintf(stderr, "redfat: allow-list with %zu entries applied\n",
+                   allow.addrs.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace redfat
+
+int main(int argc, char** argv) { return redfat::Main(argc, argv); }

@@ -1,0 +1,116 @@
+// rfgen — generate workload RFBIN binaries to disk.
+//
+//   rfgen list
+//   rfgen spec NAME out.rfbin         # one of the 29 SPEC-like programs
+//   rfgen kraken NAME out.rfbin
+//   rfgen cve NAME out.rfbin          # prints attack/benign inputs
+//   rfgen synth SEED out.rfbin        # generic synthetic program
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/tools/tool_io.h"
+#include "src/workloads/cve.h"
+#include "src/workloads/kraken.h"
+#include "src/workloads/spec.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rfgen list\n"
+               "       rfgen spec NAME out.rfbin\n"
+               "       rfgen kraken NAME out.rfbin\n"
+               "       rfgen cve NAME out.rfbin\n"
+               "       rfgen synth SEED out.rfbin\n"
+               "Programs read inputs[0]=iterations, inputs[1]=mode (SPEC/Kraken/synth).\n");
+  return 2;
+}
+
+int Save(const BinaryImage& img, const std::string& path) {
+  const Status s = SaveImageFile(path, img);
+  if (!s.ok()) {
+    std::fprintf(stderr, "rfgen: %s\n", s.error().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "rfgen: wrote %s (%llu bytes)\n", path.c_str(),
+               static_cast<unsigned long long>(img.TotalBytes()));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") {
+    std::printf("spec:");
+    for (const SpecBenchmark& b : SpecSuite()) {
+      std::printf(" %s", b.name.c_str());
+    }
+    std::printf("\nkraken:");
+    for (const KrakenBenchmark& b : KrakenSuite()) {
+      std::printf(" %s", b.name.c_str());
+    }
+    std::printf("\ncve:");
+    for (const VulnCase& c : CveCases()) {
+      std::printf(" \"%s\"", c.name.c_str());
+    }
+    std::printf("\n(plus 480 Juliet CWE-122 cases via the bench harness)\n");
+    return 0;
+  }
+  if (argc != 4) {
+    return Usage();
+  }
+  const std::string name = argv[2];
+  const std::string out = argv[3];
+  if (cmd == "spec") {
+    for (const SpecBenchmark& b : SpecSuite()) {
+      if (b.name == name) {
+        std::fprintf(stderr, "rfgen: train iters=%llu ref iters=%llu (mode: train=0x3e, "
+                     "ref=0x3f)\n",
+                     static_cast<unsigned long long>(b.train_iters),
+                     static_cast<unsigned long long>(b.ref_iters));
+        return Save(BuildSpecBenchmark(b), out);
+      }
+    }
+    std::fprintf(stderr, "rfgen: unknown spec benchmark %s\n", name.c_str());
+    return 1;
+  }
+  if (cmd == "kraken") {
+    for (const KrakenBenchmark& b : KrakenSuite()) {
+      if (b.name == name) {
+        return Save(BuildKrakenBenchmark(b), out);
+      }
+    }
+    std::fprintf(stderr, "rfgen: unknown kraken benchmark %s\n", name.c_str());
+    return 1;
+  }
+  if (cmd == "cve") {
+    for (const VulnCase& c : CveCases()) {
+      if (c.name.find(name) != std::string::npos) {
+        std::fprintf(stderr, "rfgen: %s\n", c.name.c_str());
+        std::fprintf(stderr, "rfgen: attack input: %llu   benign input: %llu\n",
+                     static_cast<unsigned long long>(c.attack_inputs.at(0)),
+                     static_cast<unsigned long long>(c.benign_inputs.at(0)));
+        return Save(c.image, out);
+      }
+    }
+    std::fprintf(stderr, "rfgen: unknown cve %s\n", name.c_str());
+    return 1;
+  }
+  if (cmd == "synth") {
+    SynthParams p;
+    p.seed = std::strtoull(name.c_str(), nullptr, 0);
+    return Save(GenerateSynthProgram(p), out);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace redfat
+
+int main(int argc, char** argv) { return redfat::Main(argc, argv); }

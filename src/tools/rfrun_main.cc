@@ -1,0 +1,162 @@
+// rfrun — run an RFBIN guest binary under a chosen runtime binding.
+//
+//   rfrun [options] prog.rfbin [input-word ...]
+//
+// Options:
+//   --runtime=baseline|redfat|redfat-shadow|memcheck   (default: baseline)
+//   --policy=harden|log                                (default: harden)
+//   --profile-dump FILE    write "<site> <passes> <fails>" lines (feed into
+//                          `redfat --profile-data`)
+//   --seed N               guest RNG seed
+//   --limit N              instruction budget
+//   --stats                print instruction/cycle/memory statistics
+//
+// Guest outputs are printed one per line. Exit status: the guest's exit
+// code; 134 if the run aborted on a detected memory error (like SIGABRT).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/sitemap.h"
+#include "src/dbi/memcheck.h"
+#include "src/support/str.h"
+#include "src/tools/tool_io.h"
+
+namespace redfat {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rfrun [--runtime=baseline|redfat|redfat-shadow|memcheck]\n"
+               "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
+               "             [--seed N] [--limit N] [--stats] prog.rfbin [input...]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string runtime = "baseline";
+  std::string policy = "harden";
+  std::string profile_dump;
+  std::string sitemap_path;
+  RunConfig cfg;
+  bool stats = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--runtime=", 0) == 0) {
+      runtime = arg.substr(10);
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy = arg.substr(9);
+    } else if (arg == "--profile-dump" && i + 1 < argc) {
+      profile_dump = argv[++i];
+    } else if (arg == "--sitemap" && i + 1 < argc) {
+      sitemap_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cfg.rng_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--limit" && i + 1 < argc) {
+      cfg.instruction_limit = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    return Usage();
+  }
+  cfg.policy = policy == "log" ? Policy::kLog : Policy::kHarden;
+  for (size_t i = 1; i < positional.size(); ++i) {
+    cfg.inputs.push_back(std::strtoull(positional[i].c_str(), nullptr, 0));
+  }
+
+  Result<BinaryImage> image = LoadImageFile(positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "rfrun: %s\n", image.error().c_str());
+    return 1;
+  }
+
+  RunOutcome out;
+  if (runtime == "memcheck") {
+    out = RunMemcheck(image.value(), cfg);
+  } else if (runtime == "redfat") {
+    out = RunImage(image.value(), RuntimeKind::kRedFat, cfg);
+  } else if (runtime == "redfat-shadow") {
+    out = RunImage(image.value(), RuntimeKind::kRedFatShadow, cfg);
+  } else if (runtime == "baseline") {
+    out = RunImage(image.value(), RuntimeKind::kBaseline, cfg);
+  } else {
+    return Usage();
+  }
+
+  for (uint64_t w : out.outputs) {
+    std::printf("%llu\n", static_cast<unsigned long long>(w));
+  }
+  std::vector<SiteRecord> sites;
+  bool have_sites = false;
+  if (!sitemap_path.empty()) {
+    Result<std::vector<std::string>> lines = ReadLines(sitemap_path);
+    if (!lines.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", lines.error().c_str());
+      return 1;
+    }
+    Result<std::vector<SiteRecord>> parsed = ParseSiteMap(lines.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
+      return 1;
+    }
+    sites = std::move(parsed).value();
+    have_sites = true;
+  }
+  for (const MemErrorReport& e : out.errors) {
+    std::fprintf(stderr, "rfrun: MEMORY ERROR: %s\n",
+                 DescribeError(e, have_sites ? &sites : nullptr).c_str());
+  }
+  if (!profile_dump.empty()) {
+    std::string text;
+    for (const auto& [site, counts] : out.prof_counts) {
+      text += StrFormat("%u %llu %llu\n", site,
+                        static_cast<unsigned long long>(counts.passes),
+                        static_cast<unsigned long long>(counts.fails));
+    }
+    std::vector<uint8_t> bytes(text.begin(), text.end());
+    const Status s = WriteFileBytes(profile_dump, bytes);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (stats) {
+    std::fprintf(stderr, "rfrun: %llu instructions, %llu cycles, %llu reads, %llu writes, "
+                 "%llu pages\n",
+                 static_cast<unsigned long long>(out.result.instructions),
+                 static_cast<unsigned long long>(out.result.cycles),
+                 static_cast<unsigned long long>(out.result.explicit_reads),
+                 static_cast<unsigned long long>(out.result.explicit_writes),
+                 static_cast<unsigned long long>(out.touched_pages));
+  }
+
+  switch (out.result.reason) {
+    case HaltReason::kExit:
+      return static_cast<int>(out.result.exit_status);
+    case HaltReason::kMemErrorAbort:
+      return 134;
+    case HaltReason::kHlt:
+      return 0;
+    case HaltReason::kInstrLimit:
+      std::fprintf(stderr, "rfrun: instruction limit exceeded\n");
+      return 124;
+    default:
+      std::fprintf(stderr, "rfrun: FAULT: %s\n", out.result.fault_message.c_str());
+      return 139;
+  }
+}
+
+}  // namespace
+}  // namespace redfat
+
+int main(int argc, char** argv) { return redfat::Main(argc, argv); }

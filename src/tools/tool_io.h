@@ -1,0 +1,26 @@
+// Shared file I/O helpers for the command-line tools.
+#ifndef REDFAT_SRC_TOOLS_TOOL_IO_H_
+#define REDFAT_SRC_TOOLS_TOOL_IO_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/bin/image.h"
+#include "src/support/result.h"
+
+namespace redfat {
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+Status WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
+
+Result<BinaryImage> LoadImageFile(const std::string& path);
+Status SaveImageFile(const std::string& path, const BinaryImage& image);
+
+// Text-file helpers for allow-lists ("0x<addr>" per line) and profile dumps
+// ("<site> <passes> <fails>" per line).
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_TOOLS_TOOL_IO_H_

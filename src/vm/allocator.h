@@ -1,0 +1,36 @@
+// Guest allocator binding.
+//
+// Guest programs call malloc/free through HostFn::kMalloc / HostFn::kFree.
+// Which implementation services the call is a property of the VM runtime,
+// exactly like swapping the allocator via LD_PRELOAD in the paper: the
+// uninstrumented baseline binds a glibc-like allocator, RedFat-hardened runs
+// bind the redzone/low-fat wrapper (libredfat), and the Memcheck-like
+// baseline binds its own redzone+shadow allocator.
+#ifndef REDFAT_SRC_VM_ALLOCATOR_H_
+#define REDFAT_SRC_VM_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "src/vm/memory.h"
+
+namespace redfat {
+
+struct AllocOutcome {
+  uint64_t ptr = 0;     // 0 on failure (like malloc returning NULL)
+  uint64_t cycles = 0;  // cost charged to the guest for the call
+};
+
+class GuestAllocator {
+ public:
+  virtual ~GuestAllocator() = default;
+
+  virtual AllocOutcome Malloc(Memory& mem, uint64_t size) = 0;
+  // Returns cycles charged. ptr == 0 is a no-op (free(NULL)).
+  virtual uint64_t Free(Memory& mem, uint64_t ptr) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_VM_ALLOCATOR_H_

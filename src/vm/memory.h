@@ -1,0 +1,64 @@
+// Sparse paged guest memory.
+//
+// The guest address space follows the paper's layout literally (32 GiB
+// low-fat regions, stacks and code far below them), which only works because
+// pages are materialized lazily: an untouched 32 GiB region costs nothing.
+#ifndef REDFAT_SRC_VM_MEMORY_H_
+#define REDFAT_SRC_VM_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace redfat {
+
+class Memory {
+ public:
+  static constexpr unsigned kPageShift = 12;
+  static constexpr uint64_t kPageSize = uint64_t{1} << kPageShift;
+
+  Memory() = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  // Reads `size` (1/2/4/8) bytes, zero-extended. Untouched memory reads as 0.
+  uint64_t Read(uint64_t addr, unsigned size) const;
+  // Writes the low `size` bytes of value.
+  void Write(uint64_t addr, uint64_t value, unsigned size);
+
+  uint64_t ReadU64(uint64_t addr) const { return Read(addr, 8); }
+  void WriteU64(uint64_t addr, uint64_t value) { Write(addr, value, 8); }
+
+  void ReadBytes(uint64_t addr, uint8_t* out, size_t n) const;
+  void WriteBytes(uint64_t addr, const uint8_t* in, size_t n);
+  void Fill(uint64_t addr, uint8_t value, uint64_t n);
+
+  // Number of pages ever materialized (a proxy for resident memory).
+  size_t TouchedPages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+
+  const Page* FindPage(uint64_t page_no) const {
+    auto it = pages_.find(page_no);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  Page* TouchPage(uint64_t page_no) {
+    std::unique_ptr<Page>& p = pages_[page_no];
+    if (!p) {
+      p = std::make_unique<Page>();
+      p->fill(0);
+    }
+    return p.get();
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_VM_MEMORY_H_

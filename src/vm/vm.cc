@@ -1,0 +1,450 @@
+#include "src/vm/vm.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace redfat {
+
+void Vm::LoadImage(const BinaryImage& image) {
+  for (const Section& s : image.sections) {
+    memory_.WriteBytes(s.vaddr, s.bytes.data(), s.bytes.size());
+  }
+  cpu_ = CpuState{};
+  cpu_.rip = image.entry;
+  cpu_.Set(Reg::kRsp, kStackTop - 64);
+  icache_.clear();
+}
+
+const Vm::Exec* Vm::FetchDecode(uint64_t addr, std::string* fault) {
+  auto it = icache_.find(addr);
+  if (it != icache_.end()) {
+    return &it->second;
+  }
+  uint8_t buf[16];
+  memory_.ReadBytes(addr, buf, sizeof(buf));
+  Result<Decoded> d = Decode(buf, sizeof(buf));
+  if (!d.ok()) {
+    *fault = StrFormat("fetch at 0x%llx: %s", static_cast<unsigned long long>(addr),
+                       d.error().c_str());
+    return nullptr;
+  }
+  Exec ex;
+  ex.insn = d.value().insn;
+  ex.length = d.value().length;
+  auto [pos, inserted] = icache_.emplace(addr, ex);
+  (void)inserted;
+  return &pos->second;
+}
+
+uint64_t Vm::EffectiveAddress(const MemOperand& mem, uint64_t next_rip) const {
+  return ComputeEffectiveAddress(cpu_, mem, next_rip);
+}
+
+void Vm::SetFlagsLogic(uint64_t result) {
+  cpu_.flags.zf = result == 0;
+  cpu_.flags.sf = (result >> 63) != 0;
+  cpu_.flags.cf = false;
+  cpu_.flags.of = false;
+}
+
+bool Vm::EvalCond(Cond c) const {
+  const Flags& f = cpu_.flags;
+  switch (c) {
+    case Cond::kEq: return f.zf;
+    case Cond::kNe: return !f.zf;
+    case Cond::kUlt: return f.cf;
+    case Cond::kUle: return f.cf || f.zf;
+    case Cond::kUgt: return !f.cf && !f.zf;
+    case Cond::kUge: return !f.cf;
+    case Cond::kSlt: return f.sf != f.of;
+    case Cond::kSle: return f.zf || (f.sf != f.of);
+    case Cond::kSgt: return !f.zf && (f.sf == f.of);
+    case Cond::kSge: return f.sf == f.of;
+  }
+  REDFAT_FATAL("bad cond");
+}
+
+bool Vm::ReportMemError(uint32_t site, ErrorKind kind) {
+  mem_errors_.push_back(MemErrorReport{site, kind, cpu_.rip, instructions_});
+  if (policy_ == Policy::kHarden) {
+    halt_ = true;
+    halt_reason_ = HaltReason::kMemErrorAbort;
+    return true;
+  }
+  return false;
+}
+
+bool Vm::DoHostCall(HostFn fn, std::string* fault) {
+  const uint64_t a0 = cpu_.Get(Reg::kRdi);
+  const uint64_t a1 = cpu_.Get(Reg::kRsi);
+  const uint64_t a2 = cpu_.Get(Reg::kRdx);
+  cycles_ += model_.hostcall_base;
+  switch (fn) {
+    case HostFn::kExit:
+      halt_ = true;
+      halt_reason_ = HaltReason::kExit;
+      exit_status_ = a0;
+      return true;
+    case HostFn::kMalloc: {
+      if (allocator_ == nullptr) {
+        *fault = "hostcall malloc with no allocator bound";
+        return false;
+      }
+      const AllocOutcome out = allocator_->Malloc(memory_, a0);
+      cpu_.Set(Reg::kRax, out.ptr);
+      cycles_ += out.cycles;
+      return true;
+    }
+    case HostFn::kFree: {
+      if (allocator_ == nullptr) {
+        *fault = "hostcall free with no allocator bound";
+        return false;
+      }
+      cycles_ += allocator_->Free(memory_, a0);
+      return true;
+    }
+    case HostFn::kMemset:
+      memory_.Fill(a0, static_cast<uint8_t>(a1), a2);
+      cycles_ += (a2 / 8) * model_.membyte_per8;
+      return true;
+    case HostFn::kMemcpy: {
+      std::vector<uint8_t> buf(a2);
+      memory_.ReadBytes(a1, buf.data(), buf.size());
+      memory_.WriteBytes(a0, buf.data(), buf.size());
+      cycles_ += (a2 / 8) * model_.membyte_per8;
+      return true;
+    }
+    case HostFn::kInputU64:
+      cpu_.Set(Reg::kRax, input_pos_ < inputs_.size() ? inputs_[input_pos_++] : 0);
+      return true;
+    case HostFn::kOutputU64:
+      outputs_.push_back(a0);
+      return true;
+    case HostFn::kRandU64:
+      cpu_.Set(Reg::kRax, rng_.Next());
+      return true;
+    case HostFn::kNumHostFns:
+      break;
+  }
+  *fault = StrFormat("bad hostcall %u", static_cast<unsigned>(fn));
+  return false;
+}
+
+bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
+  const Instruction& in = ex.insn;
+  const uint64_t next_rip = cpu_.rip + ex.length;
+  uint64_t new_rip = next_rip;
+  Flags& f = cpu_.flags;
+
+  auto do_add = [&](uint64_t a, uint64_t b) {
+    const uint64_t r = a + b;
+    f.zf = r == 0;
+    f.sf = (r >> 63) != 0;
+    f.cf = r < a;
+    f.of = ((~(a ^ b) & (a ^ r)) >> 63) != 0;
+    return r;
+  };
+  auto do_sub = [&](uint64_t a, uint64_t b) {
+    const uint64_t r = a - b;
+    f.zf = r == 0;
+    f.sf = (r >> 63) != 0;
+    f.cf = a < b;
+    f.of = (((a ^ b) & (a ^ r)) >> 63) != 0;
+    return r;
+  };
+  const uint64_t imm_se = static_cast<uint64_t>(in.imm);  // already sign-extended
+
+  switch (in.op) {
+    case Op::kNop:
+      cycles_ += model_.basic;
+      break;
+    case Op::kHlt:
+      halt_ = true;
+      halt_reason_ = HaltReason::kHlt;
+      return true;
+    case Op::kUd2:
+      *fault = StrFormat("ud2 at 0x%llx", static_cast<unsigned long long>(cpu_.rip));
+      return false;
+    case Op::kMovRI:
+      cpu_.Set(in.r0, imm_se);
+      cycles_ += model_.basic;
+      break;
+    case Op::kMovRR:
+      cpu_.Set(in.r0, cpu_.Get(in.r1));
+      cycles_ += model_.basic;
+      break;
+    case Op::kLoad: {
+      const uint64_t addr = EffectiveAddress(in.mem, next_rip);
+      cpu_.Set(in.r0, memory_.Read(addr, in.mem.access_size()));
+      ++explicit_reads_;
+      cycles_ += model_.mem;
+      break;
+    }
+    case Op::kStoreR: {
+      const uint64_t addr = EffectiveAddress(in.mem, next_rip);
+      memory_.Write(addr, cpu_.Get(in.r0), in.mem.access_size());
+      ++explicit_writes_;
+      cycles_ += model_.mem;
+      break;
+    }
+    case Op::kStoreI: {
+      const uint64_t addr = EffectiveAddress(in.mem, next_rip);
+      memory_.Write(addr, imm_se, in.mem.access_size());
+      ++explicit_writes_;
+      cycles_ += model_.mem;
+      break;
+    }
+    case Op::kLea:
+      cpu_.Set(in.r0, EffectiveAddress(in.mem, next_rip));
+      cycles_ += model_.basic;
+      break;
+    case Op::kAddRR:
+      cpu_.Set(in.r0, do_add(cpu_.Get(in.r0), cpu_.Get(in.r1)));
+      cycles_ += model_.basic;
+      break;
+    case Op::kAddRI:
+      cpu_.Set(in.r0, do_add(cpu_.Get(in.r0), imm_se));
+      cycles_ += model_.basic;
+      break;
+    case Op::kSubRR:
+      cpu_.Set(in.r0, do_sub(cpu_.Get(in.r0), cpu_.Get(in.r1)));
+      cycles_ += model_.basic;
+      break;
+    case Op::kSubRI:
+      cpu_.Set(in.r0, do_sub(cpu_.Get(in.r0), imm_se));
+      cycles_ += model_.basic;
+      break;
+    case Op::kImulRR: {
+      const uint64_t r = cpu_.Get(in.r0) * cpu_.Get(in.r1);
+      cpu_.Set(in.r0, r);
+      SetFlagsLogic(r);
+      cycles_ += model_.mul;
+      break;
+    }
+    case Op::kImulRI: {
+      const uint64_t r = cpu_.Get(in.r0) * imm_se;
+      cpu_.Set(in.r0, r);
+      SetFlagsLogic(r);
+      cycles_ += model_.mul;
+      break;
+    }
+    case Op::kMulhRR: {
+      const uint64_t r = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(cpu_.Get(in.r0)) *
+           static_cast<unsigned __int128>(cpu_.Get(in.r1))) >> 64);
+      cpu_.Set(in.r0, r);
+      SetFlagsLogic(r);
+      cycles_ += model_.mul;
+      break;
+    }
+    case Op::kAndRR: case Op::kAndRI:
+    case Op::kOrRR: case Op::kOrRI:
+    case Op::kXorRR: case Op::kXorRI: {
+      const uint64_t b = (in.op == Op::kAndRR || in.op == Op::kOrRR || in.op == Op::kXorRR)
+                             ? cpu_.Get(in.r1)
+                             : imm_se;
+      uint64_t r = cpu_.Get(in.r0);
+      if (in.op == Op::kAndRR || in.op == Op::kAndRI) {
+        r &= b;
+      } else if (in.op == Op::kOrRR || in.op == Op::kOrRI) {
+        r |= b;
+      } else {
+        r ^= b;
+      }
+      cpu_.Set(in.r0, r);
+      SetFlagsLogic(r);
+      cycles_ += model_.basic;
+      break;
+    }
+    case Op::kShlRI: case Op::kShrRI: case Op::kSarRI:
+    case Op::kShlRR: case Op::kShrRR: {
+      const unsigned c = static_cast<unsigned>(
+          (in.op == Op::kShlRR || in.op == Op::kShrRR) ? (cpu_.Get(in.r1) & 63)
+                                                        : (in.imm & 63));
+      cycles_ += model_.basic;
+      if (c == 0) {
+        break;  // x86: zero shift leaves flags unchanged
+      }
+      uint64_t a = cpu_.Get(in.r0);
+      uint64_t r;
+      bool carry;
+      if (in.op == Op::kShlRI || in.op == Op::kShlRR) {
+        carry = ((a >> (64 - c)) & 1) != 0;
+        r = a << c;
+      } else if (in.op == Op::kSarRI) {
+        carry = ((a >> (c - 1)) & 1) != 0;
+        r = static_cast<uint64_t>(static_cast<int64_t>(a) >> c);
+      } else {
+        carry = ((a >> (c - 1)) & 1) != 0;
+        r = a >> c;
+      }
+      cpu_.Set(in.r0, r);
+      f.zf = r == 0;
+      f.sf = (r >> 63) != 0;
+      f.cf = carry;
+      f.of = false;
+      break;
+    }
+    case Op::kCmpRR:
+      (void)do_sub(cpu_.Get(in.r0), cpu_.Get(in.r1));
+      cycles_ += model_.basic;
+      break;
+    case Op::kCmpRI:
+      (void)do_sub(cpu_.Get(in.r0), imm_se);
+      cycles_ += model_.basic;
+      break;
+    case Op::kTestRR:
+      SetFlagsLogic(cpu_.Get(in.r0) & cpu_.Get(in.r1));
+      cycles_ += model_.basic;
+      break;
+    case Op::kJmp:
+      new_rip = next_rip + imm_se;
+      cycles_ += model_.branch;
+      break;
+    case Op::kJmpR:
+      new_rip = cpu_.Get(in.r0);
+      cycles_ += model_.call_ret;
+      break;
+    case Op::kJcc:
+      if (EvalCond(in.cond)) {
+        new_rip = next_rip + imm_se;
+      }
+      cycles_ += model_.branch;
+      break;
+    case Op::kCall: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp) - 8;
+      cpu_.Set(Reg::kRsp, rsp);
+      memory_.WriteU64(rsp, next_rip);
+      new_rip = next_rip + imm_se;
+      cycles_ += model_.call_ret;
+      break;
+    }
+    case Op::kCallR: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp) - 8;
+      cpu_.Set(Reg::kRsp, rsp);
+      memory_.WriteU64(rsp, next_rip);
+      new_rip = cpu_.Get(in.r0);
+      cycles_ += model_.call_ret;
+      break;
+    }
+    case Op::kRet: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp);
+      new_rip = memory_.ReadU64(rsp);
+      cpu_.Set(Reg::kRsp, rsp + 8);
+      cycles_ += model_.call_ret;
+      break;
+    }
+    case Op::kPush: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp) - 8;
+      cpu_.Set(Reg::kRsp, rsp);
+      memory_.WriteU64(rsp, cpu_.Get(in.r0));
+      cycles_ += model_.push_pop;
+      break;
+    }
+    case Op::kPop: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp);
+      cpu_.Set(in.r0, memory_.ReadU64(rsp));
+      cpu_.Set(Reg::kRsp, rsp + 8);
+      cycles_ += model_.push_pop;
+      break;
+    }
+    case Op::kPushf: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp) - 8;
+      cpu_.Set(Reg::kRsp, rsp);
+      memory_.WriteU64(rsp, f.Pack());
+      cycles_ += model_.push_pop;
+      break;
+    }
+    case Op::kPopf: {
+      const uint64_t rsp = cpu_.Get(Reg::kRsp);
+      f.Unpack(memory_.ReadU64(rsp));
+      cpu_.Set(Reg::kRsp, rsp + 8);
+      cycles_ += model_.push_pop;
+      break;
+    }
+    case Op::kHostCall:
+      if (!DoHostCall(static_cast<HostFn>(in.imm), fault)) {
+        return false;
+      }
+      if (halt_) {
+        return true;
+      }
+      break;
+    case Op::kTrap: {
+      const uint8_t code = static_cast<uint8_t>(in.imm & 0xff);
+      const uint32_t arg = static_cast<uint32_t>(static_cast<uint64_t>(in.imm) >> 8);
+      switch (static_cast<TrapCode>(code)) {
+        case TrapCode::kMemError:
+          if (ReportMemError(ErrorArgSite(arg), ErrorArgKind(arg))) {
+            return true;
+          }
+          break;
+        case TrapCode::kProfPass:
+          ++prof_counts_[arg].passes;
+          break;
+        case TrapCode::kProfFail:
+          ++prof_counts_[arg].fails;
+          break;
+        case TrapCode::kAssertFail:
+          halt_ = true;
+          halt_reason_ = HaltReason::kAssertFail;
+          exit_status_ = arg;
+          return true;
+        default:
+          *fault = StrFormat("bad trap code %u", code);
+          return false;
+      }
+      break;
+    }
+    case Op::kCount:
+      ++counters_[static_cast<uint32_t>(in.imm)];
+      break;  // zero cycles: measurement only
+    case Op::kInvalid:
+    case Op::kNumOps:
+      *fault = "invalid opcode";
+      return false;
+  }
+  cpu_.rip = new_rip;
+  return true;
+}
+
+RunResult Vm::Run() {
+  halt_ = false;
+  RunResult res;
+  std::string fault;
+  while (!halt_) {
+    if (instructions_ >= instruction_limit_) {
+      halt_reason_ = HaltReason::kInstrLimit;
+      break;
+    }
+    const Exec* ex = FetchDecode(cpu_.rip, &fault);
+    if (ex == nullptr) {
+      halt_reason_ = HaltReason::kFault;
+      res.fault_message = fault;
+      break;
+    }
+    if (observer_ != nullptr) {
+      cycles_ += observer_->OnInstruction(*this, cpu_.rip, ex->insn);
+      if (halt_) {
+        break;  // observer reported a fatal memory error (Policy::kHarden)
+      }
+    }
+    ++instructions_;
+    if (!ExecuteOne(*ex, &fault)) {
+      halt_reason_ = HaltReason::kFault;
+      res.fault_message = fault;
+      break;
+    }
+  }
+  res.reason = halt_reason_;
+  res.exit_status = exit_status_;
+  res.instructions = instructions_;
+  res.cycles = cycles_;
+  res.explicit_reads = explicit_reads_;
+  res.explicit_writes = explicit_writes_;
+  return res;
+}
+
+}  // namespace redfat

@@ -1,0 +1,211 @@
+// The rvm virtual machine: executes rfi code with deterministic cycle
+// accounting.
+//
+// Cycles are the project's performance currency: every slowdown factor in
+// the reproduced tables is a ratio of cycle counts. The cycle model is a
+// single fixed cost table (CycleModel) applied uniformly to baseline and
+// instrumented runs, so overheads are *emergent* from the extra instructions
+// the instrumentation executes, not assumed.
+#ifndef REDFAT_SRC_VM_VM_H_
+#define REDFAT_SRC_VM_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bin/image.h"
+#include "src/isa/abi.h"
+#include "src/isa/isa.h"
+#include "src/support/rng.h"
+#include "src/vm/allocator.h"
+#include "src/vm/memory.h"
+
+namespace redfat {
+
+struct Flags {
+  bool zf = false;
+  bool sf = false;
+  bool cf = false;
+  bool of = false;
+
+  uint64_t Pack() const {
+    return (zf ? 1u : 0u) | (sf ? 2u : 0u) | (cf ? 4u : 0u) | (of ? 8u : 0u);
+  }
+  void Unpack(uint64_t v) {
+    zf = v & 1;
+    sf = v & 2;
+    cf = v & 4;
+    of = v & 8;
+  }
+};
+
+struct CpuState {
+  uint64_t regs[kNumGprs] = {};
+  uint64_t rip = 0;
+  Flags flags;
+
+  uint64_t Get(Reg r) const { return regs[RegIndex(r)]; }
+  void Set(Reg r, uint64_t v) { regs[RegIndex(r)] = v; }
+};
+
+// The address a memory operand resolves to. `next_rip` anchors rip-relative
+// operands (address of the following instruction, as on x86_64).
+inline uint64_t ComputeEffectiveAddress(const CpuState& cpu, const MemOperand& mem,
+                                        uint64_t next_rip) {
+  uint64_t addr = static_cast<uint64_t>(static_cast<int64_t>(mem.disp));
+  if (mem.base == Reg::kRip) {
+    addr += next_rip;
+  } else if (mem.has_base()) {
+    addr += cpu.Get(mem.base);
+  }
+  if (mem.has_index()) {
+    addr += cpu.Get(mem.index) << mem.scale_log2;
+  }
+  return addr;
+}
+
+// Deterministic per-operation cycle costs. One table for every run.
+struct CycleModel {
+  uint64_t basic = 1;         // ALU / mov / lea / nop
+  uint64_t mem = 3;           // explicit load/store
+  uint64_t mul = 3;           // imul / mulh
+  uint64_t branch = 1;        // jmp / jcc (taken or not)
+  uint64_t call_ret = 2;      // call / ret / indirect jumps
+  uint64_t push_pop = 2;      // push/pop/pushf/popf
+  uint64_t hostcall_base = 30;  // fixed cost of crossing the libc boundary
+  uint64_t membyte_per8 = 1;  // memset/memcpy marginal cost per 8 bytes
+};
+
+enum class HaltReason {
+  kExit,          // guest called exit()
+  kHlt,           // executed hlt
+  kFault,         // decode fault / ud2 / rip into unmapped memory
+  kInstrLimit,    // exceeded the configured instruction budget
+  kMemErrorAbort, // instrumentation reported an error under Policy::kHarden
+  kAssertFail,    // guest self-check failed (workload bug, not a detection)
+};
+
+// What to do when instrumentation reports a memory error (paper §4.2: the
+// error() function aborts for hardening or logs for bug finding).
+enum class Policy { kHarden, kLog };
+
+struct MemErrorReport {
+  uint32_t site = 0;
+  ErrorKind kind = ErrorKind::kBounds;
+  uint64_t rip = 0;
+  uint64_t instruction_index = 0;
+};
+
+struct RunResult {
+  HaltReason reason = HaltReason::kFault;
+  uint64_t exit_status = 0;
+  std::string fault_message;
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  // Explicit memory-operand accesses (load/store/storei) — the population
+  // RedFat instruments. Stack push/pop/call traffic is excluded, as in the
+  // paper's notion of "memory operands".
+  uint64_t explicit_reads = 0;
+  uint64_t explicit_writes = 0;
+};
+
+class Vm;
+
+// Hook for dynamic-binary-instrumentation style baselines (Memcheck): runs
+// before each instruction and returns extra cycles to charge.
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+  virtual uint64_t OnInstruction(Vm& vm, uint64_t addr, const Instruction& insn) = 0;
+};
+
+class Vm {
+ public:
+  explicit Vm(CycleModel model = CycleModel{}) : model_(model) {}
+
+  // Maps all image sections and the stack; sets rip/rsp. Does not clear
+  // profiling/error state (call ResetRunState for that).
+  void LoadImage(const BinaryImage& image);
+
+  void set_allocator(GuestAllocator* a) { allocator_ = a; }
+  void set_observer(ExecObserver* o) { observer_ = o; }
+  void set_policy(Policy p) { policy_ = p; }
+  void set_inputs(std::vector<uint64_t> inputs) {
+    inputs_ = std::move(inputs);
+    input_pos_ = 0;
+  }
+  void set_rng_seed(uint64_t seed) { rng_ = Rng(seed); }
+  void set_instruction_limit(uint64_t limit) { instruction_limit_ = limit; }
+
+  RunResult Run();
+
+  // --- state inspection ----------------------------------------------------
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  const std::vector<uint64_t>& outputs() const { return outputs_; }
+  const std::vector<MemErrorReport>& mem_errors() const { return mem_errors_; }
+  const std::unordered_map<uint32_t, uint64_t>& counters() const { return counters_; }
+  // Profiling events per site: {passes, fails}.
+  struct ProfCounts {
+    uint64_t passes = 0;
+    uint64_t fails = 0;
+  };
+  const std::unordered_map<uint32_t, ProfCounts>& prof_counts() const { return prof_counts_; }
+  const CycleModel& cycle_model() const { return model_; }
+
+  // Reports a memory error on behalf of instrumentation (used both by kTrap
+  // handling and by DBI observers). Returns true if the run must abort.
+  bool ReportMemError(uint32_t site, ErrorKind kind);
+
+  // Charged by observers/allocators for modeled work.
+  void AddCycles(uint64_t c) { cycles_ += c; }
+
+ private:
+  struct Exec {
+    Instruction insn;
+    unsigned length = 0;
+  };
+
+  const Exec* FetchDecode(uint64_t addr, std::string* fault);
+  uint64_t EffectiveAddress(const MemOperand& mem, uint64_t next_rip) const;
+  void SetFlagsLogic(uint64_t result);
+  bool EvalCond(Cond c) const;
+  // Returns false if the run should halt; fills halt info.
+  bool ExecuteOne(const Exec& ex, std::string* fault);
+  bool DoHostCall(HostFn fn, std::string* fault);
+
+  CycleModel model_;
+  Memory memory_;
+  CpuState cpu_;
+  GuestAllocator* allocator_ = nullptr;
+  ExecObserver* observer_ = nullptr;
+  Policy policy_ = Policy::kHarden;
+  Rng rng_{0x5eedULL};
+
+  std::vector<uint64_t> inputs_;
+  size_t input_pos_ = 0;
+  std::vector<uint64_t> outputs_;
+  std::vector<MemErrorReport> mem_errors_;
+  std::unordered_map<uint32_t, uint64_t> counters_;
+  std::unordered_map<uint32_t, ProfCounts> prof_counts_;
+  std::unordered_map<uint64_t, Exec> icache_;
+
+  uint64_t instruction_limit_ = 200'000'000'000ULL;
+  uint64_t instructions_ = 0;
+  uint64_t cycles_ = 0;
+  uint64_t explicit_reads_ = 0;
+  uint64_t explicit_writes_ = 0;
+
+  // Set while executing: halt requested by the current instruction.
+  bool halt_ = false;
+  HaltReason halt_reason_ = HaltReason::kHlt;
+  uint64_t exit_status_ = 0;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_VM_VM_H_

@@ -1,0 +1,52 @@
+#include "src/workloads/builder.h"
+
+#include "src/support/bits.h"
+#include "src/support/check.h"
+
+namespace redfat {
+
+uint64_t ProgramBuilder::AddData(const std::vector<uint8_t>& bytes) {
+  // Keep words naturally aligned.
+  while (data_.size() % 8 != 0) {
+    data_.push_back(0);
+  }
+  const uint64_t addr = data_base_ + data_.size();
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  REDFAT_CHECK(data_base_ + data_.size() < code_base_);
+  return addr;
+}
+
+uint64_t ProgramBuilder::AddDataU64(std::initializer_list<uint64_t> words) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(words.size() * 8);
+  for (uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+    }
+  }
+  return AddData(bytes);
+}
+
+uint64_t ProgramBuilder::AddZeroData(uint64_t size) {
+  return AddData(std::vector<uint8_t>(size, 0));
+}
+
+BinaryImage ProgramBuilder::Finish() {
+  BinaryImage img;
+  img.entry = code_base_;
+  Section text;
+  text.kind = Section::Kind::kText;
+  text.vaddr = code_base_;
+  text.bytes = text_.Finish();
+  img.sections.push_back(std::move(text));
+  if (!data_.empty()) {
+    Section data;
+    data.kind = Section::Kind::kData;
+    data.vaddr = data_base_;
+    data.bytes = std::move(data_);
+    img.sections.push_back(std::move(data));
+  }
+  return img;
+}
+
+}  // namespace redfat

@@ -1,0 +1,57 @@
+// ProgramBuilder: assembles guest "binaries" (text + data sections) for
+// tests, examples and the synthetic workloads.
+#ifndef REDFAT_SRC_WORKLOADS_BUILDER_H_
+#define REDFAT_SRC_WORKLOADS_BUILDER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "src/asm/assembler.h"
+#include "src/bin/image.h"
+
+namespace redfat {
+
+// Data lives below code so both are reachable with 32-bit absolute
+// displacements.
+inline constexpr uint64_t kDataBase = 0x200000;
+
+// Default bases for shared-object images (§7.4): well below the heap, out
+// of the executable's way, within rel32 reach of their own trampolines.
+inline constexpr uint64_t kLibCodeBase = 0x8000000;   // 128 MiB
+inline constexpr uint64_t kLibDataBase = 0x7800000;
+
+class ProgramBuilder {
+ public:
+  // Executable by default; pass kLibCodeBase/kLibDataBase (or any other
+  // non-overlapping pair) to build a shared-object image.
+  explicit ProgramBuilder(uint64_t code_base = kCodeBase, uint64_t data_base = kDataBase)
+      : code_base_(code_base), data_base_(data_base), text_(code_base) {}
+
+  Assembler& text() { return text_; }
+
+  // Reserves/copies bytes in the data section; returns their address.
+  uint64_t AddData(const std::vector<uint8_t>& bytes);
+  uint64_t AddDataU64(std::initializer_list<uint64_t> words);
+  // Zero-initialized block (bss-like).
+  uint64_t AddZeroData(uint64_t size);
+
+  // Emits `hostcall exit(status)`.
+  void EmitExit(int32_t status) {
+    text_.MovRI(Reg::kRdi, static_cast<uint64_t>(status));
+    text_.HostCall(HostFn::kExit);
+  }
+
+  // Finalizes into an image with entry at the start of the text section.
+  BinaryImage Finish();
+
+ private:
+  uint64_t code_base_;
+  uint64_t data_base_;
+  Assembler text_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_WORKLOADS_BUILDER_H_

@@ -1,0 +1,188 @@
+#include "src/workloads/cve.h"
+
+#include "src/heap/lowfat.h"
+#include "src/support/bits.h"
+#include "src/support/check.h"
+#include "src/support/str.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+
+namespace {
+
+// Slot stride for objects of user size `size` under the redzone wrapper.
+uint64_t SlotStride(uint64_t size) {
+  const unsigned c = SizeClassFor(size + kRedzoneSize);
+  REDFAT_CHECK(c != 0);
+  return SizeClassBytes(c);
+}
+
+// Element index (element size `elem`) for a redzone-skipping access: the
+// byte offset is out of the victim's bounds (so pointer-arithmetic checking
+// must flag it) but lands inside a neighboring allocation's live payload
+// under BOTH heap layouts an attacker would face — the low-fat wrapper
+// (slot stride = size class) and the Memcheck allocator (16-byte header +
+// 16-byte redzones around each payload). An attacker aware of the deployed
+// defense crafts exactly such an offset (§7.2).
+uint64_t SkipIndex(uint64_t victim_size, uint64_t elem, unsigned skip, unsigned neighbors) {
+  const uint64_t mc_stride = AlignUp(16 + kRedzoneSize + victim_size + kRedzoneSize, 16);
+  uint64_t offset = skip * SlotStride(victim_size) + 8;  // divisible by every elem
+  const uint64_t limit = offset + 100 * mc_stride;
+  for (; offset < limit; offset += elem) {
+    // Memcheck layout: payload starts 32 bytes into each chunk.
+    const uint64_t q = 32 + offset;
+    const uint64_t chunk = q / mc_stride;
+    const uint64_t rem = q % mc_stride;
+    if (chunk >= 1 && chunk <= neighbors && rem >= 32 && rem + elem <= 32 + victim_size) {
+      return offset / elem;
+    }
+  }
+  REDFAT_FATAL("no evasive offset found");
+}
+
+// Shared overflow scaffold:
+//   p = malloc(size); neighbors x malloc(size); all memset;
+//   i = input(); access p[i] (element size 1<<elem_log2);
+//   reads are output; exit 0.
+BinaryImage BuildOverflowCase(uint64_t size, uint8_t elem_log2, bool write,
+                              bool premultiplied, unsigned neighbors,
+                              bool via_loop = false) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, size);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);  // victim
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.MovRI(Reg::kRsi, 0x41);
+  as.MovRI(Reg::kRdx, size);
+  as.HostCall(HostFn::kMemset);
+  for (unsigned k = 0; k < neighbors; ++k) {
+    as.MovRI(Reg::kRdi, size);
+    as.HostCall(HostFn::kMalloc);
+    as.MovRR(Reg::kRdi, Reg::kRax);
+    as.MovRI(Reg::kRsi, 0x42 + k);
+    as.MovRI(Reg::kRdx, size);
+    as.HostCall(HostFn::kMemset);
+  }
+  as.HostCall(HostFn::kInputU64);
+  as.MovRR(Reg::kR13, Reg::kRax);  // attacker index
+  MemOperand op;
+  if (premultiplied) {
+    if (elem_log2 != 0) {
+      as.ShlI(Reg::kR13, elem_log2);
+    }
+    op = MemBIS(Reg::kR12, Reg::kR13, 0, 0, elem_log2);
+  } else {
+    op = MemBIS(Reg::kR12, Reg::kR13, elem_log2, 0, elem_log2);
+  }
+  // Juliet ships both direct-access and for-loop flavors of each CWE-122
+  // case; the loop variant executes the access from inside a counted loop.
+  Assembler::Label loop{};
+  if (via_loop) {
+    as.MovRI(Reg::kRbx, 0);
+    loop = as.NewLabel();
+    as.Bind(loop);
+  }
+  if (write) {
+    as.MovRI(Reg::kR14, 0x5c);
+    as.Store(Reg::kR14, op);
+  } else {
+    as.Load(Reg::kR14, op);
+    as.MovRR(Reg::kRdi, Reg::kR14);
+    as.HostCall(HostFn::kOutputU64);
+  }
+  if (via_loop) {
+    as.AddI(Reg::kRbx, 1);
+    as.CmpI(Reg::kRbx, 1);
+    as.Jcc(Cond::kUlt, loop);
+  }
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+}  // namespace
+
+std::vector<VulnCase> CveCases() {
+  std::vector<VulnCase> cases;
+
+  // CVE-2007-3476 (php gd): unchecked palette index write, 4-byte elements
+  // into a 1024-byte color table.
+  {
+    VulnCase c;
+    c.name = "CVE-2007-3476 (php)";
+    c.image = BuildOverflowCase(1024, 2, /*write=*/true, /*premultiplied=*/false, 4);
+    c.attack_inputs = {SkipIndex(1024, 4, 1, 4)};
+    c.benign_inputs = {7};
+    c.is_write = true;
+    cases.push_back(std::move(c));
+  }
+  // CVE-2016-1903 (php gd2): out-of-bounds read via crafted chunk offset.
+  {
+    VulnCase c;
+    c.name = "CVE-2016-1903 (php)";
+    c.image = BuildOverflowCase(256, 3, /*write=*/false, /*premultiplied=*/true, 6);
+    c.attack_inputs = {SkipIndex(256, 8, 2, 6)};
+    c.benign_inputs = {3};
+    c.is_write = false;
+    cases.push_back(std::move(c));
+  }
+  // CVE-2012-4295 (wireshark, Fig. 1): in_fmt->m_vc_index_array[speed-1]=0
+  // with attacker-controlled speed; byte elements. speed large enough skips
+  // the redzone entirely.
+  {
+    VulnCase c;
+    c.name = "CVE-2012-4295 (wireshark)";
+    c.image = BuildOverflowCase(32, 0, /*write=*/true, /*premultiplied=*/false, 6);
+    c.attack_inputs = {SkipIndex(32, 1, 2, 6)};  // "speed - 1"
+    c.benign_inputs = {4};
+    c.is_write = true;
+    cases.push_back(std::move(c));
+  }
+  // CVE-2016-2335 (7zip): HFS+ record write at unchecked 2-byte offset.
+  {
+    VulnCase c;
+    c.name = "CVE-2016-2335 (7zip)";
+    c.image = BuildOverflowCase(112, 1, /*write=*/true, /*premultiplied=*/true, 4);
+    c.attack_inputs = {SkipIndex(112, 2, 1, 4)};
+    c.benign_inputs = {20};
+    c.is_write = true;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+std::vector<VulnCase> JulietCwe122Cases() {
+  std::vector<VulnCase> cases;
+  const uint64_t sizes[] = {24, 64, 112, 256, 1024};
+  for (uint8_t elem_log2 = 0; elem_log2 <= 3; ++elem_log2) {
+    for (bool write : {false, true}) {
+      for (bool premultiplied : {false, true}) {
+        for (bool via_loop : {false, true}) {
+          for (uint64_t size : sizes) {
+            for (unsigned skip : {1u, 2u, 3u}) {
+              VulnCase c;
+              const uint64_t elem = uint64_t{1} << elem_log2;
+              const unsigned neighbors = 2 * skip + 2;
+              c.name = StrFormat("CWE122_s%llu_e%llu_%s_%s_%s_k%u",
+                                 static_cast<unsigned long long>(size),
+                                 static_cast<unsigned long long>(elem),
+                                 write ? "write" : "read",
+                                 premultiplied ? "pre" : "idx",
+                                 via_loop ? "loop" : "direct", skip);
+              c.image =
+                  BuildOverflowCase(size, elem_log2, write, premultiplied, neighbors, via_loop);
+              c.attack_inputs = {SkipIndex(size, elem, skip, neighbors)};
+              c.benign_inputs = {1};
+              c.is_write = write;
+              cases.push_back(std::move(c));
+            }
+          }
+        }
+      }
+    }
+  }
+  REDFAT_CHECK(cases.size() == 480);
+  return cases;
+}
+
+}  // namespace redfat

@@ -1,0 +1,42 @@
+// Non-incremental overflow cases (Table 2).
+//
+// Four real-world CVE models and a generated 480-case Juliet-like CWE-122
+// (heap buffer overflow) suite. Every case allocates a victim object plus
+// adjacent heap objects and performs an access at an attacker-controlled
+// index. The attack index is chosen to *skip over* the victim's redzone and
+// land inside a neighboring allocation's live payload — undetectable for
+// redzone-only checkers (Memcheck), detectable for pointer-arithmetic
+// checking (RedFat's LowFat component).
+//
+// Each case also carries a benign input under which the access is in
+// bounds, used to verify the hardened binary does not false-positive.
+#ifndef REDFAT_SRC_WORKLOADS_CVE_H_
+#define REDFAT_SRC_WORKLOADS_CVE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bin/image.h"
+
+namespace redfat {
+
+struct VulnCase {
+  std::string name;
+  BinaryImage image;
+  std::vector<uint64_t> attack_inputs;
+  std::vector<uint64_t> benign_inputs;
+  bool is_write = true;
+};
+
+// CVE-2007-3476 (php gd), CVE-2016-1903 (php gd2), CVE-2012-4295
+// (wireshark, Fig. 1), CVE-2016-2335 (7zip).
+std::vector<VulnCase> CveCases();
+
+// 480 generated CWE-122 heap-overflow variants: element size {1,2,4,8} x
+// {read,write} x {scaled-index, premultiplied-index} x 5 object sizes x
+// 3 skip distances.
+std::vector<VulnCase> JulietCwe122Cases();
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_WORKLOADS_CVE_H_

@@ -1,0 +1,65 @@
+#include "src/workloads/kraken.h"
+
+namespace redfat {
+
+namespace {
+
+// Kernel behaviour classes. Under write-only hardening, overhead tracks the
+// density of heap *writes*; crypto kernels are register-arithmetic bound,
+// image filters are write-streams, ai-astar chases pointers (reads).
+SynthParams Kernel(uint64_t seed, unsigned mem, unsigned stream, unsigned write,
+                   unsigned max_acc) {
+  SynthParams p;
+  p.seed = seed;
+  p.num_objects = 8;
+  p.min_object_bytes = 128;
+  p.max_object_bytes = 2048;
+  p.mem_pct = mem;
+  p.stream_pct = stream;
+  p.global_pct = 6;
+  p.call_pct = 6;
+  p.write_pct = write;
+  p.max_accesses_per_ptr = max_acc;
+  // Long blocks keep the unit mix statistically stable per kernel.
+  p.block_len = 120;
+  // The Chrome stand-in: lots of never-executed but fully instrumented code.
+  p.filler_funcs = 500;
+  p.filler_units_per_func = 10;
+  return p;
+}
+
+std::vector<KrakenBenchmark> BuildSuite() {
+  std::vector<KrakenBenchmark> s;
+  uint64_t seed = 0xc401;
+  auto add = [&](const char* name, SynthParams p, uint64_t iters = 1500) {
+    s.push_back(KrakenBenchmark{name, p, iters});
+  };
+  add("ai-astar", Kernel(seed++, 30, 2, 6, 2));                // read-heavy search
+  add("audio-beat-detection", Kernel(seed++, 16, 4, 18, 4));
+  add("audio-dft", Kernel(seed++, 12, 2, 8, 6));
+  add("audio-fft", Kernel(seed++, 12, 3, 15, 6));
+  add("audio-oscillator", Kernel(seed++, 14, 4, 22, 4));
+  add("imaging-gaussian-blur", Kernel(seed++, 18, 10, 55, 8));  // write streams
+  add("imaging-darkroom", Kernel(seed++, 16, 8, 40, 8));
+  add("imaging-desaturate", Kernel(seed++, 16, 12, 60, 6));
+  add("json-parse-financial", Kernel(seed++, 18, 3, 10, 3));
+  add("json-stringify-tinderbox", Kernel(seed++, 16, 3, 12, 3));
+  add("crypto-aes", Kernel(seed++, 8, 2, 15, 2));              // ALU bound
+  add("crypto-ccm", Kernel(seed++, 8, 2, 15, 2));
+  add("crypto-pbkdf2", Kernel(seed++, 5, 1, 12, 2));
+  add("crypto-sha256-iterative", Kernel(seed++, 5, 1, 12, 2));
+  return s;
+}
+
+}  // namespace
+
+const std::vector<KrakenBenchmark>& KrakenSuite() {
+  static const std::vector<KrakenBenchmark> suite = BuildSuite();
+  return suite;
+}
+
+BinaryImage BuildKrakenBenchmark(const KrakenBenchmark& bench) {
+  return GenerateSynthProgram(bench.params);
+}
+
+}  // namespace redfat

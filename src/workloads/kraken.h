@@ -1,0 +1,31 @@
+// The Chrome/Kraken scalability workload (Fig. 8).
+//
+// Fourteen kernels named after the Kraken browser-benchmark tests, embedded
+// in deliberately large binaries (hundreds of unreachable-but-instrumented
+// filler functions stand in for the ~149 MB Chrome image: they cost rewrite
+// work and trampoline space, not runtime). Hardened with write-only
+// checking, as in the paper's Chrome experiment.
+#ifndef REDFAT_SRC_WORKLOADS_KRAKEN_H_
+#define REDFAT_SRC_WORKLOADS_KRAKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bin/image.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+
+struct KrakenBenchmark {
+  std::string name;
+  SynthParams params;
+  uint64_t iters = 1500;
+};
+
+const std::vector<KrakenBenchmark>& KrakenSuite();
+
+BinaryImage BuildKrakenBenchmark(const KrakenBenchmark& bench);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_WORKLOADS_KRAKEN_H_

@@ -1,0 +1,136 @@
+#include "src/workloads/spec.h"
+
+namespace redfat {
+
+namespace {
+
+// One row per benchmark. The dials encode each program's memory-behaviour
+// class, chosen so the *mechanisms* behind its Table-1 row are present:
+//   mem      % of single/struct heap-access units (drives base overhead)
+//   stream   % of stencil inner-loop units (drives +batch/+merge gains)
+//   unroll   same-shape accesses per stencil iteration (merge fodder)
+//   maxacc   accesses per loaded pointer in struct units (batch fodder)
+//   write    % of heap accesses that are writes (drives the -reads column)
+//   indexed  % of struct-unit tails using index registers
+//   refonly  % of heap/stream units gated to the ref input (coverage gaps)
+//   antipct  % of heap units routed through anti-idiom sites (FP coverage)
+//   churn    % of free+malloc units (allocator-heavy C++ codes)
+struct RowSpec {
+  const char* name;
+  Lang lang;
+  unsigned mem, stream, unroll, maxacc, write, indexed, refonly, antipct;
+  unsigned anti_sites;
+  unsigned churn;
+  unsigned split;    // split-base % (merge resistance of multi-access units)
+  unsigned globals;  // % of global/stack-spill units (elimination fodder)
+  uint64_t ref_iters;
+  unsigned underflow_bugs = 0;
+  unsigned overflow_bugs = 0;
+  double paper_cov = 0.0;
+};
+
+constexpr RowSpec kRows[] = {
+    // name       lang      mem str unr acc wr idx ref anti st ch spl glb ref_it bugs
+    {"perlbench", Lang::kC, 68, 2, 4, 4, 22, 70, 8, 3, 1, 2, 95, 8, 900, 0, 0, 0.889},
+    {"bzip2", Lang::kC, 36, 4, 3, 3, 26, 50, 3, 0, 0, 0, 75, 8, 1100, 0, 0, 0.970},
+        {"gcc", Lang::kC, 44, 2, 4, 2, 28, 50, 26, 8, 14, 1, 70, 10, 800, 0, 0, 0.660},
+    {"mcf", Lang::kC, 18, 2, 4, 2, 8, 70, 1, 0, 0, 0, 70, 8, 900, 0, 0, 0.987},
+    {"gobmk", Lang::kC, 30, 2, 4, 2, 22, 50, 10, 2, 1, 0, 65, 10, 1100, 0, 0, 0.907},
+        {"hmmer", Lang::kC, 75, 3, 3, 3, 14, 95, 54, 0, 0, 0, 95, 4, 900, 0, 0, 0.480},
+    {"sjeng", Lang::kC, 42, 2, 4, 2, 20, 50, 1, 0, 0, 0, 65, 10, 1200, 0, 0, 0.986},
+        {"libquantum", Lang::kC, 7, 7, 1, 1, 18, 40, 0, 0, 0, 0, 20, 8, 1000, 0, 0, 1.000},
+    {"h264ref", Lang::kC, 58, 3, 4, 4, 10, 60, 85, 0, 0, 0, 70, 6, 1100, 0, 0, 0.200},
+        {"omnetpp", Lang::kCpp, 26, 2, 4, 3, 25, 50, 40, 0, 0, 8, 60, 8, 1000, 0, 0, 0.628},
+    {"astar", Lang::kCpp, 14, 2, 4, 2, 16, 60, 0, 0, 0, 1, 55, 8, 1100, 0, 0, 0.997},
+    {"xalancbmk", Lang::kCpp, 58, 2, 4, 3, 8, 50, 24, 0, 0, 4, 90, 6, 700, 0, 0, 0.789},
+    {"milc", Lang::kC, 5, 10, 10, 6, 22, 30, 1, 0, 0, 0, 0, 6, 1300, 0, 0, 0.994},
+        {"lbm", Lang::kC, 2, 6, 16, 8, 22, 20, 1, 0, 0, 0, 0, 4, 800, 0, 0, 0.988},
+    {"sphinx3", Lang::kC, 50, 3, 3, 3, 4, 80, 0, 0, 0, 0, 95, 6, 1300, 0, 0, 0.995},
+    {"namd", Lang::kCpp, 6, 7, 7, 6, 19, 30, 0, 0, 0, 0, 5, 10, 1000, 0, 0, 1.000},
+    {"dealII", Lang::kCpp, 55, 2, 4, 3, 18, 50, 20, 0, 0, 4, 85, 8, 800, 0, 0, 0.817},
+    {"soplex", Lang::kCpp, 20, 4, 4, 4, 22, 40, 4, 0, 0, 2, 55, 8, 700, 0, 0, 0.964},
+    {"povray", Lang::kCpp, 50, 2, 4, 3, 14, 50, 0, 1, 1, 1, 70, 6, 500, 0, 0, 0.999},
+    {"bwaves", Lang::kFortran, 55, 4, 3, 4, 6, 40, 14, 4, 5, 0, 75, 6, 1000, 0, 0, 0.852},
+    {"gamess", Lang::kFortran, 36, 4, 4, 4, 30, 40, 57, 0, 0, 0, 45, 12, 1800, 0, 0, 0.430},
+        {"zeusmp", Lang::kFortran, 6, 8, 6, 5, 35, 30, 70, 0, 0, 0, 5, 15, 1000, 0, 0, 0.232},
+        {"gromacs", Lang::kFortran, 7, 10, 7, 6, 25, 30, 14, 4, 3, 0, 5, 28, 800, 0, 0, 0.833},
+    {"cactusADM", Lang::kFortran, 6, 8, 8, 6, 12, 30, 0, 0, 0, 0, 0, 40, 1300, 0, 0, 0.999},
+        {"leslie3d", Lang::kFortran, 75, 2, 3, 3, 28, 90, 0, 0, 0, 0, 95, 4, 800, 0, 0, 1.000},
+    {"calculix", Lang::kFortran, 38, 3, 4, 3, 7, 50, 69, 3, 2, 0, 80, 8, 1900, 4, 0, 0.287},
+    {"GemsFDTD", Lang::kFortran, 46, 5, 4, 4, 29, 50, 0, 1, 32, 0, 60, 6, 1000, 0, 0, 0.987},
+        {"tonto", Lang::kFortran, 22, 5, 4, 4, 32, 40, 5, 0, 0, 0, 20, 12, 1300, 0, 0, 0.950},
+    {"wrf", Lang::kFortran, 58, 3, 4, 4, 27, 50, 71, 10, 26, 0, 85, 6, 1200, 0, 1, 0.270},
+};
+
+std::vector<SpecBenchmark> BuildSuite() {
+  std::vector<SpecBenchmark> suite;
+  uint64_t seed = 0x5bec0001;
+  for (const RowSpec& r : kRows) {
+    SynthParams p;
+    p.seed = seed++;
+    // Enough units per iteration that each benchmark's access mix is
+    // statistically stable (avoids zero-write-site degeneracies).
+    p.block_len = 80;
+    switch (r.lang) {
+      case Lang::kC:
+        p.num_objects = 10;
+        p.min_object_bytes = 64;
+        p.max_object_bytes = 1024;
+        p.global_pct = 10;
+        p.call_pct = 8;
+        break;
+      case Lang::kCpp:
+        p.num_objects = 12;
+        p.min_object_bytes = 32;
+        p.max_object_bytes = 512;
+        p.global_pct = 8;
+        p.call_pct = 12;
+        break;
+      case Lang::kFortran:
+        p.num_objects = 8;
+        p.min_object_bytes = 256;
+        p.max_object_bytes = 4096;
+        p.global_pct = 5;
+        p.call_pct = 4;
+        break;
+    }
+    p.mem_pct = r.mem;
+    p.stream_pct = r.stream;
+    p.stencil_unroll = r.unroll;
+    p.max_accesses_per_ptr = r.maxacc;
+    p.write_pct = r.write;
+    p.indexed_pct = r.indexed;
+    p.ref_only_pct = r.refonly;
+    p.anti_idiom_pct = r.antipct;
+    p.anti_idiom_sites = r.anti_sites;
+    p.churn_pct = r.churn;
+    p.split_base_pct = r.split;
+    p.global_pct = r.globals;
+    p.underflow_bug_sites = r.underflow_bugs;
+    p.overflow_bug_sites = r.overflow_bugs;
+
+    SpecBenchmark b;
+    b.name = r.name;
+    b.lang = r.lang;
+    b.params = p;
+    b.train_iters = 400;
+    b.ref_iters = r.ref_iters;
+    b.paper_fp_sites = r.anti_sites;
+    b.paper_coverage = r.paper_cov;
+    suite.push_back(b);
+  }
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<SpecBenchmark>& SpecSuite() {
+  static const std::vector<SpecBenchmark> suite = BuildSuite();
+  return suite;
+}
+
+BinaryImage BuildSpecBenchmark(const SpecBenchmark& bench) {
+  return GenerateSynthProgram(bench.params);
+}
+
+}  // namespace redfat

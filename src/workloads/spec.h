@@ -1,0 +1,47 @@
+// The synthetic SPEC CPU2006 suite (Table 1 substrate).
+//
+// One generated program per SPEC benchmark name. The per-benchmark
+// parameters encode each program's *memory behaviour class* (integer
+// pointer-chasers, C++ allocation-churners, Fortran stencil kernels), its
+// anti-idiom site count (taken from the paper's reported false positives —
+// these are inputs to the generator; whether they produce FPs, coverage
+// loss and allow-list exclusions is up to the system under test), its
+// train-coverage gap, and its latent real bugs (calculix/wrf).
+//
+// Each program reads inputs[0] = outer iterations and inputs[1] = mode, so
+// the same binary serves the train (profiling) and ref (measurement) runs,
+// as in the paper's workflow.
+#ifndef REDFAT_SRC_WORKLOADS_SPEC_H_
+#define REDFAT_SRC_WORKLOADS_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bin/image.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+
+enum class Lang { kC, kCpp, kFortran };
+
+struct SpecBenchmark {
+  std::string name;
+  Lang lang = Lang::kC;
+  SynthParams params;
+  uint64_t train_iters = 400;
+  uint64_t ref_iters = 3000;
+  // Expected false-positive site count under full-on checking (§7.1), used
+  // only for reporting alongside measured values.
+  unsigned paper_fp_sites = 0;
+  double paper_coverage = 0.0;  // Table 1 coverage column, for reference
+};
+
+// All 29 benchmarks in Table 1 order.
+const std::vector<SpecBenchmark>& SpecSuite();
+
+// Generates the benchmark's binary (deterministic per benchmark).
+BinaryImage BuildSpecBenchmark(const SpecBenchmark& bench);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_WORKLOADS_SPEC_H_

@@ -1,0 +1,94 @@
+// Synthetic workload generator.
+//
+// Generates deterministic guest programs that exercise the instrumentation
+// the way compiled C/C++/Fortran does: heap objects accessed through
+// base+index*scale+disp operands, tight inner loops, global/stack traffic,
+// helper calls (direct and through function-pointer tables), allocator
+// churn — and, optionally, the `(array - K)[i]` anti-idiom responsible for
+// the paper's false positives, plus input-gated blocks that model code paths
+// only reached by the `ref` workload (train-coverage gaps).
+//
+// Properties relied on by the experiments:
+//   * all accesses are in-bounds (no real memory errors), so any report is
+//     a false positive by construction — except anti-idiom sites, which are
+//     valid accesses that always fail the LowFat component (§5 hypothesis);
+//   * output (a checksum) is allocator-independent: pointer values never
+//     flow into it and memory is deterministically initialized, so baseline
+//     and hardened runs must produce identical outputs;
+//   * the same binary serves train and ref: iteration count and a mode word
+//     are runtime inputs (inputs[0] = outer iterations, inputs[1] = mode
+//     bits; bit 0 enables the ref-only blocks).
+#ifndef REDFAT_SRC_WORKLOADS_SYNTH_H_
+#define REDFAT_SRC_WORKLOADS_SYNTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bin/image.h"
+
+namespace redfat {
+
+struct SynthParams {
+  uint64_t seed = 1;
+
+  // Heap shape.
+  unsigned num_objects = 8;
+  uint64_t min_object_bytes = 64;    // rounded to 8
+  uint64_t max_object_bytes = 1024;
+
+  // Program shape: one outer loop (trip count = inputs[0]) whose body is
+  // `block_len` generated units.
+  unsigned block_len = 40;
+  unsigned num_helpers = 3;  // helper functions (direct + indirect calls)
+
+  // Unit mix, in percent (the remainder is register arithmetic).
+  unsigned mem_pct = 30;      // single heap load/store units
+  unsigned stream_pct = 4;    // stencil inner-loop units (lbm/milc-like)
+  unsigned stencil_unroll = 4;  // same-shape accesses per stencil iteration
+  unsigned global_pct = 8;    // absolute/stack operands (eliminable)
+  unsigned call_pct = 6;      // helper call units
+  unsigned churn_pct = 0;     // free+malloc+memset units
+
+  // Of heap mem units: writes vs reads, indexed vs disp-only addressing.
+  unsigned write_pct = 50;
+  unsigned indexed_pct = 60;
+  // Accesses emitted per loaded object pointer, 1..max (struct-field /
+  // stencil patterns: the fodder for check batching and merging, Fig. 6).
+  unsigned max_accesses_per_ptr = 3;
+  // % of multi-access units that split their accesses across a second,
+  // derived base register: still batchable, but not mergeable (different
+  // operand shape). Models pointer-chasing integer code where consecutive
+  // accesses rarely share a base (perlbench) vs. stencils that do (lbm).
+  unsigned split_base_pct = 0;
+
+  // Dead weight: unreachable-but-instrumented functions, to scale the
+  // binary (the Chrome experiment). Costs rewrite work, not runtime.
+  unsigned filler_funcs = 0;
+  unsigned filler_units_per_func = 6;
+
+  // Latent real bugs (§7.1 "Detected errors"): executed once, outside the
+  // loop; reads whose result does NOT flow into the checksum.
+  unsigned underflow_bug_sites = 0;  // array[-1]-style redzone read
+  unsigned overflow_bug_sites = 0;   // one-past-the-end read
+
+  // False-positive machinery.
+  unsigned anti_idiom_sites = 0;  // distinct always-FP access sites
+  unsigned anti_idiom_pct = 0;    // % of heap mem units routed through them
+
+  // Train-coverage gaps: % of units wrapped in a mode-gated block only
+  // executed when inputs[1] bit 0 is set (the "ref" input).
+  unsigned ref_only_pct = 0;
+
+  // Branchy control flow: every `branch_every` units, fork on a mode bit.
+  unsigned branch_every = 8;
+};
+
+BinaryImage GenerateSynthProgram(const SynthParams& params);
+
+// Canonical inputs for the two-phase workflow.
+std::vector<uint64_t> TrainInputs(uint64_t iters);  // mode bit 0 clear
+std::vector<uint64_t> RefInputs(uint64_t iters);    // mode bit 0 set
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_WORKLOADS_SYNTH_H_

@@ -1,0 +1,178 @@
+// Adversarial allocator stress: long random alloc/free interleavings with a
+// host-side model of the live set, verifying the low-fat invariants, the
+// redzone wrapper's metadata, quarantine behaviour, and fallback boundaries.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/heap/legacy_heap.h"
+#include "src/heap/lowfat.h"
+#include "src/heap/redfat_allocator.h"
+#include "src/heap/shadow_allocator.h"
+#include "src/support/rng.h"
+
+namespace redfat {
+namespace {
+
+TEST(LowFatStress, LiveSlotsNeverOverlap) {
+  LowFatHeap heap(8);
+  Rng rng(0x57e55);
+  std::map<uint64_t, uint64_t> live;  // slot -> slot end
+  for (int i = 0; i < 20000; ++i) {
+    if (live.empty() || rng.Chance(3, 5)) {
+      const uint64_t want =
+          rng.Chance(1, 10) ? rng.Range(513, 64 << 10) : rng.Range(1, 512);
+      const uint64_t slot = heap.Alloc(want);
+      ASSERT_NE(slot, 0u);
+      const uint64_t size = LowFatSize(slot);
+      ASSERT_GE(size, want);
+      // No overlap with any live slot.
+      auto next = live.lower_bound(slot);
+      if (next != live.end()) {
+        ASSERT_LE(slot + size, next->first);
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->second, slot);
+      }
+      live[slot] = slot + size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      heap.Free(it->first);
+      live.erase(it);
+    }
+  }
+  EXPECT_EQ(heap.stats().live_slots, live.size());
+}
+
+TEST(LowFatStress, QuarantineNeverHandsBackRecentFrees) {
+  constexpr unsigned kQuarantine = 16;
+  LowFatHeap heap(kQuarantine);
+  Rng rng(0xdead);
+  std::vector<uint64_t> recent;  // last kQuarantine frees
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t slot = heap.Alloc(48);
+    for (uint64_t r : recent) {
+      ASSERT_NE(slot, r) << "slot reused while quarantined";
+    }
+    if (rng.Chance(4, 5)) {
+      heap.Free(slot);
+      recent.push_back(slot);
+      if (recent.size() > kQuarantine) {
+        recent.erase(recent.begin());
+      }
+    }
+  }
+}
+
+TEST(RedFatAllocatorStress, MetadataAlwaysTracksLiveSet) {
+  Memory mem;
+  RedFatAllocator alloc;
+  Rng rng(0xa110c);
+  std::map<uint64_t, uint64_t> live;  // ptr -> size
+  for (int i = 0; i < 10000; ++i) {
+    if (live.empty() || rng.Chance(3, 5)) {
+      const uint64_t size = rng.Range(1, 2000);
+      const uint64_t p = alloc.Malloc(mem, size).ptr;
+      ASSERT_NE(p, 0u);
+      live[p] = size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      alloc.Free(mem, it->first);
+      ASSERT_EQ(mem.ReadU64(it->first - kRedzoneSize), 0u) << "freed metadata";
+      live.erase(it);
+    }
+    // Every live object's metadata equals its malloc size.
+    if (i % 500 == 0) {
+      for (const auto& [p, size] : live) {
+        ASSERT_EQ(mem.ReadU64(p - kRedzoneSize), size);
+      }
+    }
+  }
+}
+
+TEST(RedFatAllocatorStress, FallbackBoundary) {
+  Memory mem;
+  RedFatAllocator alloc;
+  // Largest low-fat-servable payload: kMaxLowFatSize - 16.
+  const uint64_t p1 = alloc.Malloc(mem, kMaxLowFatSize - kRedzoneSize).ptr;
+  ASSERT_NE(p1, 0u);
+  EXPECT_NE(LowFatSize(p1), 0u);
+  EXPECT_EQ(alloc.fallback_allocs(), 0u);
+  // One byte more: legacy fallback, non-fat.
+  const uint64_t p2 = alloc.Malloc(mem, kMaxLowFatSize - kRedzoneSize + 1).ptr;
+  ASSERT_NE(p2, 0u);
+  EXPECT_EQ(LowFatSize(p2), 0u);
+  EXPECT_EQ(alloc.fallback_allocs(), 1u);
+  alloc.Free(mem, p1);
+  alloc.Free(mem, p2);
+}
+
+TEST(RedFatAllocatorStress, ZeroByteMalloc) {
+  Memory mem;
+  RedFatAllocator alloc;
+  const uint64_t p = alloc.Malloc(mem, 0).ptr;
+  ASSERT_NE(p, 0u);
+  EXPECT_EQ(mem.ReadU64(p - kRedzoneSize), 0u) << "SIZE 0 stored...";
+  // ...which doubles as the Free encoding: any dereference of a zero-byte
+  // object is out of bounds by definition, exactly what the check enforces.
+  alloc.Free(mem, p);
+}
+
+TEST(LegacyHeapStress, ChunkReuseRespectsSizeBuckets) {
+  Memory mem;
+  LegacyHeap heap;
+  Rng rng(0x1e6ac);
+  std::map<uint64_t, uint64_t> live;
+  for (int i = 0; i < 8000; ++i) {
+    if (live.empty() || rng.Chance(1, 2)) {
+      const uint64_t size = rng.Range(1, 4096);
+      const uint64_t p = heap.Alloc(mem, size);
+      ASSERT_NE(p, 0u);
+      ASSERT_EQ(p % 16, 0u);
+      ASSERT_TRUE(heap.IsLive(p));
+      auto next = live.lower_bound(p);
+      if (next != live.end()) {
+        ASSERT_LE(p + size, next->first) << "payload overlaps next chunk";
+      }
+      live[p] = size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      heap.Free(it->first);
+      live.erase(it);
+    }
+  }
+}
+
+TEST(ShadowAllocatorStress, ShadowConsistentWithLiveSet) {
+  Memory mem;
+  ShadowRedFatAllocator alloc;
+  Rng rng(0x5ade);
+  std::map<uint64_t, uint64_t> live;
+  auto shadow_at = [&](uint64_t a) { return mem.Read(kGuestShadowBase + (a >> 3), 1); };
+  for (int i = 0; i < 4000; ++i) {
+    if (live.empty() || rng.Chance(3, 5)) {
+      const uint64_t size = rng.Range(8, 512) & ~7ull;  // granule-aligned
+      const uint64_t p = alloc.Malloc(mem, size).ptr;
+      ASSERT_NE(p, 0u);
+      live[p] = size;
+      ASSERT_EQ(shadow_at(p), 0u);
+      ASSERT_EQ(shadow_at(p + size - 1), 0u);
+      ASSERT_EQ(shadow_at(p - 8), static_cast<uint64_t>(GuestShadow::kRedzone));
+      ASSERT_EQ(shadow_at(p + size), static_cast<uint64_t>(GuestShadow::kRedzone));
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Below(live.size())));
+      alloc.Free(mem, it->first);
+      ASSERT_EQ(shadow_at(it->first), static_cast<uint64_t>(GuestShadow::kFreed));
+      live.erase(it);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,219 @@
+// White-box tests of the check code generator: decode the emitted
+// trampoline payloads and verify their structure (saves, counters, traps,
+// configuration effects) instruction by instruction.
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/core/codegen.h"
+#include "src/core/plan.h"
+#include "src/rw/liveness.h"
+
+namespace redfat {
+namespace {
+
+std::vector<Instruction> Disassemble(const std::vector<uint8_t>& bytes) {
+  std::vector<Instruction> out;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    Result<Decoded> d = Decode(bytes.data() + off, bytes.size() - off);
+    EXPECT_TRUE(d.ok()) << d.error();
+    if (!d.ok()) {
+      break;
+    }
+    out.push_back(d.value().insn);
+    off += d.value().length;
+  }
+  return out;
+}
+
+PlannedTrampoline OneCheck(CheckKind kind, MemOperand mem, uint32_t len = 8,
+                           bool is_write = true) {
+  PlannedCheck check;
+  check.mem = mem;
+  check.access_len = len;
+  check.kind = kind;
+  check.is_write = is_write;
+  check.member_sites = {7};
+  check.anchor_next = kCodeBase + 32;
+  PlannedTrampoline tramp;
+  tramp.addr = kCodeBase + 23;
+  tramp.checks.push_back(check);
+  return tramp;
+}
+
+std::vector<Instruction> Emit(const PlannedTrampoline& tramp, const ClobberInfo& clobbers,
+                              const RedFatOptions& opts) {
+  Assembler as(kTrampolineBase);
+  EmitTrampolinePayload(as, tramp, clobbers, opts);
+  return Disassemble(as.Finish());
+}
+
+size_t CountOp(const std::vector<Instruction>& insns, Op op) {
+  size_t n = 0;
+  for (const Instruction& in : insns) {
+    if (in.op == op) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Codegen, CounterPerMemberSite) {
+  PlannedTrampoline tramp = OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 8));
+  tramp.checks[0].member_sites = {3, 9, 12};
+  const auto insns = Emit(tramp, ClobberInfo{}, RedFatOptions{});
+  ASSERT_GE(insns.size(), 3u);
+  EXPECT_EQ(CountOp(insns, Op::kCount), 3u);
+  EXPECT_EQ(insns[0].op, Op::kCount);
+  EXPECT_EQ(insns[0].imm, 3);
+  EXPECT_EQ(insns[2].imm, 12);
+}
+
+TEST(Codegen, NoClobbersMeansFourSavesPlusFlags) {
+  const auto insns =
+      Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, RedFatOptions{});
+  EXPECT_EQ(CountOp(insns, Op::kPush), 4u);
+  EXPECT_EQ(CountOp(insns, Op::kPop), 4u);
+  EXPECT_EQ(CountOp(insns, Op::kPushf), 1u);
+  EXPECT_EQ(CountOp(insns, Op::kPopf), 1u);
+  // Red-zone hop: lea rsp, ±128.
+  EXPECT_EQ(CountOp(insns, Op::kLea), 1u + 2u);  // LB lea + 2 rsp hops
+}
+
+TEST(Codegen, DeadRegistersSkipSaves) {
+  ClobberInfo clobbers;
+  clobbers.dead_regs = {Reg::kRax, Reg::kRcx, Reg::kRdx, Reg::kRsi};
+  clobbers.flags_dead = true;
+  const auto insns =
+      Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), clobbers, RedFatOptions{});
+  EXPECT_EQ(CountOp(insns, Op::kPush), 0u);
+  EXPECT_EQ(CountOp(insns, Op::kPushf), 0u);
+  EXPECT_EQ(CountOp(insns, Op::kLea), 1u);  // no rsp hops either
+}
+
+TEST(Codegen, ClobberAnalysisDisabledIgnoresDeadRegs) {
+  ClobberInfo clobbers;
+  clobbers.dead_regs = {Reg::kRax, Reg::kRcx, Reg::kRdx, Reg::kRsi};
+  clobbers.flags_dead = true;
+  RedFatOptions opts;
+  opts.clobber_analysis = false;
+  const auto insns = Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), clobbers, opts);
+  EXPECT_EQ(CountOp(insns, Op::kPush), 4u);
+  EXPECT_EQ(CountOp(insns, Op::kPushf), 1u);
+}
+
+TEST(Codegen, ScratchNeverAliasesOperandRegisters) {
+  // Operand uses rax/rcx; with rax..rsi "dead", scratch must skip them.
+  ClobberInfo clobbers;
+  clobbers.dead_regs = {Reg::kRax, Reg::kRcx, Reg::kRdx, Reg::kRbx};
+  const MemOperand mem = MemBIS(Reg::kRax, Reg::kRcx, 3, 0);
+  const auto insns = Emit(OneCheck(CheckKind::kFull, mem), clobbers, RedFatOptions{});
+  // Every register *written* by the payload (mov/load/lea/shr dst) must be
+  // neither rax nor rcx (nor rsp).
+  std::vector<Reg> written;
+  for (const Instruction& in : insns) {
+    RegsWritten(in, &written);
+    for (Reg r : written) {
+      if (in.op == Op::kPush || in.op == Op::kPop || in.op == Op::kPushf ||
+          in.op == Op::kPopf) {
+        continue;  // rsp bookkeeping
+      }
+      EXPECT_NE(r, Reg::kRax) << ToString(in);
+      EXPECT_NE(r, Reg::kRcx) << ToString(in);
+    }
+  }
+}
+
+TEST(Codegen, RedzoneOnlySkipsPointerPath) {
+  const auto full =
+      Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, RedFatOptions{});
+  const auto rz = Emit(OneCheck(CheckKind::kRedzoneOnly, MemAt(Reg::kRbx, 0)), ClobberInfo{},
+                       RedFatOptions{});
+  EXPECT_LT(rz.size(), full.size()) << "redzone-only must be a shorter body";
+}
+
+TEST(Codegen, SizeHardeningAddsCompare) {
+  RedFatOptions with;
+  RedFatOptions without;
+  without.size_hardening = false;
+  const auto a = Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, with);
+  const auto b =
+      Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, without);
+  EXPECT_GT(a.size(), b.size());
+  // The hardening trap (kind kMeta) appears only with hardening on.
+  bool meta_trap = false;
+  for (const Instruction& in : a) {
+    if (in.op == Op::kTrap &&
+        ErrorArgKind(static_cast<uint32_t>(static_cast<uint64_t>(in.imm) >> 8)) ==
+            ErrorKind::kMeta) {
+      meta_trap = true;
+    }
+  }
+  EXPECT_TRUE(meta_trap);
+}
+
+TEST(Codegen, MergedUbUsesFewerBranches) {
+  RedFatOptions merged;
+  RedFatOptions separate;
+  separate.merged_ub = false;
+  const auto a = Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, merged);
+  const auto b =
+      Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, separate);
+  EXPECT_LT(CountOp(a, Op::kJcc), CountOp(b, Op::kJcc))
+      << "the u32-underflow trick removes conditional branches (§4.2)";
+}
+
+TEST(Codegen, ProfileModeEmitsProfTrapsNotErrors) {
+  RedFatOptions opts = RedFatOptions::Profile();
+  const auto insns = Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, opts);
+  size_t pass = 0;
+  size_t fail = 0;
+  size_t err = 0;
+  for (const Instruction& in : insns) {
+    if (in.op != Op::kTrap) {
+      continue;
+    }
+    switch (static_cast<TrapCode>(in.imm & 0xff)) {
+      case TrapCode::kProfPass: ++pass; break;
+      case TrapCode::kProfFail: ++fail; break;
+      case TrapCode::kMemError: ++err; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(pass, 2u) << "pass paths: in-bounds and non-fat";
+  EXPECT_EQ(fail, 1u);
+  EXPECT_EQ(err, 0u);
+}
+
+TEST(Codegen, RspBasedOperandGetsStackBias) {
+  // A redzone-only check on -24(%rsp): the lea must compensate for the
+  // 128-byte red-zone hop plus the pushed words.
+  const auto insns = Emit(OneCheck(CheckKind::kRedzoneOnly, MemAt(Reg::kRsp, -24)),
+                          ClobberInfo{}, RedFatOptions{});
+  bool found = false;
+  for (const Instruction& in : insns) {
+    // Skip the rsp-adjustment hops (dst == rsp); the LB lea targets scratch.
+    if (in.op == Op::kLea && in.mem.base == Reg::kRsp && in.r0 != Reg::kRsp) {
+      // 128 (hop) + 5*8 (4 regs + flags) - 24 = 144.
+      EXPECT_EQ(in.mem.disp, 144);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Codegen, ShadowImplLooksUpGuestShadow) {
+  RedFatOptions opts;
+  opts.redzone_impl = RedzoneImpl::kShadow;
+  const auto insns = Emit(OneCheck(CheckKind::kFull, MemAt(Reg::kRbx, 0)), ClobberInfo{}, opts);
+  bool shadow_base_loaded = false;
+  for (const Instruction& in : insns) {
+    if (in.op == Op::kMovRI && static_cast<uint64_t>(in.imm) == kGuestShadowBase) {
+      shadow_base_loaded = true;
+    }
+  }
+  EXPECT_TRUE(shadow_base_loaded);
+}
+
+}  // namespace
+}  // namespace redfat

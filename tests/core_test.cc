@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+namespace {
+
+InstrumentResult MustInstrument(const BinaryImage& img, const RedFatOptions& opts,
+                                const AllowList* allow = nullptr) {
+  RedFatTool tool(opts);
+  Result<InstrumentResult> r = tool.Instrument(img, allow);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return std::move(r).value();
+}
+
+// --- guest programs --------------------------------------------------------
+
+// Allocates a 64-byte array, fills it, sums it, prints the sum, frees it.
+BinaryImage ValidHeapProgram() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);
+  as.MovRI(Reg::kRcx, 0);
+  auto fill = as.NewLabel();
+  as.Bind(fill);
+  as.Store(Reg::kRcx, MemBIS(Reg::kR12, Reg::kRcx, 3, 0));
+  as.AddI(Reg::kRcx, 1);
+  as.CmpI(Reg::kRcx, 8);
+  as.Jcc(Cond::kUlt, fill);
+  as.MovRI(Reg::kRbx, 0);
+  as.MovRI(Reg::kRcx, 0);
+  auto sum = as.NewLabel();
+  as.Bind(sum);
+  as.Load(Reg::kRax, MemBIS(Reg::kR12, Reg::kRcx, 3, 0));
+  as.Add(Reg::kRbx, Reg::kRax);
+  as.AddI(Reg::kRcx, 1);
+  as.CmpI(Reg::kRcx, 8);
+  as.Jcc(Cond::kUlt, sum);
+  as.MovRR(Reg::kRdi, Reg::kRbx);
+  as.HostCall(HostFn::kOutputU64);
+  as.MovRR(Reg::kRdi, Reg::kR12);
+  as.HostCall(HostFn::kFree);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+// Two adjacent 64-byte objects; writes p[input()] (8-byte elements).
+// input = 10 skips p's trailing redzone into q's payload (non-incremental);
+// input = 8 lands in the redzone (incremental-style); input < 8 is valid.
+BinaryImage AdjacentOverflowProgram() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);  // p
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR13, Reg::kRax);  // q (adjacent slot)
+  // Make q fully valid data so a skipped overflow lands in real data.
+  as.MovRI(Reg::kRax, 0x7777);
+  as.Store(Reg::kRax, MemAt(Reg::kR13, 0));
+  as.HostCall(HostFn::kInputU64);
+  as.Store(Reg::kRax, MemBIS(Reg::kR12, Reg::kRax, 3, 0));  // p[i] = i
+  as.Load(Reg::kRdi, MemAt(Reg::kR13, 0));
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+BinaryImage UseAfterFreeProgram() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 32);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);
+  as.MovRI(Reg::kRax, 5);
+  as.Store(Reg::kRax, MemAt(Reg::kR12, 0));
+  as.MovRR(Reg::kRdi, Reg::kR12);
+  as.HostCall(HostFn::kFree);
+  as.Load(Reg::kRdi, MemAt(Reg::kR12, 0));  // UAF read
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+BinaryImage UnderflowProgram() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);
+  as.Load(Reg::kRdi, MemAt(Reg::kR12, -8));  // array[-1]: inside the redzone
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+// The (array - K) anti-idiom (§2 snippet (c)): always a false positive for
+// the LowFat check, never an actual error. Also contains an idiomatic loop
+// so the profile has something to allow-list.
+BinaryImage AntiIdiomProgram() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  // Dummy allocation so the anti-idiom base pointer lands in a real slot.
+  as.MovRI(Reg::kRdi, 80);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRI(Reg::kRdi, 80);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);  // arr (10 elements)
+  // Idiomatic fill: arr[i] = i for i in [0, 10).
+  as.MovRI(Reg::kRcx, 0);
+  auto fill = as.NewLabel();
+  as.Bind(fill);
+  as.Store(Reg::kRcx, MemBIS(Reg::kR12, Reg::kRcx, 3, 0));
+  as.AddI(Reg::kRcx, 1);
+  as.CmpI(Reg::kRcx, 10);
+  as.Jcc(Cond::kUlt, fill);
+  // Anti-idiom: fake = arr - 32; access fake[i] for i in [4, 14).
+  as.MovRR(Reg::kR13, Reg::kR12);
+  as.SubI(Reg::kR13, 32);
+  as.MovRI(Reg::kRcx, 4);
+  auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Load(Reg::kRax, MemBIS(Reg::kR13, Reg::kRcx, 3, 0));
+  as.AddI(Reg::kRcx, 1);
+  as.CmpI(Reg::kRcx, 14);
+  as.Jcc(Cond::kUlt, loop);
+  as.MovRR(Reg::kRdi, Reg::kRax);  // last element (= 9)
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+// --- tests ------------------------------------------------------------------
+
+TEST(CoreEndToEnd, ValidProgramRunsCleanUnderFullChecking) {
+  const BinaryImage img = ValidHeapProgram();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});
+  RunConfig cfg;
+  const RunOutcome base = RunImage(img, RuntimeKind::kBaseline, cfg);
+  const RunOutcome hard = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(base.result.reason, HaltReason::kExit);
+  EXPECT_EQ(hard.result.reason, HaltReason::kExit) << "false abort on valid program";
+  EXPECT_EQ(base.outputs, hard.outputs);
+  EXPECT_TRUE(hard.errors.empty());
+  EXPECT_GT(hard.result.cycles, base.result.cycles);
+}
+
+TEST(CoreEndToEnd, ValidProgramCleanUnderEveryConfiguration) {
+  const BinaryImage img = ValidHeapProgram();
+  RunConfig cfg;
+  const RunOutcome base = RunImage(img, RuntimeKind::kBaseline, cfg);
+  const RedFatOptions configs[] = {
+      RedFatOptions::Unoptimized(), RedFatOptions::Elim(),   RedFatOptions::Batch(),
+      RedFatOptions::Merge(),       RedFatOptions::NoSize(), RedFatOptions::NoReads(),
+      RedFatOptions::Profile()};
+  for (const RedFatOptions& opts : configs) {
+    const InstrumentResult ir = MustInstrument(img, opts);
+    const RunOutcome hard = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+    EXPECT_EQ(hard.result.reason, HaltReason::kExit);
+    EXPECT_EQ(hard.outputs, base.outputs);
+    EXPECT_TRUE(hard.errors.empty());
+  }
+}
+
+TEST(CoreEndToEnd, OptimizationsReduceOverheadInOrder) {
+  const BinaryImage img = ValidHeapProgram();
+  RunConfig cfg;
+  uint64_t prev = UINT64_MAX;
+  for (const RedFatOptions& opts :
+       {RedFatOptions::Unoptimized(), RedFatOptions::Elim(), RedFatOptions::Batch(),
+        RedFatOptions::Merge(), RedFatOptions::NoSize(), RedFatOptions::NoReads()}) {
+    const InstrumentResult ir = MustInstrument(img, opts);
+    const RunOutcome hard = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+    EXPECT_LE(hard.result.cycles, prev) << "each Table-1 step must not slow things down";
+    prev = hard.result.cycles;
+  }
+}
+
+TEST(CoreDetect, IncrementalOverflowIntoRedzone) {
+  const BinaryImage img = AdjacentOverflowProgram();
+  for (bool lowfat : {true, false}) {
+    RedFatOptions opts;
+    opts.lowfat = lowfat;
+    const InstrumentResult ir = MustInstrument(img, opts);
+    RunConfig cfg;
+    cfg.inputs = {8};  // p[8] -> the next slot's redzone
+    const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+    EXPECT_EQ(out.result.reason, HaltReason::kMemErrorAbort) << "lowfat=" << lowfat;
+    ASSERT_EQ(out.errors.size(), 1u);
+    EXPECT_EQ(out.errors[0].kind, ErrorKind::kBounds);
+  }
+}
+
+TEST(CoreDetect, NonIncrementalSkipDetectedOnlyWithLowFat) {
+  const BinaryImage img = AdjacentOverflowProgram();
+  RunConfig cfg;
+  cfg.inputs = {10};  // p[10]: skips the redzone into q's payload
+
+  RedFatOptions full;
+  const InstrumentResult ir_full = MustInstrument(img, full);
+  const RunOutcome out_full = RunImage(ir_full.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out_full.result.reason, HaltReason::kMemErrorAbort)
+      << "(Redzone)+(LowFat) must catch redzone-skipping overflows";
+
+  RedFatOptions rz_only;
+  rz_only.lowfat = false;
+  const InstrumentResult ir_rz = MustInstrument(img, rz_only);
+  const RunOutcome out_rz = RunImage(ir_rz.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out_rz.result.reason, HaltReason::kExit)
+      << "redzone-only checking misses the skip (paper Problem #1)";
+  EXPECT_EQ(out_rz.outputs[0], 10u) << "q's data was silently corrupted";
+}
+
+TEST(CoreDetect, ValidIndexPassesAdjacentProgram) {
+  const BinaryImage img = AdjacentOverflowProgram();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});
+  RunConfig cfg;
+  cfg.inputs = {3};
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit);
+  EXPECT_TRUE(out.errors.empty());
+  EXPECT_EQ(out.outputs[0], 0x7777u);
+}
+
+TEST(CoreDetect, UseAfterFree) {
+  const BinaryImage img = UseAfterFreeProgram();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});
+  RunConfig cfg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kMemErrorAbort);
+  ASSERT_GE(out.errors.size(), 1u);
+  // With the merged state/size encoding, a UAF manifests as a bounds
+  // failure (SIZE == 0); without merged_ub it is classified precisely.
+  RedFatOptions unmerged;
+  unmerged.merged_ub = false;
+  const InstrumentResult ir2 = MustInstrument(img, unmerged);
+  const RunOutcome out2 = RunImage(ir2.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out2.result.reason, HaltReason::kMemErrorAbort);
+  ASSERT_GE(out2.errors.size(), 1u);
+  EXPECT_EQ(out2.errors[0].kind, ErrorKind::kUaf);
+}
+
+TEST(CoreDetect, ReadUnderflowIntoRedzone) {
+  const BinaryImage img = UnderflowProgram();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});
+  RunConfig cfg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kMemErrorAbort);
+}
+
+TEST(CoreDetect, NoReadsModeMissesReadErrorsButCatchesWrites) {
+  const InstrumentResult ir_read =
+      MustInstrument(UnderflowProgram(), RedFatOptions::NoReads());
+  RunConfig cfg;
+  EXPECT_EQ(RunImage(ir_read.image, RuntimeKind::kRedFat, cfg).result.reason,
+            HaltReason::kExit)
+      << "-reads trades read protection for speed";
+
+  const InstrumentResult ir_write =
+      MustInstrument(AdjacentOverflowProgram(), RedFatOptions::NoReads());
+  cfg.inputs = {10};
+  EXPECT_EQ(RunImage(ir_write.image, RuntimeKind::kRedFat, cfg).result.reason,
+            HaltReason::kMemErrorAbort)
+      << "writes stay protected under -reads";
+}
+
+TEST(CoreDetect, MetadataHardeningCatchesCorruptedSize) {
+  // Corrupt the metadata through an *uninstrumented* channel (memset host
+  // call, standing in for unprotected library code), then overflow. Without
+  // size hardening the bogus huge SIZE hides the overflow; with it the
+  // check flags corrupted metadata (paper §4.2 "Metadata hardening").
+  auto build = [] {
+    ProgramBuilder pb;
+    Assembler& as = pb.text();
+    as.MovRI(Reg::kRdi, 24);
+    as.HostCall(HostFn::kMalloc);
+    as.MovRR(Reg::kR12, Reg::kRax);
+    as.MovRR(Reg::kRdi, Reg::kR12);
+    as.SubI(Reg::kRdi, 16);       // metadata address
+    as.MovRI(Reg::kRsi, 0x7f);
+    as.MovRI(Reg::kRdx, 8);
+    as.HostCall(HostFn::kMemset);  // SIZE = 0x7f7f... (huge, non-wrapping)
+    as.MovRI(Reg::kRax, 1);
+    as.Store(Reg::kRax, MemAt(Reg::kR12, 100));  // far out of bounds
+    pb.EmitExit(0);
+    return pb.Finish();
+  };
+  const BinaryImage img = build();
+  RunConfig cfg;
+
+  const InstrumentResult with = MustInstrument(img, RedFatOptions{});
+  const RunOutcome out_with = RunImage(with.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out_with.result.reason, HaltReason::kMemErrorAbort);
+  ASSERT_EQ(out_with.errors.size(), 1u);
+  EXPECT_EQ(out_with.errors[0].kind, ErrorKind::kMeta);
+
+  const InstrumentResult without = MustInstrument(img, RedFatOptions::NoSize());
+  const RunOutcome out_without = RunImage(without.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out_without.result.reason, HaltReason::kExit)
+      << "-size trades metadata hardening for speed";
+}
+
+TEST(CoreFp, AntiIdiomTriggersFalsePositiveWithoutAllowList) {
+  const BinaryImage img = AntiIdiomProgram();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});  // full-on
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit);
+  EXPECT_FALSE(out.errors.empty()) << "anti-idiom must trip the LowFat check";
+  EXPECT_EQ(out.outputs[0], 9u) << "the accesses themselves are valid";
+}
+
+TEST(CoreFp, ProfileWorkflowEliminatesFalsePositives) {
+  const BinaryImage img = AntiIdiomProgram();
+  // Step 1: profiling run.
+  const InstrumentResult prof = MustInstrument(img, RedFatOptions::Profile());
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  const RunOutcome prof_out = RunImage(prof.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(prof_out.result.reason, HaltReason::kExit);
+  const AllowList allow = BuildAllowList(prof_out.prof_counts, prof.sites);
+  EXPECT_FALSE(allow.addrs.empty()) << "idiomatic sites must be allow-listed";
+
+  // Step 2: production run with the allow-list: no false positives, and the
+  // anti-idiom site fell back to (Redzone)-only.
+  const InstrumentResult hard = MustInstrument(img, RedFatOptions{}, &allow);
+  RunConfig prod;
+  const RunOutcome out = RunImage(hard.image, RuntimeKind::kRedFat, prod);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit) << "no false abort in production";
+  EXPECT_TRUE(out.errors.empty());
+  EXPECT_LT(hard.plan_stats.full_sites, prof.plan_stats.full_sites);
+}
+
+TEST(CoreFp, ProfileCountsSeparatePassAndFail) {
+  const BinaryImage img = AntiIdiomProgram();
+  const InstrumentResult prof = MustInstrument(img, RedFatOptions::Profile());
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  const RunOutcome out = RunImage(prof.image, RuntimeKind::kRedFat, cfg);
+  bool saw_always_fail = false;
+  bool saw_always_pass = false;
+  for (const auto& [site, counts] : out.prof_counts) {
+    if (counts.fails > 0 && counts.passes == 0) {
+      saw_always_fail = true;
+    }
+    if (counts.passes > 0 && counts.fails == 0) {
+      saw_always_pass = true;
+    }
+  }
+  EXPECT_TRUE(saw_always_fail) << "anti-idiom site always fails (§5 hypothesis)";
+  EXPECT_TRUE(saw_always_pass) << "idiomatic site always passes";
+}
+
+TEST(CoreCoverage, CountersClassifySites) {
+  const BinaryImage img = ValidHeapProgram();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});
+  RunConfig cfg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  const CoverageStats cov = ComputeCoverage(out.counters, ir.sites);
+  // All of the program's heap accesses carry an unambiguous base pointer:
+  // full coverage under full-on instrumentation.
+  EXPECT_GT(cov.full, 0u);
+  EXPECT_EQ(cov.redzone_only, 0u);
+  EXPECT_DOUBLE_EQ(cov.FullFraction(), 1.0);
+  // 8 stores + 8 loads in the loops.
+  EXPECT_EQ(cov.full, 16u);
+}
+
+TEST(CorePlan, EliminationDropsNonHeapOperands) {
+  ProgramBuilder pb;
+  const uint64_t glob = pb.AddZeroData(8);
+  Assembler& as = pb.text();
+  as.StoreI(MemAbs(static_cast<int32_t>(glob)), 1);   // absolute: eliminable
+  as.StoreI(MemAt(Reg::kRsp, -8), 2);                 // stack: eliminable
+  as.Load(Reg::kRax, MemAt(Reg::kRip, 0x100));        // rip: eliminable
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));           // heap-capable: kept
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  const InstrumentResult ir = MustInstrument(img, RedFatOptions{});
+  EXPECT_EQ(ir.plan_stats.mem_operands, 4u);
+  EXPECT_EQ(ir.plan_stats.eliminated, 3u);
+  EXPECT_EQ(ir.sites.size(), 1u);
+
+  const InstrumentResult unopt = MustInstrument(img, RedFatOptions::Unoptimized());
+  EXPECT_EQ(unopt.plan_stats.eliminated, 0u);
+  EXPECT_EQ(unopt.sites.size(), 4u);
+}
+
+TEST(CorePlan, IndexedStackOperandIsNotEliminated) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Store(Reg::kRax, MemBIS(Reg::kRsp, Reg::kRcx, 3, 0));  // index: not eliminable
+  pb.EmitExit(0);
+  const InstrumentResult ir = MustInstrument(pb.Finish(), RedFatOptions{});
+  EXPECT_EQ(ir.plan_stats.eliminated, 0u);
+  ASSERT_EQ(ir.sites.size(), 1u);
+  EXPECT_EQ(ir.sites[0].kind, CheckKind::kRedzoneOnly)
+      << "rsp base is not an unambiguous pointer";
+}
+
+TEST(CorePlan, BatchingGroupsBasicBlockStores) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRbx, 0);
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 16));
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+
+  const InstrumentResult batched = MustInstrument(img, RedFatOptions::Batch());
+  EXPECT_EQ(batched.plan_stats.trampolines, 1u);
+  EXPECT_EQ(batched.plan_stats.checks_emitted, 3u);
+
+  const InstrumentResult merged = MustInstrument(img, RedFatOptions::Merge());
+  EXPECT_EQ(merged.plan_stats.trampolines, 1u);
+  EXPECT_EQ(merged.plan_stats.checks_emitted, 1u) << "same-shape operands merge";
+
+  const InstrumentResult unopt = MustInstrument(img, RedFatOptions::Unoptimized());
+  EXPECT_EQ(unopt.plan_stats.trampolines, 3u);
+}
+
+TEST(CorePlan, BatchBreaksWhenBaseRegisterIsRewritten) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.MovRI(Reg::kRbx, 0x999);  // rewrites the base register
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  pb.EmitExit(0);
+  const InstrumentResult ir = MustInstrument(pb.Finish(), RedFatOptions::Merge());
+  EXPECT_EQ(ir.plan_stats.trampolines, 2u)
+      << "the second store's address differs at the leader: no batching";
+}
+
+TEST(CorePlan, HostCallIsABatchBarrier) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.HostCall(HostFn::kRandU64);  // could be free(): barrier
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  pb.EmitExit(0);
+  const InstrumentResult ir = MustInstrument(pb.Finish(), RedFatOptions::Merge());
+  EXPECT_EQ(ir.plan_stats.trampolines, 2u);
+}
+
+TEST(CorePlan, MergedCheckStillDetectsAndAllowsValid) {
+  // Three adjacent stores, merged into one ranged check.
+  auto build = [](int32_t disp2) {
+    ProgramBuilder pb;
+    Assembler& as = pb.text();
+    as.MovRI(Reg::kRdi, 24);
+    as.HostCall(HostFn::kMalloc);
+    as.MovRR(Reg::kRbx, Reg::kRax);
+    as.StoreI(MemAt(Reg::kRbx, 0), 1);
+    as.StoreI(MemAt(Reg::kRbx, 8), 2);
+    as.StoreI(MemAt(Reg::kRbx, disp2), 3);
+    pb.EmitExit(0);
+    return pb.Finish();
+  };
+  RunConfig cfg;
+  const InstrumentResult ok = MustInstrument(build(16), RedFatOptions::Merge());
+  EXPECT_EQ(RunImage(ok.image, RuntimeKind::kRedFat, cfg).result.reason, HaltReason::kExit);
+  const InstrumentResult bad = MustInstrument(build(24), RedFatOptions::Merge());
+  EXPECT_EQ(RunImage(bad.image, RuntimeKind::kRedFat, cfg).result.reason,
+            HaltReason::kMemErrorAbort)
+      << "the union range extends past the 24-byte object";
+}
+
+}  // namespace
+}  // namespace redfat

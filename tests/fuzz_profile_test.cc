@@ -1,0 +1,110 @@
+// Tests for coverage-boosted profiling (§5 AFL extension): fuzzing the
+// profiling binary must discover sites a single train run misses, yielding
+// a larger allow-list and higher production coverage — without ever
+// allow-listing an anti-idiom site.
+#include <gtest/gtest.h>
+
+#include "src/core/fuzz_profile.h"
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+namespace {
+
+InstrumentResult Profiling(const BinaryImage& img) {
+  RedFatTool tool(RedFatOptions::Profile());
+  Result<InstrumentResult> r = tool.Instrument(img);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(FuzzProfile, DiscoversModeGatedSites) {
+  // Half the heap units only execute when inputs[1] bit 0 is set; the train
+  // input leaves it clear. Single-run profiling cannot allow-list them.
+  SynthParams p;
+  p.seed = 404;
+  p.ref_only_pct = 50;
+  const BinaryImage img = GenerateSynthProgram(p);
+  const InstrumentResult prof = Profiling(img);
+
+  // Baseline: single train run.
+  RunConfig train;
+  train.inputs = TrainInputs(20);
+  train.policy = Policy::kLog;
+  const RunOutcome single = RunImage(prof.image, RuntimeKind::kRedFat, train);
+  const AllowList single_allow = BuildAllowList(single.prof_counts, prof.sites);
+
+  // Fuzzed profiling starting from the same train input.
+  FuzzProfileConfig cfg;
+  cfg.seed = 9;
+  cfg.max_runs = 64;
+  cfg.instruction_limit = 1'500'000;
+  cfg.initial_inputs = TrainInputs(20);
+  const FuzzProfileResult fuzzed = FuzzProfile(prof, cfg);
+
+  EXPECT_GT(fuzzed.allow.addrs.size(), single_allow.addrs.size())
+      << "mutating the mode word must unlock the gated sites";
+  EXPECT_GE(fuzzed.corpus_size, 2u) << "novel inputs must be retained";
+
+  // Production coverage improves accordingly.
+  RedFatTool tool(RedFatOptions{});
+  RunConfig ref;
+  ref.inputs = RefInputs(20);
+  const InstrumentResult hard_single = tool.Instrument(img, &single_allow).value();
+  const RunOutcome run_single = RunImage(hard_single.image, RuntimeKind::kRedFat, ref);
+  const InstrumentResult hard_fuzzed = tool.Instrument(img, &fuzzed.allow).value();
+  const RunOutcome run_fuzzed = RunImage(hard_fuzzed.image, RuntimeKind::kRedFat, ref);
+  ASSERT_EQ(run_fuzzed.result.reason, HaltReason::kExit);
+  EXPECT_TRUE(run_fuzzed.errors.empty()) << "fuzz-derived allow-list must not cause FPs";
+  const double cov_single =
+      ComputeCoverage(run_single.counters, hard_single.sites).FullFraction();
+  const double cov_fuzzed =
+      ComputeCoverage(run_fuzzed.counters, hard_fuzzed.sites).FullFraction();
+  EXPECT_GT(cov_fuzzed, cov_single);
+}
+
+TEST(FuzzProfile, NeverAllowListsAntiIdiomSites) {
+  SynthParams p;
+  p.seed = 405;
+  p.anti_idiom_sites = 4;
+  p.anti_idiom_pct = 10;
+  const BinaryImage img = GenerateSynthProgram(p);
+  const InstrumentResult prof = Profiling(img);
+
+  FuzzProfileConfig cfg;
+  cfg.seed = 10;
+  cfg.max_runs = 48;
+  cfg.instruction_limit = 1'500'000;
+  cfg.initial_inputs = TrainInputs(20);
+  const FuzzProfileResult fuzzed = FuzzProfile(prof, cfg);
+  EXPECT_GE(fuzzed.sites_always_fail, 4u);
+
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult hard = tool.Instrument(img, &fuzzed.allow).value();
+  RunConfig ref;
+  ref.inputs = RefInputs(30);
+  const RunOutcome out = RunImage(hard.image, RuntimeKind::kRedFat, ref);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit);
+  EXPECT_TRUE(out.errors.empty());
+}
+
+TEST(FuzzProfile, SurvivesCrashingMutants) {
+  // Mutating the iteration count can blow the instruction limit; the loop
+  // must keep going and still produce a usable allow-list.
+  SynthParams p;
+  p.seed = 406;
+  const BinaryImage img = GenerateSynthProgram(p);
+  const InstrumentResult prof = Profiling(img);
+  FuzzProfileConfig cfg;
+  cfg.seed = 11;
+  cfg.max_runs = 24;
+  cfg.instruction_limit = 200'000;  // tight: big-iteration mutants time out
+  cfg.initial_inputs = TrainInputs(5);
+  const FuzzProfileResult fuzzed = FuzzProfile(prof, cfg);
+  EXPECT_EQ(fuzzed.runs, 24u);
+  EXPECT_FALSE(fuzzed.allow.addrs.empty());
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,124 @@
+// Harness-level unit tests: coverage accounting with merged/eliminated
+// sites, runtime bindings, and policy plumbing.
+#include <gtest/gtest.h>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+namespace {
+
+TEST(Coverage, MergedChecksCountEveryMemberSitePerExecution) {
+  // Three same-shape stores merged into one check, inside a 10-iteration
+  // loop: each member site must count 10 dynamic executions.
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kRbx, Reg::kRax);
+  as.MovRI(Reg::kRcx, 0);
+  auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.StoreI(MemAt(Reg::kRbx, 0), 1);
+  as.StoreI(MemAt(Reg::kRbx, 8), 2);
+  as.StoreI(MemAt(Reg::kRbx, 16), 3);
+  as.AddI(Reg::kRcx, 1);
+  as.CmpI(Reg::kRcx, 10);
+  as.Jcc(Cond::kUlt, loop);
+  pb.EmitExit(0);
+
+  RedFatTool tool(RedFatOptions::Merge());
+  const InstrumentResult ir = tool.Instrument(pb.Finish()).value();
+  EXPECT_EQ(ir.plan_stats.checks_emitted, 1u);
+  ASSERT_EQ(ir.sites.size(), 3u);
+  RunConfig cfg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  ASSERT_EQ(out.result.reason, HaltReason::kExit);
+  for (const SiteRecord& s : ir.sites) {
+    EXPECT_EQ(out.counters.at(s.id), 10u) << "site " << s.id;
+  }
+  const CoverageStats cov = ComputeCoverage(out.counters, ir.sites);
+  EXPECT_EQ(cov.full, 30u);
+  EXPECT_DOUBLE_EQ(cov.FullFraction(), 1.0);
+}
+
+TEST(Coverage, EliminatedOperandsDoNotAppear) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.StoreI(MemAbs(0x100000), 1);  // eliminated: no site, no counter
+  as.StoreI(MemAt(Reg::kRbx, 0), 2);
+  pb.EmitExit(0);
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(pb.Finish()).value();
+  EXPECT_EQ(ir.sites.size(), 1u);
+  RunConfig cfg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out.counters.size(), 1u);
+}
+
+TEST(Coverage, EmptyCountersGiveZeroFraction) {
+  CoverageStats cov = ComputeCoverage({}, {});
+  EXPECT_DOUBLE_EQ(cov.FullFraction(), 0.0);
+}
+
+TEST(Harness, PolicyPlumbing) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 32);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);
+  as.MovRR(Reg::kR13, Reg::kR12);      // distinct shape: the checks can't merge
+  as.StoreI(MemAt(Reg::kR12, 40), 1);  // OOB
+  as.StoreI(MemAt(Reg::kR13, 48), 2);  // OOB again
+  pb.EmitExit(0);
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(pb.Finish()).value();
+
+  RunConfig harden;
+  harden.policy = Policy::kHarden;
+  const RunOutcome h = RunImage(ir.image, RuntimeKind::kRedFat, harden);
+  EXPECT_EQ(h.result.reason, HaltReason::kMemErrorAbort);
+  EXPECT_EQ(h.errors.size(), 1u) << "hardening stops at the first error";
+
+  RunConfig log;
+  log.policy = Policy::kLog;
+  const RunOutcome l = RunImage(ir.image, RuntimeKind::kRedFat, log);
+  EXPECT_EQ(l.result.reason, HaltReason::kExit);
+  EXPECT_EQ(l.errors.size(), 2u) << "log mode reports every error and continues";
+}
+
+TEST(Harness, RuntimeKindSelectsAllocator) {
+  // The same program allocates one object and prints the pointer: the
+  // low-fat runtime must return a low-fat region pointer, the baseline a
+  // legacy-region pointer.
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  RunConfig cfg;
+  const uint64_t base_ptr = RunImage(img, RuntimeKind::kBaseline, cfg).outputs.at(0);
+  const uint64_t rf_ptr = RunImage(img, RuntimeKind::kRedFat, cfg).outputs.at(0);
+  EXPECT_GE(base_ptr, kLegacyHeapBase);
+  EXPECT_GE(rf_ptr, kRegionSize);
+  EXPECT_LT(rf_ptr, kLegacyHeapBase);
+}
+
+TEST(Harness, InstructionLimitSurfaces) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Jmp(loop);
+  RunConfig cfg;
+  cfg.instruction_limit = 100;
+  const RunOutcome out = RunImage(pb.Finish(), RuntimeKind::kBaseline, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kInstrLimit);
+}
+
+}  // namespace
+}  // namespace redfat

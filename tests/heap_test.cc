@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/heap/legacy_heap.h"
+#include "src/heap/lowfat.h"
+#include "src/heap/redfat_allocator.h"
+#include "src/support/rng.h"
+
+namespace redfat {
+namespace {
+
+TEST(LowFatTables, NonFatRegionsAreZero) {
+  const LowFatTables& t = GetLowFatTables();
+  EXPECT_EQ(t.sizes[0], 0u);
+  EXPECT_EQ(t.sizes[kLegacyHeapRegion], 0u);
+  EXPECT_EQ(t.sizes[kNumRegions - 1], 0u);
+  for (unsigned c = 1; c <= kNumSizeClasses; ++c) {
+    EXPECT_EQ(t.sizes[c], SizeClassBytes(c));
+    EXPECT_NE(t.magics[c], 0u);
+    EXPECT_EQ(t.shifts[c], 0u) << "check codegen assumes shift-free magics";
+  }
+}
+
+TEST(LowFatTables, MagicDivisionExactForRegionPointers) {
+  const LowFatTables& t = GetLowFatTables();
+  Rng rng(13);
+  for (unsigned c = 1; c <= kNumSizeClasses; ++c) {
+    const uint64_t size = t.sizes[c];
+    const uint64_t lo = static_cast<uint64_t>(c) << kRegionShift;
+    const uint64_t hi = lo + kRegionSize - 1;
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t p = rng.Range(lo, hi);
+      EXPECT_EQ(MulHigh64(p, t.magics[c]), p / size) << "c=" << c << " p=" << p;
+    }
+  }
+}
+
+TEST(LowFat, SizeClassForBoundaries) {
+  EXPECT_EQ(SizeClassFor(0), 1u);
+  EXPECT_EQ(SizeClassFor(1), 1u);
+  EXPECT_EQ(SizeClassFor(16), 1u);
+  EXPECT_EQ(SizeClassFor(17), 2u);
+  EXPECT_EQ(SizeClassFor(512), 32u);
+  EXPECT_EQ(SizeClassFor(513), 33u);
+  EXPECT_EQ(SizeClassFor(1024), 33u);
+  EXPECT_EQ(SizeClassFor(1025), 34u);
+  EXPECT_EQ(SizeClassFor(kMaxLowFatSize), kNumSizeClasses);
+  EXPECT_EQ(SizeClassFor(kMaxLowFatSize + 1), 0u);
+}
+
+TEST(LowFat, BaseAndSizeOfNonFatPointerAreZero) {
+  EXPECT_EQ(LowFatSize(0x400000), 0u);    // code
+  EXPECT_EQ(LowFatBase(0x400000), 0u);
+  EXPECT_EQ(LowFatSize(kStackTop - 8), 0u);
+  EXPECT_EQ(LowFatSize(kLegacyHeapBase + 64), 0u);
+  EXPECT_EQ(LowFatSize(~0ull), 0u);  // beyond the table
+}
+
+// Property (the core low-fat invariant): for any allocation and any interior
+// pointer, base()/size() recover the slot exactly.
+TEST(LowFat, AllocInvariantsProperty) {
+  LowFatHeap heap;
+  Rng rng(1234);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t want = rng.Chance(1, 4) ? rng.Range(513, 8192) : rng.Range(1, 512);
+    const uint64_t slot = heap.Alloc(want);
+    ASSERT_NE(slot, 0u);
+    const uint64_t size = LowFatSize(slot);
+    ASSERT_GE(size, want);
+    ASSERT_EQ(slot % size, 0u) << "slots are size-aligned";
+    ASSERT_EQ(LowFatBase(slot), slot);
+    // Interior pointers recover the same slot.
+    for (int j = 0; j < 8; ++j) {
+      const uint64_t p = slot + rng.Below(size);
+      ASSERT_EQ(LowFatBase(p), slot);
+      ASSERT_EQ(LowFatSize(p), size);
+    }
+    // One-past-the-end belongs to the *next* slot.
+    ASSERT_EQ(LowFatBase(slot + size), slot + size);
+  }
+}
+
+TEST(LowFat, AdjacentAllocationsAreContiguousSlots) {
+  LowFatHeap heap;
+  const uint64_t a = heap.Alloc(100);  // class 7 -> 112-byte slots
+  const uint64_t b = heap.Alloc(100);
+  ASSERT_NE(a, 0u);
+  EXPECT_EQ(b, a + 112);
+}
+
+TEST(LowFat, FreeReusesAfterQuarantine) {
+  LowFatHeap heap(/*quarantine_slots=*/2);
+  const uint64_t a = heap.Alloc(16);
+  heap.Free(a);
+  const uint64_t b = heap.Alloc(16);
+  EXPECT_NE(b, a) << "quarantine must delay reuse";
+  const uint64_t c = heap.Alloc(16);
+  heap.Free(b);
+  heap.Free(c);
+  // a leaves quarantine after 2 more frees; next alloc may reuse it.
+  const uint64_t d = heap.Alloc(16);
+  EXPECT_EQ(d, a);
+}
+
+TEST(LowFat, NoQuarantineReusesImmediately) {
+  LowFatHeap heap(/*quarantine_slots=*/0);
+  const uint64_t a = heap.Alloc(32);
+  heap.Free(a);
+  EXPECT_EQ(heap.Alloc(32), a);
+}
+
+TEST(LowFat, HugeAllocationRefused) {
+  LowFatHeap heap;
+  EXPECT_EQ(heap.Alloc(kMaxLowFatSize + 1), 0u);
+}
+
+TEST(LowFat, StatsTrackLiveSlots) {
+  LowFatHeap heap;
+  const uint64_t a = heap.Alloc(16);
+  const uint64_t b = heap.Alloc(16);
+  (void)b;
+  EXPECT_EQ(heap.stats().allocs, 2u);
+  EXPECT_EQ(heap.stats().live_slots, 2u);
+  heap.Free(a);
+  EXPECT_EQ(heap.stats().frees, 1u);
+  EXPECT_EQ(heap.stats().live_slots, 1u);
+}
+
+TEST(LegacyHeap, AllocFreeReuse) {
+  Memory mem;
+  LegacyHeap heap;
+  const uint64_t a = heap.Alloc(mem, 100);
+  ASSERT_NE(a, 0u);
+  EXPECT_GE(a, kLegacyHeapBase);
+  EXPECT_TRUE(heap.IsLive(a));
+  heap.Free(a);
+  EXPECT_FALSE(heap.IsLive(a));
+  const uint64_t b = heap.Alloc(mem, 100);
+  EXPECT_EQ(b, a) << "exact-size free list reuse";
+}
+
+TEST(LegacyHeap, PaddingShiftsPayload) {
+  Memory mem;
+  LegacyHeap plain(0), padded(16);
+  const uint64_t a = plain.Alloc(mem, 64);
+  const uint64_t b = padded.Alloc(mem, 64);
+  EXPECT_EQ(a % 16, 0u);
+  EXPECT_EQ(b % 16, 0u);
+  // The padded heap leaves at least 16 bytes before the payload beyond the header.
+  EXPECT_EQ(padded.SizeOf(mem, b), 64u + 0u);
+}
+
+TEST(RedFatAllocator, LayoutMatchesFigure3) {
+  Memory mem;
+  RedFatAllocator alloc;
+  const AllocOutcome out = alloc.Malloc(mem, 40);
+  ASSERT_NE(out.ptr, 0u);
+  const uint64_t slot = out.ptr - kRedzoneSize;
+  // Slot is a low-fat slot of class ceil((40+16)/16) = 4 -> 64 bytes.
+  EXPECT_EQ(LowFatBase(out.ptr), slot);
+  EXPECT_EQ(LowFatSize(out.ptr), 64u);
+  // Metadata: malloc SIZE stored at the slot base, inside the redzone.
+  EXPECT_EQ(mem.ReadU64(slot), 40u);
+}
+
+TEST(RedFatAllocator, FreeMarksMetadataZero) {
+  Memory mem;
+  RedFatAllocator alloc;
+  const uint64_t p = alloc.Malloc(mem, 24).ptr;
+  const uint64_t slot = p - kRedzoneSize;
+  EXPECT_EQ(mem.ReadU64(slot), 24u);
+  alloc.Free(mem, p);
+  EXPECT_EQ(mem.ReadU64(slot), 0u) << "Free state = SIZE 0";
+}
+
+TEST(RedFatAllocator, HugeAllocationFallsBackToLegacy) {
+  Memory mem;
+  RedFatAllocator alloc;
+  const uint64_t p = alloc.Malloc(mem, kMaxLowFatSize).ptr;  // +16 exceeds max class
+  ASSERT_NE(p, 0u);
+  EXPECT_EQ(LowFatSize(p), 0u) << "fallback objects are non-fat";
+  EXPECT_EQ(alloc.fallback_allocs(), 1u);
+  EXPECT_EQ(mem.ReadU64(p - kRedzoneSize), kMaxLowFatSize);
+  alloc.Free(mem, p);
+}
+
+TEST(RedFatAllocator, FreeNullIsNoop) {
+  Memory mem;
+  RedFatAllocator alloc;
+  EXPECT_GT(alloc.Free(mem, 0), 0u);
+}
+
+TEST(RedFatAllocator, ManyAllocationsStaySizeAligned) {
+  Memory mem;
+  RedFatAllocator alloc;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t sz = rng.Range(1, 4096);
+    const uint64_t p = alloc.Malloc(mem, sz).ptr;
+    ASSERT_NE(p, 0u);
+    ASSERT_EQ(LowFatBase(p), p - kRedzoneSize);
+    ASSERT_GE(LowFatSize(p), sz + kRedzoneSize);
+    if (rng.Chance(1, 2)) {
+      alloc.Free(mem, p);
+    }
+  }
+}
+
+TEST(RedFatAllocator, AllocatorCostsComparable) {
+  // §2.1: the low-fat allocator costs about the same as glibc malloc (~1%).
+  Memory mem;
+  RedFatAllocator redfat;
+  GlibcLikeAllocator glibc;
+  const uint64_t rf = redfat.Malloc(mem, 64).cycles;
+  const uint64_t gl = glibc.Malloc(mem, 64).cycles;
+  EXPECT_LE(rf, gl + gl / 4) << "low-fat malloc must stay within ~25% of glibc";
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,239 @@
+// Unit tests for the instrumentation planner: elimination policy table,
+// check-kind policy, batching legality, merging semantics, allow-list
+// interaction, and stats consistency.
+#include <gtest/gtest.h>
+
+#include "src/core/plan.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+namespace {
+
+InstrumentPlan PlanOf(const BinaryImage& img, const RedFatOptions& opts,
+                      const AllowList* allow = nullptr) {
+  const Disassembly dis = DisassembleText(img).value();
+  const CfgInfo cfg = RecoverCfg(dis, img);
+  return BuildPlan(dis, cfg, opts, allow);
+}
+
+// --- elimination policy, parameterized over operand shapes -----------------
+
+struct ElimCase {
+  const char* name;
+  MemOperand mem;
+  bool eliminable;
+  bool unambiguous;
+};
+
+class ElimPolicy : public ::testing::TestWithParam<ElimCase> {};
+
+TEST_P(ElimPolicy, MatchesSpec) {
+  const ElimCase& c = GetParam();
+  EXPECT_EQ(IsEliminable(c.mem), c.eliminable) << c.name;
+  EXPECT_EQ(HasUnambiguousPointer(c.mem), c.unambiguous) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ElimPolicy,
+    ::testing::Values(
+        ElimCase{"absolute", MemAbs(0x1000), true, false},
+        ElimCase{"rsp_disp", MemAt(Reg::kRsp, -8), true, false},
+        ElimCase{"rip_disp", MemAt(Reg::kRip, 0x40), true, false},
+        ElimCase{"gpr_disp", MemAt(Reg::kRbx, 8), false, true},
+        ElimCase{"rbp_disp", MemAt(Reg::kRbp, -16), false, true},
+        ElimCase{"gpr_indexed", MemBIS(Reg::kRbx, Reg::kRcx, 3, 0), false, true},
+        ElimCase{"rsp_indexed", MemBIS(Reg::kRsp, Reg::kRcx, 3, 0), false, false},
+        ElimCase{"abs_indexed", MemBIS(Reg::kNone, Reg::kRcx, 3, 0x1000), false, false},
+        ElimCase{"rip_indexed", MemBIS(Reg::kRip, Reg::kRcx, 0, 0), false, false}),
+    [](const ::testing::TestParamInfo<ElimCase>& info) { return info.param.name; });
+
+// --- check-kind policy ------------------------------------------------------
+
+TEST(PlanPolicy, AmbiguousPointersGetRedzoneOnly) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Store(Reg::kRax, MemBIS(Reg::kNone, Reg::kRcx, 3, 0x1000));  // abs+index
+  as.Store(Reg::kRax, MemBIS(Reg::kRsp, Reg::kRcx, 3, 0));        // rsp+index
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));                       // unambiguous
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions{});
+  ASSERT_EQ(plan.sites.size(), 3u);
+  EXPECT_EQ(plan.sites[0].kind, CheckKind::kRedzoneOnly);
+  EXPECT_EQ(plan.sites[1].kind, CheckKind::kRedzoneOnly);
+  EXPECT_EQ(plan.sites[2].kind, CheckKind::kFull);
+}
+
+TEST(PlanPolicy, NoLowfatDemotesEverything) {
+  ProgramBuilder pb;
+  pb.text().Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  pb.EmitExit(0);
+  RedFatOptions opts;
+  opts.lowfat = false;
+  const InstrumentPlan plan = PlanOf(pb.Finish(), opts);
+  ASSERT_EQ(plan.sites.size(), 1u);
+  EXPECT_EQ(plan.sites[0].kind, CheckKind::kRedzoneOnly);
+}
+
+TEST(PlanPolicy, AllowListGatesFullChecks) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  const uint64_t site_a = as.Here();
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.MovRI(Reg::kRbx, 0);  // break the batch so both sites stay distinct
+  const uint64_t site_b = as.Here();
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+
+  AllowList allow;
+  allow.addrs.insert(site_a);
+  const InstrumentPlan plan = PlanOf(img, RedFatOptions{}, &allow);
+  ASSERT_EQ(plan.sites.size(), 2u);
+  EXPECT_EQ(plan.sites[0].addr, site_a);
+  EXPECT_EQ(plan.sites[0].kind, CheckKind::kFull);
+  EXPECT_EQ(plan.sites[1].addr, site_b);
+  EXPECT_EQ(plan.sites[1].kind, CheckKind::kRedzoneOnly)
+      << "sites missing from the allow-list fall back to redzone-only";
+}
+
+TEST(PlanPolicy, ProfileModeIgnoresAllowList) {
+  ProgramBuilder pb;
+  pb.text().Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  pb.EmitExit(0);
+  AllowList empty;
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Profile(), &empty);
+  ASSERT_EQ(plan.sites.size(), 1u);
+  EXPECT_EQ(plan.sites[0].kind, CheckKind::kFull);
+}
+
+// --- batching legality -------------------------------------------------------
+
+TEST(PlanBatch, IndexWriteBreaksBatch) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Store(Reg::kRax, MemBIS(Reg::kRbx, Reg::kRcx, 3, 0));
+  as.MovRI(Reg::kRcx, 5);  // rewrites the index register
+  as.Store(Reg::kRax, MemBIS(Reg::kRbx, Reg::kRcx, 3, 8));
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Batch());
+  EXPECT_EQ(plan.stats.trampolines, 2u);
+}
+
+TEST(PlanBatch, UnrelatedWritesDoNotBreakBatch) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.MovRI(Reg::kRdx, 5);  // rdx is not used by any operand
+  as.AddI(Reg::kRax, 1);   // rax is the *stored value*, not an address reg
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Batch());
+  EXPECT_EQ(plan.stats.trampolines, 1u);
+  EXPECT_EQ(plan.stats.checks_emitted, 2u);
+}
+
+TEST(PlanBatch, ControlFlowEndsBatch) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto l = as.NewLabel();
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.Jmp(l);
+  as.Bind(l);
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Batch());
+  EXPECT_EQ(plan.stats.trampolines, 2u);
+}
+
+TEST(PlanBatch, JumpTargetSplitsBatch) {
+  // Even a fallthrough block boundary (jump target) must split the batch:
+  // control may enter at the second store without passing the leader.
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto target = as.NewLabel();
+  as.CmpI(Reg::kRax, 0);
+  as.Jcc(Cond::kEq, target);
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.Bind(target);
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 8));
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Batch());
+  EXPECT_EQ(plan.stats.trampolines, 2u);
+}
+
+// --- merging semantics ------------------------------------------------------
+
+TEST(PlanMerge, WidensToUnionRange) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.StoreI(MemAt(Reg::kRbx, 24, /*size_log2=*/2), 1);  // [24,28)
+  as.StoreI(MemAt(Reg::kRbx, 0, /*size_log2=*/0), 2);   // [0,1)
+  as.StoreI(MemAt(Reg::kRbx, 8, /*size_log2=*/3), 3);   // [8,16)
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Merge());
+  ASSERT_EQ(plan.trampolines.size(), 1u);
+  ASSERT_EQ(plan.trampolines[0].checks.size(), 1u);
+  const PlannedCheck& c = plan.trampolines[0].checks[0];
+  EXPECT_EQ(c.mem.disp, 0);
+  EXPECT_EQ(c.access_len, 28u);
+  EXPECT_EQ(c.member_sites.size(), 3u);
+  EXPECT_TRUE(c.is_write);
+}
+
+TEST(PlanMerge, DifferentShapesStaySeparate) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.StoreI(MemAt(Reg::kRbx, 0), 1);
+  as.StoreI(MemAt(Reg::kRbp, 0), 2);                       // different base
+  as.Store(Reg::kRax, MemBIS(Reg::kRbx, Reg::kRcx, 3, 0)); // indexed
+  as.Store(Reg::kRax, MemBIS(Reg::kRbx, Reg::kRcx, 2, 0)); // different scale
+  pb.EmitExit(0);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Merge());
+  ASSERT_EQ(plan.trampolines.size(), 1u);
+  EXPECT_EQ(plan.trampolines[0].checks.size(), 4u);
+}
+
+TEST(PlanMerge, MixedKindsDoNotMerge) {
+  // Same shape, but one site is allow-listed (full) and the other is not
+  // (redzone-only): merging them would change semantics.
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  const uint64_t site_a = as.Here();
+  as.StoreI(MemAt(Reg::kRbx, 0), 1);
+  as.StoreI(MemAt(Reg::kRbx, 8), 2);
+  pb.EmitExit(0);
+  AllowList allow;
+  allow.addrs.insert(site_a);
+  const InstrumentPlan plan = PlanOf(pb.Finish(), RedFatOptions::Merge(), &allow);
+  ASSERT_EQ(plan.trampolines.size(), 1u);
+  EXPECT_EQ(plan.trampolines[0].checks.size(), 2u);
+}
+
+TEST(PlanStatsConsistency, CountsAddUp) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.StoreI(MemAbs(0x1000), 1);             // eliminated
+  as.Load(Reg::kRax, MemAt(Reg::kRbx, 0));  // read site
+  as.StoreI(MemAt(Reg::kRbx, 8), 2);        // write site
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  const InstrumentPlan plan = PlanOf(img, RedFatOptions{});
+  EXPECT_EQ(plan.stats.mem_operands, 3u);
+  EXPECT_EQ(plan.stats.considered, 3u);
+  EXPECT_EQ(plan.stats.eliminated, 1u);
+  EXPECT_EQ(plan.stats.full_sites + plan.stats.redzone_sites, plan.sites.size());
+  // Site ids are dense and match vector positions.
+  for (size_t i = 0; i < plan.sites.size(); ++i) {
+    EXPECT_EQ(plan.sites[i].id, i);
+  }
+
+  RedFatOptions no_reads = RedFatOptions::NoReads();
+  const InstrumentPlan plan2 = PlanOf(img, no_reads);
+  EXPECT_EQ(plan2.stats.mem_operands, 3u);
+  EXPECT_EQ(plan2.stats.considered, 2u) << "reads are not considered under -reads";
+  EXPECT_EQ(plan2.sites.size(), 1u);
+  EXPECT_TRUE(plan2.sites[0].is_write);
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,156 @@
+// Property suite for the rewriting substrate: for arbitrary generated
+// programs, patching arbitrary instruction subsets with a no-op payload
+// must preserve behaviour exactly (outputs, exit status) — across punned
+// short instructions, relocated branches/calls and batching patterns.
+#include <gtest/gtest.h>
+
+#include "src/core/harness.h"
+#include "src/heap/legacy_heap.h"
+#include "src/rw/rewriter.h"
+#include "src/support/rng.h"
+#include "src/vm/vm.h"
+#include "src/workloads/builder.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+namespace {
+
+RunResult RunVm(const BinaryImage& img, Vm& vm, std::vector<uint64_t> inputs) {
+  vm.set_inputs(std::move(inputs));
+  vm.LoadImage(img);
+  return vm.Run();
+}
+
+// Patches every N-th instruction of the text section with a counter payload
+// and checks behavioural equivalence against the original.
+void CheckPatchEveryNth(uint64_t seed, unsigned stride) {
+  SynthParams p;
+  p.seed = seed;
+  p.num_objects = 4;
+  p.block_len = 25;
+  const BinaryImage img = GenerateSynthProgram(p);
+
+  Rewriter rw(img);
+  ASSERT_TRUE(rw.ok()) << rw.error();
+  std::vector<PatchRequest> requests;
+  uint32_t id = 0;
+  for (size_t i = 0; i < rw.disasm().insns.size(); i += stride) {
+    const uint32_t counter = id++;
+    requests.push_back(PatchRequest{
+        rw.disasm().insns[i].addr,
+        [counter](Assembler& as) { as.Count(counter); }});
+  }
+  RewriteStats stats;
+  Result<BinaryImage> patched = rw.Apply(requests, &stats);
+  ASSERT_TRUE(patched.ok()) << patched.error();
+  EXPECT_GT(stats.applied + stats.skipped_target_conflict + stats.skipped_call_span +
+                stats.skipped_section_end,
+            0u);
+
+  GlibcLikeAllocator alloc0, alloc1;
+  Vm vm0, vm1;
+  vm0.set_allocator(&alloc0);
+  vm1.set_allocator(&alloc1);
+  const RunResult r0 = RunVm(img, vm0, RefInputs(6));
+  const RunResult r1 = RunVm(patched.value(), vm1, RefInputs(6));
+  ASSERT_EQ(r0.reason, HaltReason::kExit) << r0.fault_message;
+  ASSERT_EQ(r1.reason, HaltReason::kExit)
+      << "seed=" << seed << " stride=" << stride << ": " << r1.fault_message;
+  EXPECT_EQ(r0.exit_status, r1.exit_status);
+  EXPECT_EQ(vm0.outputs(), vm1.outputs()) << "seed=" << seed << " stride=" << stride;
+  EXPECT_EQ(r0.explicit_reads, r1.explicit_reads);
+  // Relocated calls are emulated as an explicit push of the return address,
+  // so the patched binary may perform *more* explicit writes — never fewer.
+  EXPECT_GE(r1.explicit_writes, r0.explicit_writes);
+}
+
+class PatchEverywhere : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatchEverywhere, EveryInstruction) { CheckPatchEveryNth(GetParam(), 1); }
+TEST_P(PatchEverywhere, EverySecond) { CheckPatchEveryNth(GetParam(), 2); }
+TEST_P(PatchEverywhere, EveryFifth) { CheckPatchEveryNth(GetParam(), 5); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatchEverywhere, ::testing::Range<uint64_t>(100, 112));
+
+TEST(RewriteProperty, RandomSubsetsManySeeds) {
+  Rng rng(0xdeed);
+  for (int trial = 0; trial < 12; ++trial) {
+    SynthParams p;
+    p.seed = 9000 + static_cast<uint64_t>(trial);
+    p.block_len = 20;
+    p.churn_pct = trial % 2 == 0 ? 3 : 0;
+    const BinaryImage img = GenerateSynthProgram(p);
+    Rewriter rw(img);
+    ASSERT_TRUE(rw.ok());
+    std::vector<PatchRequest> requests;
+    uint32_t id = 0;
+    for (const DisasmInsn& di : rw.disasm().insns) {
+      if (rng.Chance(1, 3)) {
+        const uint32_t counter = id++;
+        requests.push_back(
+            PatchRequest{di.addr, [counter](Assembler& as) { as.Count(counter); }});
+      }
+    }
+    Result<BinaryImage> patched = rw.Apply(requests, nullptr);
+    ASSERT_TRUE(patched.ok()) << patched.error();
+
+    GlibcLikeAllocator alloc0, alloc1;
+    Vm vm0, vm1;
+    vm0.set_allocator(&alloc0);
+    vm1.set_allocator(&alloc1);
+    const RunResult r0 = RunVm(img, vm0, RefInputs(5));
+    const RunResult r1 = RunVm(patched.value(), vm1, RefInputs(5));
+    ASSERT_EQ(r1.reason, r0.reason) << "trial=" << trial << " " << r1.fault_message;
+    ASSERT_EQ(vm0.outputs(), vm1.outputs()) << "trial=" << trial;
+  }
+}
+
+TEST(RewriteProperty, PayloadWithSavedScratchIsTransparent) {
+  // A heavier payload that uses and restores registers + flags must also be
+  // invisible (the pattern check codegen relies on).
+  SynthParams p;
+  p.seed = 777;
+  const BinaryImage img = GenerateSynthProgram(p);
+  Rewriter rw(img);
+  ASSERT_TRUE(rw.ok());
+  std::vector<PatchRequest> requests;
+  for (size_t i = 0; i < rw.disasm().insns.size(); i += 3) {
+    requests.push_back(PatchRequest{rw.disasm().insns[i].addr, [](Assembler& as) {
+                                      as.Lea(Reg::kRsp, MemAt(Reg::kRsp, -128));
+                                      as.Push(Reg::kRax);
+                                      as.Pushf();
+                                      as.MovRI(Reg::kRax, 0xdead);
+                                      as.AddI(Reg::kRax, 1);  // clobber flags
+                                      as.Popf();
+                                      as.Pop(Reg::kRax);
+                                      as.Lea(Reg::kRsp, MemAt(Reg::kRsp, 128));
+                                    }});
+  }
+  Result<BinaryImage> patched = rw.Apply(requests, nullptr);
+  ASSERT_TRUE(patched.ok()) << patched.error();
+  GlibcLikeAllocator alloc0, alloc1;
+  Vm vm0, vm1;
+  vm0.set_allocator(&alloc0);
+  vm1.set_allocator(&alloc1);
+  const RunResult r0 = RunVm(img, vm0, RefInputs(5));
+  const RunResult r1 = RunVm(patched.value(), vm1, RefInputs(5));
+  ASSERT_EQ(r0.reason, HaltReason::kExit);
+  ASSERT_EQ(r1.reason, HaltReason::kExit) << r1.fault_message;
+  EXPECT_EQ(vm0.outputs(), vm1.outputs());
+}
+
+TEST(RewriteProperty, DoublePatchingIsRejected) {
+  SynthParams p;
+  p.seed = 1;
+  const BinaryImage img = GenerateSynthProgram(p);
+  Rewriter rw1(img);
+  ASSERT_TRUE(rw1.ok());
+  Result<BinaryImage> once =
+      rw1.Apply({{rw1.disasm().insns[0].addr, [](Assembler& as) { as.Count(0); }}}, nullptr);
+  ASSERT_TRUE(once.ok());
+  Rewriter rw2(once.value());
+  EXPECT_FALSE(rw2.ok()) << "re-instrumenting an instrumented binary must be refused";
+}
+
+}  // namespace
+}  // namespace redfat

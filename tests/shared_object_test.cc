@@ -1,0 +1,107 @@
+// §7.4: "if the main program is instrumented by RedFat, but a dynamic
+// library dependency is not, then only the former will enjoy memory error
+// protection ... it is possible to separately instrument both."
+//
+// A main executable calls into a shared-object image through a function
+// pointer; the vulnerable store lives in the library.
+#include <gtest/gtest.h>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+namespace {
+
+// Library: one exported function at its base. Expects r12 = buffer, rax =
+// attacker index; writes buffer[rax] (8-byte elements) and returns.
+BinaryImage BuildLibrary() {
+  ProgramBuilder pb(kLibCodeBase, kLibDataBase);
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kR14, 0x77);
+  as.Store(Reg::kR14, MemBIS(Reg::kR12, Reg::kRax, 3, 0));  // the vulnerable site
+  as.Ret();
+  return pb.Finish();
+}
+
+// Main: p = malloc(64); q = malloc(64); lib_fn(p, input()); exit 0.
+// Also performs one in-bounds store of its own (so the main image carries
+// instrumentation too).
+BinaryImage BuildMain() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRI(Reg::kR14, 1);
+  as.Store(Reg::kR14, MemAt(Reg::kR12, 0));  // main's own (benign) store
+  as.HostCall(HostFn::kInputU64);
+  as.MovRI(Reg::kR11, kLibCodeBase);  // "dlsym": the library entry address
+  as.CallR(Reg::kR11);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+InstrumentResult Harden(const BinaryImage& img, uint64_t tramp_base) {
+  RedFatOptions opts;
+  opts.trampoline_base = tramp_base;
+  RedFatTool tool(opts);
+  Result<InstrumentResult> r = tool.Instrument(img);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return std::move(r).value();
+}
+
+constexpr uint64_t kLibTrampBase = kLibCodeBase + 0x1000000;
+
+TEST(SharedObject, UninstrumentedEverythingIsVulnerable) {
+  const BinaryImage lib = BuildLibrary();
+  const BinaryImage main_img = BuildMain();
+  RunConfig attack;
+  attack.inputs = {10};  // redzone-skipping index
+  const RunOutcome out = RunImages({&lib, &main_img}, RuntimeKind::kRedFat, attack);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit) << "no checks anywhere: silent corruption";
+  EXPECT_TRUE(out.errors.empty());
+}
+
+TEST(SharedObject, InstrumentedMainAloneMissesLibraryBug) {
+  const BinaryImage lib = BuildLibrary();
+  const InstrumentResult main_hard = Harden(BuildMain(), kTrampolineBase);
+  EXPECT_GE(main_hard.plan_stats.full_sites, 1u) << "main's own store is protected";
+  RunConfig attack;
+  attack.inputs = {10};
+  const RunOutcome out = RunImages({&lib, &main_hard.image}, RuntimeKind::kRedFat, attack);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit)
+      << "the vulnerable store executes in the uninstrumented library (§7.4)";
+}
+
+TEST(SharedObject, InstrumentingTheLibraryClosesTheGap) {
+  const InstrumentResult lib_hard = Harden(BuildLibrary(), kLibTrampBase);
+  const InstrumentResult main_hard = Harden(BuildMain(), kTrampolineBase);
+  RunConfig attack;
+  attack.inputs = {10};
+  const RunOutcome out =
+      RunImages({&lib_hard.image, &main_hard.image}, RuntimeKind::kRedFat, attack);
+  EXPECT_EQ(out.result.reason, HaltReason::kMemErrorAbort);
+
+  RunConfig benign;
+  benign.inputs = {3};
+  const RunOutcome ok =
+      RunImages({&lib_hard.image, &main_hard.image}, RuntimeKind::kRedFat, benign);
+  EXPECT_EQ(ok.result.reason, HaltReason::kExit) << ok.result.fault_message;
+  EXPECT_TRUE(ok.errors.empty());
+}
+
+TEST(SharedObject, TrampolineSectionsDoNotCollide) {
+  const InstrumentResult lib_hard = Harden(BuildLibrary(), kLibTrampBase);
+  const InstrumentResult main_hard = Harden(BuildMain(), kTrampolineBase);
+  const Section* lt = lib_hard.image.FindSection(Section::Kind::kTrampoline);
+  const Section* mt = main_hard.image.FindSection(Section::Kind::kTrampoline);
+  ASSERT_NE(lt, nullptr);
+  ASSERT_NE(mt, nullptr);
+  EXPECT_TRUE(lt->end_vaddr() <= mt->vaddr || mt->end_vaddr() <= lt->vaddr);
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/abi.h"
+#include "src/support/bits.h"
+#include "src/support/magic_div.h"
+#include "src/support/result.h"
+#include "src/support/rng.h"
+
+namespace redfat {
+namespace {
+
+TEST(Bits, PowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(Bits, Log2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 35), 35u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(48), 6u);
+  EXPECT_EQ(CeilLog2(64), 6u);
+}
+
+TEST(Bits, Align) {
+  EXPECT_EQ(AlignUp(0, 16), 0u);
+  EXPECT_EQ(AlignUp(1, 16), 16u);
+  EXPECT_EQ(AlignUp(16, 16), 16u);
+  EXPECT_EQ(AlignUp(100, 48), 144u);
+  EXPECT_EQ(AlignDown(100, 48), 96u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(SignExtend(0xff, 8), -1);
+  EXPECT_EQ(SignExtend(0x7f, 8), 127);
+  EXPECT_EQ(SignExtend(0x80000000ull, 32), INT64_C(-2147483648));
+  EXPECT_EQ(SignExtend(42, 64), 42);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  const uint64_t a1 = a.Next();
+  EXPECT_EQ(a1, b.Next());
+  EXPECT_NE(a1, c.Next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    const uint64_t v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad = Error("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e = Error("bad");
+  EXPECT_FALSE(e.ok());
+}
+
+// Magic division must be exact over the whole guaranteed dividend range for
+// every low-fat size class. Exhaustive checking is infeasible; probe the
+// adversarial spots (just below/above multiples of d) plus random points.
+class MagicDivClassTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MagicDivClassTest, ExactAroundMultiples) {
+  const uint64_t d = SizeClassBytes(GetParam());
+  ASSERT_GT(d, 0u);
+  const MagicDiv m = ComputeMagicDiv(d);
+  const uint64_t top = (uint64_t{1} << kMagicDividendBits) - 1;
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t q = rng.Below(top / d);
+    for (uint64_t n : {q * d, q * d + 1, q * d + d - 1, rng.Below(top)}) {
+      ASSERT_EQ(ApplyMagicDiv(n, m), n / d) << "d=" << d << " n=" << n;
+    }
+  }
+  // Boundary dividends.
+  for (uint64_t n : {uint64_t{0}, uint64_t{1}, d - 1, d, d + 1, top - 1, top}) {
+    ASSERT_EQ(ApplyMagicDiv(n, m), n / d) << "d=" << d << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizeClasses, MagicDivClassTest,
+                         ::testing::Range(1u, kNumSizeClasses + 1));
+
+TEST(MagicDiv, SmallAndAwkwardDivisors) {
+  Rng rng(99);
+  for (uint64_t d : {2ull, 3ull, 7ull, 10ull, 48ull, 1000ull, 4096ull, 1000003ull,
+                     (1ull << 30) + 1}) {
+    const MagicDiv m = ComputeMagicDiv(d);
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t n = rng.Below(uint64_t{1} << kMagicDividendBits);
+      ASSERT_EQ(ApplyMagicDiv(n, m), n / d) << "d=" << d << " n=" << n;
+    }
+  }
+}
+
+TEST(Abi, SizeClassTable) {
+  EXPECT_EQ(SizeClassBytes(1), 16u);
+  EXPECT_EQ(SizeClassBytes(2), 32u);
+  EXPECT_EQ(SizeClassBytes(3), 48u);
+  EXPECT_EQ(SizeClassBytes(32), 512u);
+  EXPECT_EQ(SizeClassBytes(33), 1024u);
+  EXPECT_EQ(SizeClassBytes(kNumSizeClasses), kMaxLowFatSize);
+  EXPECT_EQ(SizeClassBytes(0), 0u);
+  EXPECT_EQ(SizeClassBytes(kNumSizeClasses + 1), 0u);
+}
+
+TEST(Abi, LayoutInvariants) {
+  // The stack and code must sit at least 2 GiB below the first low-fat
+  // region, or check elimination (rsp/rip rule) would be unsound.
+  EXPECT_LT(kStackTop + (2ull << 30), kRegionSize);
+  EXPECT_LT(kTrampolineBase + (2ull << 30), kRegionSize);
+  // Legacy heap must be outside all low-fat regions.
+  EXPECT_GT(kLegacyHeapRegion, kNumSizeClasses);
+  EXPECT_LT(kLegacyHeapRegion, kNumRegions);
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include "src/heap/legacy_heap.h"
+#include "src/vm/vm.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+namespace {
+
+RunResult RunProgram(ProgramBuilder& pb, Vm& vm, GuestAllocator* alloc = nullptr,
+                     std::vector<uint64_t> inputs = {}) {
+  const BinaryImage img = pb.Finish();
+  if (alloc != nullptr) {
+    vm.set_allocator(alloc);
+  }
+  vm.set_inputs(std::move(inputs));
+  vm.LoadImage(img);
+  return vm.Run();
+}
+
+TEST(VmMemory, ReadWriteRoundTrip) {
+  Memory mem;
+  mem.Write(0x1000, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(mem.Read(0x1000, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(mem.Read(0x1000, 4), 0x55667788ULL);
+  EXPECT_EQ(mem.Read(0x1000, 2), 0x7788ULL);
+  EXPECT_EQ(mem.Read(0x1000, 1), 0x88ULL);
+  EXPECT_EQ(mem.Read(0x1004, 4), 0x11223344ULL);
+}
+
+TEST(VmMemory, UntouchedReadsZero) {
+  Memory mem;
+  EXPECT_EQ(mem.Read(0xdeadbeef000ULL, 8), 0u);
+  EXPECT_EQ(mem.TouchedPages(), 0u);
+}
+
+TEST(VmMemory, PageStraddle) {
+  Memory mem;
+  const uint64_t addr = Memory::kPageSize - 3;
+  mem.Write(addr, 0xaabbccddeeff0011ULL, 8);
+  EXPECT_EQ(mem.Read(addr, 8), 0xaabbccddeeff0011ULL);
+  EXPECT_EQ(mem.TouchedPages(), 2u);
+}
+
+TEST(VmMemory, BytesAndFill) {
+  Memory mem;
+  const uint8_t in[5] = {1, 2, 3, 4, 5};
+  mem.WriteBytes(Memory::kPageSize - 2, in, sizeof(in));
+  uint8_t out[5] = {};
+  mem.ReadBytes(Memory::kPageSize - 2, out, sizeof(out));
+  EXPECT_EQ(0, memcmp(in, out, sizeof(in)));
+  mem.Fill(0x2000, 0xab, 100);
+  EXPECT_EQ(mem.Read(0x2000 + 99, 1), 0xabu);
+  EXPECT_EQ(mem.Read(0x2000 + 100, 1), 0u);
+}
+
+TEST(VmExec, ArithmeticAndExit) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRax, 40);
+  as.AddI(Reg::kRax, 2);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kExit);
+  Vm vm;
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.reason, HaltReason::kExit);
+  EXPECT_EQ(r.exit_status, 42u);
+}
+
+TEST(VmExec, FlagsAndConditions) {
+  // Computes: 5 < 7 (unsigned), -1 < 0 (signed), -1 > 0 (unsigned).
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto fail = as.NewLabel();
+  as.MovRI(Reg::kRax, 5);
+  as.CmpI(Reg::kRax, 7);
+  as.Jcc(Cond::kUge, fail);
+  as.MovRI(Reg::kRax, static_cast<uint64_t>(-1));
+  as.CmpI(Reg::kRax, 0);
+  as.Jcc(Cond::kSge, fail);  // signed: -1 < 0
+  as.Jcc(Cond::kUle, fail);  // unsigned: max > 0
+  pb.EmitExit(0);
+  as.Bind(fail);
+  pb.EmitExit(1);
+  Vm vm;
+  EXPECT_EQ(RunProgram(pb, vm).exit_status, 0u);
+}
+
+TEST(VmExec, OverflowFlagSignedComparisons) {
+  // INT64_MIN < 1 signed, but comparing them trips OF; Jcc must honor it.
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto fail = as.NewLabel();
+  as.MovRI(Reg::kRbx, static_cast<uint64_t>(INT64_MIN));
+  as.CmpI(Reg::kRbx, 1);
+  as.Jcc(Cond::kSge, fail);
+  pb.EmitExit(0);
+  as.Bind(fail);
+  pb.EmitExit(1);
+  Vm vm;
+  EXPECT_EQ(RunProgram(pb, vm).exit_status, 0u);
+}
+
+TEST(VmExec, LoadStoreSizes) {
+  ProgramBuilder pb;
+  const uint64_t buf = pb.AddZeroData(16);
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRax, 0x1234567890abcdefULL);
+  as.MovRI(Reg::kRbx, buf);
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0, 2));           // 4-byte store
+  as.Load(Reg::kRcx, MemAt(Reg::kRbx, 0, 3));            // 8-byte load
+  as.MovRR(Reg::kRdi, Reg::kRcx);
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  Vm vm;
+  RunProgram(pb, vm);
+  ASSERT_EQ(vm.outputs().size(), 1u);
+  EXPECT_EQ(vm.outputs()[0], 0x90abcdefULL);  // zero-extended 4 bytes
+}
+
+TEST(VmExec, IndexedAddressing) {
+  ProgramBuilder pb;
+  const uint64_t arr = pb.AddDataU64({10, 20, 30, 40});
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRbx, arr);
+  as.MovRI(Reg::kRcx, 2);
+  as.Load(Reg::kRdi, MemBIS(Reg::kRbx, Reg::kRcx, 3, 8));  // arr[2+1]
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  Vm vm;
+  RunProgram(pb, vm);
+  ASSERT_EQ(vm.outputs().size(), 1u);
+  EXPECT_EQ(vm.outputs()[0], 40u);
+}
+
+TEST(VmExec, RipRelativeLea) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  // lea rax, [rip + 0] -> address of next instruction.
+  as.Lea(Reg::kRax, MemAt(Reg::kRip, 0));
+  const uint64_t expect = as.Here();
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  Vm vm;
+  RunProgram(pb, vm);
+  ASSERT_EQ(vm.outputs().size(), 1u);
+  EXPECT_EQ(vm.outputs()[0], expect);
+}
+
+TEST(VmExec, CallRetAndStack) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto fn = as.NewLabel();
+  as.MovRI(Reg::kRax, 1);
+  as.Call(fn);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kExit);
+  as.Bind(fn);
+  as.AddI(Reg::kRax, 10);
+  as.Ret();
+  Vm vm;
+  EXPECT_EQ(RunProgram(pb, vm).exit_status, 11u);
+}
+
+TEST(VmExec, IndirectCallThroughTable) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto fn = as.NewLabel();
+  auto main_start = as.NewLabel();
+  as.Jmp(main_start);
+  as.Bind(fn);
+  as.MovRI(Reg::kRax, 77);
+  as.Ret();
+  as.Bind(main_start);
+  as.MovLabelAddr(Reg::kR11, fn);
+  as.CallR(Reg::kR11);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kExit);
+  Vm vm;
+  EXPECT_EQ(RunProgram(pb, vm).exit_status, 77u);
+}
+
+TEST(VmExec, PushPopPushfPopf) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto fail = as.NewLabel();
+  as.MovRI(Reg::kRax, 123);
+  as.Push(Reg::kRax);
+  as.MovRI(Reg::kRax, 0);
+  as.CmpI(Reg::kRax, 0);  // ZF set
+  as.Pushf();
+  as.MovRI(Reg::kRbx, 1);
+  as.CmpI(Reg::kRbx, 99);  // clobber flags (ZF clear)
+  as.Popf();
+  as.Jcc(Cond::kNe, fail);  // must see restored ZF
+  as.Pop(Reg::kRcx);
+  as.CmpI(Reg::kRcx, 123);
+  as.Jcc(Cond::kNe, fail);
+  pb.EmitExit(0);
+  as.Bind(fail);
+  pb.EmitExit(1);
+  Vm vm;
+  EXPECT_EQ(RunProgram(pb, vm).exit_status, 0u);
+}
+
+TEST(VmExec, MulhMatchesHost) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  const uint64_t a = 0x123456789abcdef0ULL;
+  const uint64_t b = 0xfedcba9876543210ULL;
+  as.MovRI(Reg::kRax, a);
+  as.MovRI(Reg::kRbx, b);
+  as.Mulh(Reg::kRax, Reg::kRbx);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  Vm vm;
+  RunProgram(pb, vm);
+  const uint64_t expect =
+      static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) >> 64);
+  EXPECT_EQ(vm.outputs()[0], expect);
+}
+
+TEST(VmExec, ShiftSemantics) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRax, 0xffffffff00000001ULL);
+  as.ShlI(Reg::kRax, 32);
+  as.ShrI(Reg::kRax, 32);  // zext32
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  as.MovRI(Reg::kRbx, static_cast<uint64_t>(-16));
+  as.SarI(Reg::kRbx, 2);
+  as.MovRR(Reg::kRdi, Reg::kRbx);
+  as.HostCall(HostFn::kOutputU64);
+  as.MovRI(Reg::kRcx, 5);
+  as.MovRI(Reg::kRdx, 1);
+  as.Shl(Reg::kRdx, Reg::kRcx);
+  as.MovRR(Reg::kRdi, Reg::kRdx);
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  Vm vm;
+  RunProgram(pb, vm);
+  ASSERT_EQ(vm.outputs().size(), 3u);
+  EXPECT_EQ(vm.outputs()[0], 1u);
+  EXPECT_EQ(vm.outputs()[1], static_cast<uint64_t>(-4));
+  EXPECT_EQ(vm.outputs()[2], 32u);
+}
+
+TEST(VmExec, HostMallocFreeMemsetMemcpy) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 64);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR8, Reg::kRax);  // p
+  as.MovRR(Reg::kRdi, Reg::kR8);
+  as.MovRI(Reg::kRsi, 0x5a);
+  as.MovRI(Reg::kRdx, 64);
+  as.HostCall(HostFn::kMemset);
+  as.Load(Reg::kRdi, MemAt(Reg::kR8, 0));
+  as.HostCall(HostFn::kOutputU64);
+  as.MovRR(Reg::kRdi, Reg::kR8);
+  as.HostCall(HostFn::kFree);
+  pb.EmitExit(0);
+  Vm vm;
+  GlibcLikeAllocator alloc;
+  const RunResult r = RunProgram(pb, vm, &alloc);
+  EXPECT_EQ(r.reason, HaltReason::kExit);
+  ASSERT_EQ(vm.outputs().size(), 1u);
+  EXPECT_EQ(vm.outputs()[0], 0x5a5a5a5a5a5a5a5aULL);
+}
+
+TEST(VmExec, InputsAndRand) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.HostCall(HostFn::kInputU64);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  as.HostCall(HostFn::kInputU64);  // exhausted -> 0
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  as.HostCall(HostFn::kRandU64);
+  as.MovRR(Reg::kRdi, Reg::kRax);
+  as.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  Vm vm;
+  vm.set_rng_seed(42);
+  RunProgram(pb, vm, nullptr, {555});
+  ASSERT_EQ(vm.outputs().size(), 3u);
+  EXPECT_EQ(vm.outputs()[0], 555u);
+  EXPECT_EQ(vm.outputs()[1], 0u);
+  EXPECT_EQ(vm.outputs()[2], Rng(42).Next());
+}
+
+TEST(VmExec, TrapMemErrorHardenAborts) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Trap(TrapCode::kMemError, PackErrorArg(7, ErrorKind::kBounds));
+  pb.EmitExit(0);
+  Vm vm;
+  vm.set_policy(Policy::kHarden);
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.reason, HaltReason::kMemErrorAbort);
+  ASSERT_EQ(vm.mem_errors().size(), 1u);
+  EXPECT_EQ(vm.mem_errors()[0].site, 7u);
+  EXPECT_EQ(vm.mem_errors()[0].kind, ErrorKind::kBounds);
+}
+
+TEST(VmExec, TrapMemErrorLogContinues) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Trap(TrapCode::kMemError, PackErrorArg(3, ErrorKind::kUaf));
+  pb.EmitExit(9);
+  Vm vm;
+  vm.set_policy(Policy::kLog);
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.reason, HaltReason::kExit);
+  EXPECT_EQ(r.exit_status, 9u);
+  EXPECT_EQ(vm.mem_errors().size(), 1u);
+}
+
+TEST(VmExec, ProfTrapsAndCounters) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.Trap(TrapCode::kProfPass, 5);
+  as.Trap(TrapCode::kProfPass, 5);
+  as.Trap(TrapCode::kProfFail, 5);
+  as.Count(11);
+  as.Count(11);
+  pb.EmitExit(0);
+  Vm vm;
+  RunProgram(pb, vm);
+  EXPECT_EQ(vm.prof_counts().at(5).passes, 2u);
+  EXPECT_EQ(vm.prof_counts().at(5).fails, 1u);
+  EXPECT_EQ(vm.counters().at(11), 2u);
+}
+
+TEST(VmExec, CountCostsNothing) {
+  ProgramBuilder pb1, pb2;
+  pb1.text().MovRI(Reg::kRax, 1);
+  pb1.EmitExit(0);
+  pb2.text().MovRI(Reg::kRax, 1);
+  pb2.text().Count(1);
+  pb2.text().Count(2);
+  pb2.EmitExit(0);
+  Vm vm1, vm2;
+  const RunResult r1 = RunProgram(pb1, vm1);
+  const RunResult r2 = RunProgram(pb2, vm2);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r2.instructions, r1.instructions + 2);
+}
+
+TEST(VmExec, Ud2Faults) {
+  ProgramBuilder pb;
+  pb.text().Ud2();
+  Vm vm;
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.reason, HaltReason::kFault);
+}
+
+TEST(VmExec, RunawayIntoZeroMemoryFaults) {
+  ProgramBuilder pb;
+  pb.text().Nop();  // falls off the end into zeroed memory
+  Vm vm;
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.reason, HaltReason::kFault);
+}
+
+TEST(VmExec, InstructionLimit) {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.Jmp(loop);
+  Vm vm;
+  vm.set_instruction_limit(1000);
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.reason, HaltReason::kInstrLimit);
+  EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST(VmExec, ExplicitMemOpCounting) {
+  ProgramBuilder pb;
+  const uint64_t buf = pb.AddZeroData(8);
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRbx, buf);
+  as.Load(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.Store(Reg::kRax, MemAt(Reg::kRbx, 0));
+  as.StoreI(MemAt(Reg::kRbx, 0), 5);
+  as.Push(Reg::kRax);  // stack traffic is not an explicit memory operand
+  as.Pop(Reg::kRax);
+  pb.EmitExit(0);
+  Vm vm;
+  const RunResult r = RunProgram(pb, vm);
+  EXPECT_EQ(r.explicit_reads, 1u);
+  EXPECT_EQ(r.explicit_writes, 2u);
+}
+
+}  // namespace
+}  // namespace redfat

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/dbi/memcheck.h"
+#include "src/workloads/cve.h"
+#include "src/workloads/kraken.h"
+#include "src/workloads/spec.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+namespace {
+
+TEST(Synth, DeterministicPerSeed) {
+  SynthParams p;
+  p.seed = 42;
+  const BinaryImage a = GenerateSynthProgram(p);
+  const BinaryImage b = GenerateSynthProgram(p);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  p.seed = 43;
+  EXPECT_NE(GenerateSynthProgram(p).Serialize(), a.Serialize());
+}
+
+TEST(Synth, RunsCleanUnderBaseline) {
+  SynthParams p;
+  p.seed = 7;
+  p.churn_pct = 3;
+  const BinaryImage img = GenerateSynthProgram(p);
+  RunConfig cfg;
+  cfg.inputs = RefInputs(20);
+  const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit) << out.result.fault_message;
+  EXPECT_EQ(out.result.exit_status, 0u);
+  ASSERT_EQ(out.outputs.size(), 1u);
+}
+
+TEST(Synth, ChecksumIsAllocatorIndependent) {
+  SynthParams p;
+  p.seed = 11;
+  p.churn_pct = 4;
+  const BinaryImage img = GenerateSynthProgram(p);
+  RunConfig cfg;
+  cfg.inputs = RefInputs(25);
+  const RunOutcome glibc = RunImage(img, RuntimeKind::kBaseline, cfg);
+  const RunOutcome redfat = RunImage(img, RuntimeKind::kRedFat, cfg);
+  const RunOutcome memcheck = RunMemcheck(img, cfg);
+  EXPECT_EQ(glibc.outputs, redfat.outputs);
+  EXPECT_EQ(glibc.outputs, memcheck.outputs);
+}
+
+// THE central soundness property: for arbitrary generated programs with no
+// real memory errors and no anti-idioms, full (Redzone)+(LowFat) hardening
+// must neither abort nor change behaviour — across program shapes, runtimes
+// and optimization levels.
+class SynthHardeningProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthHardeningProperty, HardenedEqualsBaseline) {
+  SynthParams p;
+  p.seed = GetParam();
+  p.num_objects = 4 + GetParam() % 7;
+  p.churn_pct = (GetParam() % 3 == 0) ? 4 : 0;
+  p.max_accesses_per_ptr = 1 + GetParam() % 8;
+  p.mem_pct = 20 + GetParam() % 25;
+  p.indexed_pct = 30 + GetParam() % 60;
+  const BinaryImage img = GenerateSynthProgram(p);
+  RunConfig cfg;
+  cfg.inputs = RefInputs(12);
+  const RunOutcome base = RunImage(img, RuntimeKind::kBaseline, cfg);
+  ASSERT_EQ(base.result.reason, HaltReason::kExit) << base.result.fault_message;
+
+  for (const RedFatOptions& opts :
+       {RedFatOptions::Unoptimized(), RedFatOptions::Merge(), RedFatOptions::NoReads()}) {
+    RedFatTool tool(opts);
+    Result<InstrumentResult> ir = tool.Instrument(img);
+    ASSERT_TRUE(ir.ok()) << ir.error();
+    const RunOutcome hard = RunImage(ir.value().image, RuntimeKind::kRedFat, cfg);
+    ASSERT_EQ(hard.result.reason, HaltReason::kExit)
+        << "seed=" << GetParam() << ": " << hard.result.fault_message;
+    ASSERT_EQ(hard.outputs, base.outputs) << "seed=" << GetParam();
+    ASSERT_TRUE(hard.errors.empty()) << "seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthHardeningProperty, ::testing::Range<uint64_t>(1, 25));
+
+TEST(Synth, AntiIdiomWorkflowEndToEnd) {
+  SynthParams p;
+  p.seed = 5;
+  p.anti_idiom_sites = 3;
+  p.anti_idiom_pct = 20;
+  const BinaryImage img = GenerateSynthProgram(p);
+
+  // Full-on: false positives appear (log mode).
+  RedFatTool full(RedFatOptions{});
+  const InstrumentResult ir_full = full.Instrument(img).value();
+  RunConfig ref;
+  ref.inputs = RefInputs(30);
+  ref.policy = Policy::kLog;
+  const RunOutcome fp_run = RunImage(ir_full.image, RuntimeKind::kRedFat, ref);
+  EXPECT_EQ(fp_run.result.reason, HaltReason::kExit);
+  EXPECT_FALSE(fp_run.errors.empty());
+
+  // Two-phase workflow: profile on train, harden, run ref clean.
+  RedFatTool prof(RedFatOptions::Profile());
+  const InstrumentResult ir_prof = prof.Instrument(img).value();
+  RunConfig train;
+  train.inputs = TrainInputs(30);
+  train.policy = Policy::kLog;
+  const RunOutcome prof_run = RunImage(ir_prof.image, RuntimeKind::kRedFat, train);
+  ASSERT_EQ(prof_run.result.reason, HaltReason::kExit);
+  const AllowList allow = BuildAllowList(prof_run.prof_counts, ir_prof.sites);
+
+  const InstrumentResult ir_hard = full.Instrument(img, &allow).value();
+  RunConfig prod;
+  prod.inputs = RefInputs(30);
+  const RunOutcome prod_run = RunImage(ir_hard.image, RuntimeKind::kRedFat, prod);
+  EXPECT_EQ(prod_run.result.reason, HaltReason::kExit) << "no production false abort";
+  EXPECT_TRUE(prod_run.errors.empty());
+}
+
+TEST(Synth, RefOnlyBlocksLowerCoverage) {
+  SynthParams p;
+  p.seed = 9;
+  p.ref_only_pct = 60;
+  const BinaryImage img = GenerateSynthProgram(p);
+  RedFatTool prof(RedFatOptions::Profile());
+  const InstrumentResult ir_prof = prof.Instrument(img).value();
+  RunConfig train;
+  train.inputs = TrainInputs(40);
+  train.policy = Policy::kLog;
+  const RunOutcome prof_run = RunImage(ir_prof.image, RuntimeKind::kRedFat, train);
+  const AllowList allow = BuildAllowList(prof_run.prof_counts, ir_prof.sites);
+
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(img, &allow).value();
+  RunConfig ref;
+  ref.inputs = RefInputs(40);
+  const RunOutcome run = RunImage(ir.image, RuntimeKind::kRedFat, ref);
+  ASSERT_EQ(run.result.reason, HaltReason::kExit);
+  const CoverageStats cov = ComputeCoverage(run.counters, ir.sites);
+  EXPECT_GT(cov.redzone_only, 0u) << "ref-only sites were never profiled";
+  EXPECT_LT(cov.FullFraction(), 0.85);
+  EXPECT_GT(cov.FullFraction(), 0.10);
+}
+
+TEST(Spec, SuiteHas29UniqueBenchmarks) {
+  const auto& suite = SpecSuite();
+  ASSERT_EQ(suite.size(), 29u);
+  std::set<std::string> names;
+  for (const auto& b : suite) {
+    names.insert(b.name);
+  }
+  EXPECT_EQ(names.size(), 29u);
+}
+
+TEST(Spec, EveryBenchmarkBuildsAndRuns) {
+  for (const SpecBenchmark& b : SpecSuite()) {
+    const BinaryImage img = BuildSpecBenchmark(b);
+    RunConfig cfg;
+    cfg.inputs = RefInputs(3);
+    cfg.policy = Policy::kLog;
+    const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+    ASSERT_EQ(out.result.reason, HaltReason::kExit)
+        << b.name << ": " << out.result.fault_message;
+    ASSERT_EQ(out.result.exit_status, 0u) << b.name;
+  }
+}
+
+TEST(Spec, LatentBugsAreDetectedByBothTools) {
+  const SpecBenchmark* calculix = nullptr;
+  for (const auto& b : SpecSuite()) {
+    if (b.name == "calculix") {
+      calculix = &b;
+    }
+  }
+  ASSERT_NE(calculix, nullptr);
+  const BinaryImage img = BuildSpecBenchmark(*calculix);
+  RunConfig cfg;
+  cfg.inputs = RefInputs(2);
+  cfg.policy = Policy::kLog;
+
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(img).value();
+  const RunOutcome rf = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  std::set<uint32_t> sites;
+  for (const auto& e : rf.errors) {
+    sites.insert(e.site);
+  }
+  EXPECT_GE(sites.size(), 4u) << "the four array[-1] underflows must be reported";
+
+  const RunOutcome mc = RunMemcheck(img, cfg);
+  EXPECT_GE(mc.errors.size(), 4u) << "Memcheck sees redzone reads too";
+}
+
+TEST(Cve, AllFourDetectedByRedFatMissedByMemcheck) {
+  for (const VulnCase& c : CveCases()) {
+    RedFatTool tool(RedFatOptions{});
+    const InstrumentResult ir = tool.Instrument(c.image).value();
+
+    RunConfig attack;
+    attack.inputs = c.attack_inputs;
+    const RunOutcome rf = RunImage(ir.image, RuntimeKind::kRedFat, attack);
+    EXPECT_EQ(rf.result.reason, HaltReason::kMemErrorAbort) << c.name;
+
+    RunConfig benign;
+    benign.inputs = c.benign_inputs;
+    const RunOutcome rf_ok = RunImage(ir.image, RuntimeKind::kRedFat, benign);
+    EXPECT_EQ(rf_ok.result.reason, HaltReason::kExit) << c.name;
+
+    RunConfig mc_cfg;
+    mc_cfg.inputs = c.attack_inputs;
+    mc_cfg.policy = Policy::kLog;
+    const RunOutcome mc = RunMemcheck(c.image, mc_cfg);
+    EXPECT_EQ(mc.result.reason, HaltReason::kExit) << c.name;
+    EXPECT_TRUE(mc.errors.empty()) << c.name << ": Memcheck should miss the skip";
+  }
+}
+
+TEST(Cve, JulietSuiteShapeAndSpotChecks) {
+  const std::vector<VulnCase> cases = JulietCwe122Cases();
+  ASSERT_EQ(cases.size(), 480u);
+  // Spot-check one case per element size (the full 480x2 matrix runs in the
+  // bench harness).
+  for (size_t i : {0u, 150u, 300u, 450u}) {
+    const VulnCase& c = cases[i];
+    RedFatTool tool(RedFatOptions{});
+    const InstrumentResult ir = tool.Instrument(c.image).value();
+    RunConfig attack;
+    attack.inputs = c.attack_inputs;
+    EXPECT_EQ(RunImage(ir.image, RuntimeKind::kRedFat, attack).result.reason,
+              HaltReason::kMemErrorAbort)
+        << c.name;
+    RunConfig mc_cfg;
+    mc_cfg.inputs = c.attack_inputs;
+    mc_cfg.policy = Policy::kLog;
+    const RunOutcome mc = RunMemcheck(c.image, mc_cfg);
+    EXPECT_TRUE(mc.errors.empty()) << c.name;
+    RunConfig benign;
+    benign.inputs = c.benign_inputs;
+    EXPECT_EQ(RunImage(ir.image, RuntimeKind::kRedFat, benign).result.reason,
+              HaltReason::kExit)
+        << c.name;
+  }
+}
+
+TEST(Kraken, SuiteBuildsAndRunsHardened) {
+  const auto& suite = KrakenSuite();
+  ASSERT_EQ(suite.size(), 14u);
+  const KrakenBenchmark& b = suite.front();
+  const BinaryImage img = BuildKrakenBenchmark(b);
+  EXPECT_GT(img.TotalBytes(), 50'000u) << "the Chrome stand-in must be large";
+  RedFatTool tool(RedFatOptions::NoReads());
+  const InstrumentResult ir = tool.Instrument(img).value();
+  RunConfig cfg;
+  cfg.inputs = RefInputs(10);
+  const RunOutcome base = RunImage(img, RuntimeKind::kBaseline, cfg);
+  const RunOutcome hard = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(base.result.reason, HaltReason::kExit);
+  EXPECT_EQ(hard.result.reason, HaltReason::kExit) << hard.result.fault_message;
+  EXPECT_EQ(base.outputs, hard.outputs);
+}
+
+}  // namespace
+}  // namespace redfat
