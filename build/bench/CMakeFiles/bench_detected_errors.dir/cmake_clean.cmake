@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detected_errors.dir/bench_detected_errors.cc.o"
+  "CMakeFiles/bench_detected_errors.dir/bench_detected_errors.cc.o.d"
+  "bench_detected_errors"
+  "bench_detected_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detected_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_kraken.dir/bench_figure8_kraken.cc.o"
+  "CMakeFiles/bench_figure8_kraken.dir/bench_figure8_kraken.cc.o.d"
+  "bench_figure8_kraken"
+  "bench_figure8_kraken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_kraken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

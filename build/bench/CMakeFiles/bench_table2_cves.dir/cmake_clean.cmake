@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cves.dir/bench_table2_cves.cc.o"
+  "CMakeFiles/bench_table2_cves.dir/bench_table2_cves.cc.o.d"
+  "bench_table2_cves"
+  "bench_table2_cves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

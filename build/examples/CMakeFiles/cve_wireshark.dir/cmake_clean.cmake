@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_wireshark.dir/cve_wireshark.cpp.o"
+  "CMakeFiles/cve_wireshark.dir/cve_wireshark.cpp.o.d"
+  "cve_wireshark"
+  "cve_wireshark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_wireshark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

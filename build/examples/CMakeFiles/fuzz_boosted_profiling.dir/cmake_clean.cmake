@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_boosted_profiling.dir/fuzz_boosted_profiling.cpp.o"
+  "CMakeFiles/fuzz_boosted_profiling.dir/fuzz_boosted_profiling.cpp.o.d"
+  "fuzz_boosted_profiling"
+  "fuzz_boosted_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_boosted_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_large_binary.dir/harden_large_binary.cpp.o"
+  "CMakeFiles/harden_large_binary.dir/harden_large_binary.cpp.o.d"
+  "harden_large_binary"
+  "harden_large_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_large_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("asm")
+subdirs("bin")
+subdirs("vm")
+subdirs("heap")
+subdirs("shadow")
+subdirs("rw")
+subdirs("core")
+subdirs("dbi")
+subdirs("workloads")
+subdirs("tools")

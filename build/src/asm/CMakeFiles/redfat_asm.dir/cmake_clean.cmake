@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_asm.dir/assembler.cc.o"
+  "CMakeFiles/redfat_asm.dir/assembler.cc.o.d"
+  "libredfat_asm.a"
+  "libredfat_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_bin.dir/image.cc.o"
+  "CMakeFiles/redfat_bin.dir/image.cc.o.d"
+  "libredfat_bin.a"
+  "libredfat_bin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

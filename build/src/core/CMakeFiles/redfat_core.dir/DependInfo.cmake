@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen.cc" "src/core/CMakeFiles/redfat_core.dir/codegen.cc.o" "gcc" "src/core/CMakeFiles/redfat_core.dir/codegen.cc.o.d"
+  "/root/repo/src/core/fuzz_profile.cc" "src/core/CMakeFiles/redfat_core.dir/fuzz_profile.cc.o" "gcc" "src/core/CMakeFiles/redfat_core.dir/fuzz_profile.cc.o.d"
+  "/root/repo/src/core/harness.cc" "src/core/CMakeFiles/redfat_core.dir/harness.cc.o" "gcc" "src/core/CMakeFiles/redfat_core.dir/harness.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/redfat_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/redfat_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/redfat.cc" "src/core/CMakeFiles/redfat_core.dir/redfat.cc.o" "gcc" "src/core/CMakeFiles/redfat_core.dir/redfat.cc.o.d"
+  "/root/repo/src/core/sitemap.cc" "src/core/CMakeFiles/redfat_core.dir/sitemap.cc.o" "gcc" "src/core/CMakeFiles/redfat_core.dir/sitemap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rw/CMakeFiles/redfat_rw.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/redfat_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/redfat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/redfat_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bin/CMakeFiles/redfat_bin.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/redfat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/redfat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

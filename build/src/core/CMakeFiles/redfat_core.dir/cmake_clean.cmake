@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_core.dir/codegen.cc.o"
+  "CMakeFiles/redfat_core.dir/codegen.cc.o.d"
+  "CMakeFiles/redfat_core.dir/fuzz_profile.cc.o"
+  "CMakeFiles/redfat_core.dir/fuzz_profile.cc.o.d"
+  "CMakeFiles/redfat_core.dir/harness.cc.o"
+  "CMakeFiles/redfat_core.dir/harness.cc.o.d"
+  "CMakeFiles/redfat_core.dir/plan.cc.o"
+  "CMakeFiles/redfat_core.dir/plan.cc.o.d"
+  "CMakeFiles/redfat_core.dir/redfat.cc.o"
+  "CMakeFiles/redfat_core.dir/redfat.cc.o.d"
+  "CMakeFiles/redfat_core.dir/sitemap.cc.o"
+  "CMakeFiles/redfat_core.dir/sitemap.cc.o.d"
+  "libredfat_core.a"
+  "libredfat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

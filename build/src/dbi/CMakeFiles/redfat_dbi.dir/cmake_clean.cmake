@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_dbi.dir/memcheck.cc.o"
+  "CMakeFiles/redfat_dbi.dir/memcheck.cc.o.d"
+  "libredfat_dbi.a"
+  "libredfat_dbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_dbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/legacy_heap.cc" "src/heap/CMakeFiles/redfat_heap.dir/legacy_heap.cc.o" "gcc" "src/heap/CMakeFiles/redfat_heap.dir/legacy_heap.cc.o.d"
+  "/root/repo/src/heap/lowfat.cc" "src/heap/CMakeFiles/redfat_heap.dir/lowfat.cc.o" "gcc" "src/heap/CMakeFiles/redfat_heap.dir/lowfat.cc.o.d"
+  "/root/repo/src/heap/redfat_allocator.cc" "src/heap/CMakeFiles/redfat_heap.dir/redfat_allocator.cc.o" "gcc" "src/heap/CMakeFiles/redfat_heap.dir/redfat_allocator.cc.o.d"
+  "/root/repo/src/heap/shadow_allocator.cc" "src/heap/CMakeFiles/redfat_heap.dir/shadow_allocator.cc.o" "gcc" "src/heap/CMakeFiles/redfat_heap.dir/shadow_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/redfat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/redfat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/redfat_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bin/CMakeFiles/redfat_bin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_heap.dir/legacy_heap.cc.o"
+  "CMakeFiles/redfat_heap.dir/legacy_heap.cc.o.d"
+  "CMakeFiles/redfat_heap.dir/lowfat.cc.o"
+  "CMakeFiles/redfat_heap.dir/lowfat.cc.o.d"
+  "CMakeFiles/redfat_heap.dir/redfat_allocator.cc.o"
+  "CMakeFiles/redfat_heap.dir/redfat_allocator.cc.o.d"
+  "CMakeFiles/redfat_heap.dir/shadow_allocator.cc.o"
+  "CMakeFiles/redfat_heap.dir/shadow_allocator.cc.o.d"
+  "libredfat_heap.a"
+  "libredfat_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_isa.dir/isa.cc.o"
+  "CMakeFiles/redfat_isa.dir/isa.cc.o.d"
+  "libredfat_isa.a"
+  "libredfat_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

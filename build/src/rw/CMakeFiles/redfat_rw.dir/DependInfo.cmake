@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rw/disasm.cc" "src/rw/CMakeFiles/redfat_rw.dir/disasm.cc.o" "gcc" "src/rw/CMakeFiles/redfat_rw.dir/disasm.cc.o.d"
+  "/root/repo/src/rw/liveness.cc" "src/rw/CMakeFiles/redfat_rw.dir/liveness.cc.o" "gcc" "src/rw/CMakeFiles/redfat_rw.dir/liveness.cc.o.d"
+  "/root/repo/src/rw/rewriter.cc" "src/rw/CMakeFiles/redfat_rw.dir/rewriter.cc.o" "gcc" "src/rw/CMakeFiles/redfat_rw.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/redfat_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bin/CMakeFiles/redfat_bin.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/redfat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/redfat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_rw.dir/disasm.cc.o"
+  "CMakeFiles/redfat_rw.dir/disasm.cc.o.d"
+  "CMakeFiles/redfat_rw.dir/liveness.cc.o"
+  "CMakeFiles/redfat_rw.dir/liveness.cc.o.d"
+  "CMakeFiles/redfat_rw.dir/rewriter.cc.o"
+  "CMakeFiles/redfat_rw.dir/rewriter.cc.o.d"
+  "libredfat_rw.a"
+  "libredfat_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

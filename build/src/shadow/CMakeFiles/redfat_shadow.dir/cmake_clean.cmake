@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_shadow.dir/shadow_map.cc.o"
+  "CMakeFiles/redfat_shadow.dir/shadow_map.cc.o.d"
+  "libredfat_shadow.a"
+  "libredfat_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_support.dir/magic_div.cc.o"
+  "CMakeFiles/redfat_support.dir/magic_div.cc.o.d"
+  "libredfat_support.a"
+  "libredfat_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat.dir/redfat_main.cc.o"
+  "CMakeFiles/redfat.dir/redfat_main.cc.o.d"
+  "redfat"
+  "redfat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_tool_io.dir/tool_io.cc.o"
+  "CMakeFiles/redfat_tool_io.dir/tool_io.cc.o.d"
+  "libredfat_tool_io.a"
+  "libredfat_tool_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_tool_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

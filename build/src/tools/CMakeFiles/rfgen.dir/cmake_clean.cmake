@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfgen.dir/rfgen_main.cc.o"
+  "CMakeFiles/rfgen.dir/rfgen_main.cc.o.d"
+  "rfgen"
+  "rfgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfobjdump.dir/rfobjdump_main.cc.o"
+  "CMakeFiles/rfobjdump.dir/rfobjdump_main.cc.o.d"
+  "rfobjdump"
+  "rfobjdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfobjdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfrun.dir/rfrun_main.cc.o"
+  "CMakeFiles/rfrun.dir/rfrun_main.cc.o.d"
+  "rfrun"
+  "rfrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_vm.dir/memory.cc.o"
+  "CMakeFiles/redfat_vm.dir/memory.cc.o.d"
+  "CMakeFiles/redfat_vm.dir/vm.cc.o"
+  "CMakeFiles/redfat_vm.dir/vm.cc.o.d"
+  "libredfat_vm.a"
+  "libredfat_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libredfat_vm.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cc" "src/workloads/CMakeFiles/redfat_workloads.dir/builder.cc.o" "gcc" "src/workloads/CMakeFiles/redfat_workloads.dir/builder.cc.o.d"
+  "/root/repo/src/workloads/cve.cc" "src/workloads/CMakeFiles/redfat_workloads.dir/cve.cc.o" "gcc" "src/workloads/CMakeFiles/redfat_workloads.dir/cve.cc.o.d"
+  "/root/repo/src/workloads/kraken.cc" "src/workloads/CMakeFiles/redfat_workloads.dir/kraken.cc.o" "gcc" "src/workloads/CMakeFiles/redfat_workloads.dir/kraken.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/redfat_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/redfat_workloads.dir/spec.cc.o.d"
+  "/root/repo/src/workloads/synth.cc" "src/workloads/CMakeFiles/redfat_workloads.dir/synth.cc.o" "gcc" "src/workloads/CMakeFiles/redfat_workloads.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/redfat_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/redfat_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bin/CMakeFiles/redfat_bin.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/redfat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/redfat_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/redfat_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

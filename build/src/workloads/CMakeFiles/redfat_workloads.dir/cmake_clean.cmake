@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redfat_workloads.dir/builder.cc.o"
+  "CMakeFiles/redfat_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/redfat_workloads.dir/cve.cc.o"
+  "CMakeFiles/redfat_workloads.dir/cve.cc.o.d"
+  "CMakeFiles/redfat_workloads.dir/kraken.cc.o"
+  "CMakeFiles/redfat_workloads.dir/kraken.cc.o.d"
+  "CMakeFiles/redfat_workloads.dir/spec.cc.o"
+  "CMakeFiles/redfat_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/redfat_workloads.dir/synth.cc.o"
+  "CMakeFiles/redfat_workloads.dir/synth.cc.o.d"
+  "libredfat_workloads.a"
+  "libredfat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redfat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_profile_test.cc" "tests/CMakeFiles/fuzz_profile_test.dir/fuzz_profile_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_profile_test.dir/fuzz_profile_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/redfat_tool_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/redfat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/redfat_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/redfat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rw/CMakeFiles/redfat_rw.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/redfat_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/redfat_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/redfat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/redfat_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bin/CMakeFiles/redfat_bin.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/redfat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/redfat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_profile_test.dir/fuzz_profile_test.cc.o"
+  "CMakeFiles/fuzz_profile_test.dir/fuzz_profile_test.cc.o.d"
+  "fuzz_profile_test"
+  "fuzz_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juliet_full_test.dir/juliet_full_test.cc.o"
+  "CMakeFiles/juliet_full_test.dir/juliet_full_test.cc.o.d"
+  "juliet_full_test"
+  "juliet_full_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juliet_full_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

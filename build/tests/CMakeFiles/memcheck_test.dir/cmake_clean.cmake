@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcheck_test.dir/memcheck_test.cc.o"
+  "CMakeFiles/memcheck_test.dir/memcheck_test.cc.o.d"
+  "memcheck_test"
+  "memcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_object_test.dir/shared_object_test.cc.o"
+  "CMakeFiles/shared_object_test.dir/shared_object_test.cc.o.d"
+  "shared_object_test"
+  "shared_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
