@@ -34,6 +34,54 @@ inline InstrumentResult MustInstrument(const BinaryImage& img, const RedFatOptio
   return std::move(r).value();
 }
 
+// Aggregates per-pass wall time across instrumentation runs. Each sample is
+// consumed through the machine-readable `--stats` JSON (ToJson →
+// PipelineStatsFromJson), so the benches exercise the exact format external
+// harnesses parse.
+class PassTimeAggregator {
+ public:
+  void Add(const PipelineStats& stats) {
+    Result<PipelineStats> parsed = PipelineStatsFromJson(stats.ToJson());
+    REDFAT_CHECK(parsed.ok());
+    for (const PassStats& p : parsed.value().passes) {
+      Row& row = FindOrAdd(p.name);
+      row.wall_ms += p.wall_ms;
+      row.items += p.items;
+      row.changed += p.changed;
+    }
+    total_ms_ += parsed.value().total_ms;
+  }
+
+  void Print(const char* title) const {
+    std::printf("\n%s\n", title);
+    std::printf("  %-10s %12s %12s %10s\n", "pass", "items", "changed", "wall(ms)");
+    for (const Row& row : rows_) {
+      std::printf("  %-10s %12zu %12zu %10.2f\n", row.name.c_str(), row.items, row.changed,
+                  row.wall_ms);
+    }
+    std::printf("  %-10s %12s %12s %10.2f\n", "total", "", "", total_ms_);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    size_t items = 0;
+    size_t changed = 0;
+    double wall_ms = 0.0;
+  };
+  Row& FindOrAdd(const std::string& name) {
+    for (Row& row : rows_) {
+      if (row.name == name) {
+        return row;
+      }
+    }
+    rows_.push_back(Row{name, 0, 0, 0.0});
+    return rows_.back();
+  }
+  std::vector<Row> rows_;  // in first-seen (pipeline) order
+  double total_ms_ = 0.0;
+};
+
 inline double Geomean(const std::vector<double>& xs) {
   if (xs.empty()) {
     return 0.0;

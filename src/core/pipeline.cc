@@ -1,0 +1,581 @@
+#include "src/core/pipeline.h"
+
+#include <chrono>
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "src/core/codegen.h"
+#include "src/support/check.h"
+#include "src/support/parallel.h"
+#include "src/support/str.h"
+
+namespace redfat {
+
+namespace {
+
+// Static per-site cost model for the cycles_saved estimates, aligned with
+// the VM's CycleModel: a full check body costs roughly one metadata load,
+// the base/size arithmetic and a compare+branch; a trampoline entry/exit
+// costs the two jumps plus register/flags save-restore traffic.
+constexpr uint64_t kEstCheckBodyCycles = 30;
+constexpr uint64_t kEstTrampOverheadCycles = 8;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace
+
+// --- PipelineStats ---------------------------------------------------------
+
+const PassStats* PipelineStats::Find(const std::string& name) const {
+  for (const PassStats& p : passes) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+std::string PipelineStats::ToJson() const {
+  std::string out = StrFormat("{\"jobs\":%u,\"total_ms\":%.3f,\"passes\":[", jobs, total_ms);
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassStats& p = passes[i];
+    if (i != 0) {
+      out += ",";
+    }
+    out += StrFormat(
+        "{\"name\":\"%s\",\"items\":%zu,\"changed\":%zu,\"wall_ms\":%.3f,"
+        "\"cycles_saved\":%llu}",
+        p.name.c_str(), p.items, p.changed, p.wall_ms,
+        static_cast<unsigned long long>(p.cycles_saved));
+  }
+  out += "]}";
+  return out;
+}
+
+// A tiny parser for exactly the object shapes ToJson() produces (plus
+// arbitrary whitespace). Not a general JSON parser.
+namespace {
+
+struct JsonCursor {
+  const std::string& s;
+  size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+};
+
+bool ParseString(JsonCursor& c, std::string* out) {
+  if (!c.Eat('"')) {
+    return false;
+  }
+  out->clear();
+  while (c.i < c.s.size() && c.s[c.i] != '"') {
+    if (c.s[c.i] == '\\') {
+      return false;  // ToJson() never escapes; reject rather than mis-parse
+    }
+    out->push_back(c.s[c.i++]);
+  }
+  return c.Eat('"');
+}
+
+bool ParseNumber(JsonCursor& c, double* out) {
+  c.SkipWs();
+  const size_t start = c.i;
+  while (c.i < c.s.size() &&
+         (std::isdigit(static_cast<unsigned char>(c.s[c.i])) != 0 || c.s[c.i] == '-' ||
+          c.s[c.i] == '+' || c.s[c.i] == '.' || c.s[c.i] == 'e' || c.s[c.i] == 'E')) {
+    ++c.i;
+  }
+  if (c.i == start) {
+    return false;
+  }
+  try {
+    *out = std::stod(c.s.substr(start, c.i - start));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool ParsePassObject(JsonCursor& c, PassStats* out) {
+  if (!c.Eat('{')) {
+    return false;
+  }
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Eat(',')) {
+      return false;
+    }
+    first = false;
+    std::string key;
+    if (!ParseString(c, &key) || !c.Eat(':')) {
+      return false;
+    }
+    if (key == "name") {
+      if (!ParseString(c, &out->name)) {
+        return false;
+      }
+      continue;
+    }
+    double num = 0;
+    if (!ParseNumber(c, &num)) {
+      return false;
+    }
+    if (key == "items") {
+      out->items = static_cast<size_t>(num);
+    } else if (key == "changed") {
+      out->changed = static_cast<size_t>(num);
+    } else if (key == "wall_ms") {
+      out->wall_ms = num;
+    } else if (key == "cycles_saved") {
+      out->cycles_saved = static_cast<uint64_t>(num);
+    }  // unknown numeric keys are ignored for forward compatibility
+  }
+  return c.Eat('}');
+}
+
+}  // namespace
+
+Result<PipelineStats> PipelineStatsFromJson(const std::string& json) {
+  JsonCursor c{json};
+  PipelineStats stats;
+  if (!c.Eat('{')) {
+    return Error("stats json: expected object");
+  }
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Eat(',')) {
+      return Error("stats json: expected ','");
+    }
+    first = false;
+    std::string key;
+    if (!ParseString(c, &key) || !c.Eat(':')) {
+      return Error("stats json: expected key");
+    }
+    if (key == "jobs") {
+      double num = 0;
+      if (!ParseNumber(c, &num)) {
+        return Error("stats json: bad jobs");
+      }
+      stats.jobs = static_cast<unsigned>(num);
+    } else if (key == "total_ms") {
+      double num = 0;
+      if (!ParseNumber(c, &num)) {
+        return Error("stats json: bad total_ms");
+      }
+      stats.total_ms = num;
+    } else if (key == "passes") {
+      if (!c.Eat('[')) {
+        return Error("stats json: expected passes array");
+      }
+      while (!c.Peek(']')) {
+        if (!stats.passes.empty() && !c.Eat(',')) {
+          return Error("stats json: expected ',' in passes");
+        }
+        PassStats p;
+        if (!ParsePassObject(c, &p)) {
+          return Error("stats json: bad pass object");
+        }
+        stats.passes.push_back(std::move(p));
+      }
+      if (!c.Eat(']')) {
+        return Error("stats json: unterminated passes array");
+      }
+    } else {
+      return Error(StrFormat("stats json: unknown key '%s'", key.c_str()));
+    }
+  }
+  if (!c.Eat('}')) {
+    return Error("stats json: unterminated object");
+  }
+  c.SkipWs();
+  if (c.i != json.size()) {
+    return Error("stats json: trailing data");
+  }
+  return stats;
+}
+
+// --- AnalysisCache ---------------------------------------------------------
+
+Status AnalysisCache::EnsureDisasm() {
+  if (disasm_.has_value()) {
+    return Status::Ok();
+  }
+  Result<Disassembly> dis = DisassembleText(image_);
+  if (!dis.ok()) {
+    return Error(dis.error());
+  }
+  disasm_ = std::move(dis).value();
+  return Status::Ok();
+}
+
+const Disassembly& AnalysisCache::disasm() const {
+  REDFAT_CHECK(disasm_.has_value());
+  return *disasm_;
+}
+
+Status AnalysisCache::EnsureCfg() {
+  if (cfg_.has_value()) {
+    return Status::Ok();
+  }
+  Status st = EnsureDisasm();
+  if (!st.ok()) {
+    return st;
+  }
+  cfg_ = RecoverCfg(*disasm_, image_);
+  return Status::Ok();
+}
+
+const CfgInfo& AnalysisCache::cfg() const {
+  REDFAT_CHECK(cfg_.has_value());
+  return *cfg_;
+}
+
+void AnalysisCache::set_operand_classes(std::vector<OperandClass> classes) {
+  classes_ = std::move(classes);
+}
+
+const std::vector<OperandClass>* AnalysisCache::operand_classes() const {
+  return classes_.has_value() ? &*classes_ : nullptr;
+}
+
+const ClobberInfo& AnalysisCache::clobbers(size_t insn_index) {
+  REDFAT_CHECK(disasm_.has_value() && cfg_.has_value());
+  if (clobbers_.empty()) {
+    clobbers_.resize(disasm_->insns.size());
+  }
+  REDFAT_CHECK(insn_index < clobbers_.size());
+  if (!clobbers_[insn_index].has_value()) {
+    clobbers_[insn_index] = ComputeClobbers(*disasm_, *cfg_, insn_index);
+  }
+  return *clobbers_[insn_index];
+}
+
+void AnalysisCache::PrecomputeClobbers(const std::vector<size_t>& indices, unsigned jobs) {
+  REDFAT_CHECK(disasm_.has_value() && cfg_.has_value());
+  if (clobbers_.empty()) {
+    clobbers_.resize(disasm_->insns.size());
+  }
+  std::vector<ClobberInfo> infos = ComputeClobbersMany(*disasm_, *cfg_, indices, jobs);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    REDFAT_CHECK(indices[i] < clobbers_.size());
+    clobbers_[indices[i]] = std::move(infos[i]);
+  }
+}
+
+// --- concrete passes -------------------------------------------------------
+
+namespace {
+
+class DisasmPass : public Pass {
+ public:
+  const char* name() const override { return "disasm"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    if (ctx.cache.image().FindSection(Section::Kind::kTrampoline) != nullptr) {
+      return Error("pipeline: image already contains a trampoline section");
+    }
+    Status st = ctx.cache.EnsureDisasm();
+    if (!st.ok()) {
+      return Error(st.error());
+    }
+    return PassOutcome{.items = ctx.cache.disasm().insns.size()};
+  }
+};
+
+class CfgPass : public Pass {
+ public:
+  const char* name() const override { return "cfg"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    Status st = ctx.cache.EnsureCfg();
+    if (!st.ok()) {
+      return Error(st.error());
+    }
+    return PassOutcome{.items = ctx.cache.disasm().insns.size(),
+                       .changed = ctx.cache.cfg().num_blocks};
+  }
+};
+
+class ClassifyPass : public Pass {
+ public:
+  const char* name() const override { return "classify"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    if (!ctx.cache.has_disasm()) {
+      return Error("classify: disasm pass has not run");
+    }
+    std::vector<OperandClass> classes =
+        ClassifyOperands(ctx.cache.disasm(), ctx.opts, &ctx.plan.stats);
+    const size_t considered = ctx.plan.stats.considered;
+    ctx.cache.set_operand_classes(std::move(classes));
+    return PassOutcome{.items = ctx.cache.disasm().insns.size(), .changed = considered};
+  }
+};
+
+// Check elimination (§6). The actual dropping happens during site selection
+// (group pass); this pass flags it on and accounts for the sites that will
+// be dropped.
+class EliminatePass : public Pass {
+ public:
+  const char* name() const override { return "eliminate"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    const std::vector<OperandClass>* classes = ctx.cache.operand_classes();
+    if (classes == nullptr) {
+      return Error("eliminate: classify pass has not run");
+    }
+    ctx.drop_eliminable = true;
+    PassOutcome out;
+    for (OperandClass c : *classes) {
+      if (c == OperandClass::kFiltered || c == OperandClass::kNone) {
+        continue;
+      }
+      ++out.items;
+      if (c == OperandClass::kEliminable) {
+        ++out.changed;
+      }
+    }
+    // An eliminated site saves its whole trampoline on every visit.
+    out.cycles_saved = out.changed * (kEstCheckBodyCycles + kEstTrampOverheadCycles);
+    return out;
+  }
+};
+
+class GroupPass : public Pass {
+ public:
+  const char* name() const override { return "group"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    const std::vector<OperandClass>* classes = ctx.cache.operand_classes();
+    if (classes == nullptr) {
+      return Error("group: classify pass has not run");
+    }
+    std::vector<SiteCandidate> candidates =
+        SelectSites(ctx.cache.disasm(), *classes, ctx.opts, ctx.allow, ctx.drop_eliminable,
+                    &ctx.plan.stats, &ctx.plan.sites);
+    const size_t n = candidates.size();
+    ctx.plan.trampolines = SingletonTrampolines(ctx.cache.disasm(), std::move(candidates));
+    return PassOutcome{.items = n, .changed = ctx.plan.trampolines.size()};
+  }
+};
+
+class BatchPass : public Pass {
+ public:
+  const char* name() const override { return "batch"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    if (!ctx.cache.has_cfg()) {
+      return Error("batch: cfg pass has not run");
+    }
+    const size_t before = ctx.plan.trampolines.size();
+    ctx.plan.trampolines = BatchTrampolines(ctx.cache.disasm(), ctx.cache.cfg(),
+                                            std::move(ctx.plan.trampolines));
+    const size_t removed = before - ctx.plan.trampolines.size();
+    // Each coalesced site drops one trampoline round-trip per visit.
+    return PassOutcome{.items = before,
+                       .changed = removed,
+                       .cycles_saved = removed * kEstTrampOverheadCycles};
+  }
+};
+
+class MergePass : public Pass {
+ public:
+  const char* name() const override { return "merge"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    std::vector<PlannedTrampoline>& tramps = ctx.plan.trampolines;
+    size_t before = 0;
+    for (const PlannedTrampoline& t : tramps) {
+      before += t.checks.size();
+    }
+    // Merging is independent per trampoline; run it across the pool.
+    ParallelFor(ctx.opts.jobs, tramps.size(),
+                [&](size_t i) { MergeTrampolineChecks(&tramps[i]); });
+    size_t after = 0;
+    for (const PlannedTrampoline& t : tramps) {
+      after += t.checks.size();
+    }
+    // Each merged-away check saves one check body per trampoline visit.
+    return PassOutcome{.items = tramps.size(),
+                       .changed = before - after,
+                       .cycles_saved = (before - after) * kEstCheckBodyCycles};
+  }
+};
+
+class LivenessPass : public Pass {
+ public:
+  const char* name() const override { return "liveness"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    if (!ctx.cache.has_cfg()) {
+      return Error("liveness: cfg pass has not run");
+    }
+    std::vector<size_t> indices;
+    indices.reserve(ctx.plan.trampolines.size());
+    for (const PlannedTrampoline& t : ctx.plan.trampolines) {
+      indices.push_back(t.insn_index);
+    }
+    ctx.cache.PrecomputeClobbers(indices, ctx.opts.jobs);
+    return PassOutcome{.items = indices.size()};
+  }
+};
+
+class CodegenPass : public Pass {
+ public:
+  const char* name() const override { return "codegen"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    if (!ctx.cache.has_cfg()) {
+      return Error("codegen: cfg pass has not run");
+    }
+    InstrumentPlan& plan = ctx.plan;
+    plan.stats.trampolines = plan.trampolines.size();
+    plan.stats.checks_emitted = 0;
+    for (const PlannedTrampoline& t : plan.trampolines) {
+      plan.stats.checks_emitted += t.checks.size();
+    }
+
+    ctx.requests.clear();
+    ctx.requests.reserve(plan.trampolines.size());
+    for (const PlannedTrampoline& tramp : plan.trampolines) {
+      // Resolve clobbers serially here so the parallel emission phase only
+      // reads the cache. References into the plan/cache stay valid: both
+      // live in the context and are not resized after this pass.
+      const ClobberInfo& clobbers = ctx.cache.clobbers(tramp.insn_index);
+      PatchRequest req;
+      req.addr = tramp.addr;
+      req.emit_payload = [&tramp, &clobbers, opts = ctx.opts](Assembler& as) {
+        EmitTrampolinePayload(as, tramp, clobbers, opts);
+      };
+      ctx.requests.push_back(std::move(req));
+    }
+
+    Result<std::vector<SpanPlan>> planned =
+        PlanSpans(ctx.cache.disasm(), ctx.cache.cfg(), ctx.requests, &ctx.rewrite_stats);
+    if (!planned.ok()) {
+      return Error(planned.error());
+    }
+    ctx.spans = std::move(planned).value();
+    ctx.tramp_code = EmitTrampolines(ctx.cache.disasm(), ctx.spans, ctx.requests,
+                                     ctx.opts.trampoline_base, ctx.opts.jobs,
+                                     &ctx.rewrite_stats);
+    return PassOutcome{.items = ctx.requests.size(), .changed = ctx.rewrite_stats.applied};
+  }
+};
+
+class PatchPass : public Pass {
+ public:
+  const char* name() const override { return "patch"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    ctx.output = ctx.cache.image();
+    Section* text = ctx.output.FindSection(Section::Kind::kText);
+    if (text == nullptr) {
+      return Error("patch: image has no text section");
+    }
+    PatchSpans(text, ctx.spans, ctx.tramp_code.starts);
+    if (!ctx.tramp_code.bytes.empty()) {
+      Section ts;
+      ts.kind = Section::Kind::kTrampoline;
+      ts.vaddr = ctx.opts.trampoline_base;
+      ts.bytes = ctx.tramp_code.bytes;
+      ctx.output.sections.push_back(std::move(ts));
+    }
+    return PassOutcome{.items = ctx.spans.size(), .changed = ctx.spans.size()};
+  }
+};
+
+}  // namespace
+
+// --- Pipeline --------------------------------------------------------------
+
+Pipeline Pipeline::Hardening(const RedFatOptions& opts) {
+  Pipeline p;
+  p.Add(std::make_unique<DisasmPass>());
+  p.Add(std::make_unique<CfgPass>());
+  p.Add(std::make_unique<ClassifyPass>());
+  p.Add(std::make_unique<EliminatePass>());
+  p.Add(std::make_unique<GroupPass>());
+  p.Add(std::make_unique<BatchPass>());
+  p.Add(std::make_unique<MergePass>());
+  p.Add(std::make_unique<LivenessPass>());
+  p.Add(std::make_unique<CodegenPass>());
+  p.Add(std::make_unique<PatchPass>());
+  p.SetEnabled("eliminate", opts.elim);
+  p.SetEnabled("batch", opts.batch);
+  // Profiling needs per-site pass/fail attribution; a merged check would
+  // conflate its member sites.
+  p.SetEnabled("merge", opts.merge && opts.mode != RedFatOptions::Mode::kProfile);
+  return p;
+}
+
+Pipeline& Pipeline::Add(std::unique_ptr<Pass> pass) {
+  REDFAT_CHECK(pass != nullptr);
+  passes_.push_back(Entry{std::move(pass), /*enabled=*/true});
+  return *this;
+}
+
+std::vector<std::string> Pipeline::PassNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const Entry& e : passes_) {
+    names.push_back(e.pass->name());
+  }
+  return names;
+}
+
+bool Pipeline::SetEnabled(const std::string& name, bool enabled) {
+  for (Entry& e : passes_) {
+    if (name == e.pass->name()) {
+      e.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Pipeline::IsEnabled(const std::string& name) const {
+  for (const Entry& e : passes_) {
+    if (name == e.pass->name()) {
+      return e.enabled;
+    }
+  }
+  return false;
+}
+
+Status Pipeline::Run(PipelineContext& ctx) {
+  stats_ = PipelineStats{};
+  stats_.jobs = ResolveJobs(ctx.opts.jobs);
+  const auto run_start = std::chrono::steady_clock::now();
+  for (Entry& e : passes_) {
+    if (!e.enabled) {
+      continue;
+    }
+    const auto pass_start = std::chrono::steady_clock::now();
+    Result<PassOutcome> out = e.pass->Run(ctx);
+    if (!out.ok()) {
+      return Error(StrFormat("pass '%s': %s", e.pass->name(), out.error().c_str()));
+    }
+    PassStats ps;
+    ps.name = e.pass->name();
+    ps.items = out.value().items;
+    ps.changed = out.value().changed;
+    ps.cycles_saved = out.value().cycles_saved;
+    ps.wall_ms = MsSince(pass_start);
+    stats_.passes.push_back(std::move(ps));
+  }
+  stats_.total_ms = MsSince(run_start);
+  return Status::Ok();
+}
+
+}  // namespace redfat

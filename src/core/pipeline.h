@@ -1,0 +1,189 @@
+// The hardening pass pipeline: an explicit, observable, parallel pass
+// manager for the disassemble → analyze → plan → codegen → patch sequence
+// that RedFatTool used to hard-wire.
+//
+// Every stage is a named Pass over a shared PipelineContext:
+//
+//   disasm     linear-sweep disassembly of the text section
+//   cfg        conservative jump-target / basic-block recovery
+//   classify   per-operand classification (operand classes analysis)
+//   eliminate  check elimination (§6)            [disabled = "unoptimized"]
+//   group      site policy + singleton trampoline formation
+//   batch      check batching (§6)               [disabled = "+elim" column]
+//   merge      check merging (§6)                [disabled = "+batch" column]
+//   liveness   clobber analysis for every trampoline leader
+//   codegen    trampoline span planning + code emission
+//   patch      text patching + output image assembly
+//
+// A paper ablation column is a pipeline with a pass disabled
+// (Pipeline::SetEnabled), not a flag threaded through the driver. Each
+// executed pass records a PassStats block (items, changed, wall time, and a
+// static cycles-saved estimate for the optimization passes); the per-item
+// passes (merge, liveness, codegen) run across a work-queue thread pool of
+// `RedFatOptions::jobs` workers with deterministic, byte-identical output.
+//
+// Analyses (decoded instructions, CFG, operand classes, per-instruction
+// clobber info) live in an AnalysisCache so later passes and external
+// consumers reuse instead of recompute.
+#ifndef REDFAT_SRC_CORE_PIPELINE_H_
+#define REDFAT_SRC_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bin/image.h"
+#include "src/core/options.h"
+#include "src/core/plan.h"
+#include "src/rw/liveness.h"
+#include "src/rw/rewriter.h"
+#include "src/support/result.h"
+
+namespace redfat {
+
+// --- observability ---------------------------------------------------------
+
+struct PassStats {
+  std::string name;
+  size_t items = 0;            // units the pass looked at (insns, sites, spans)
+  size_t changed = 0;          // units it altered (eliminated, batched, merged)
+  double wall_ms = 0.0;        // wall-clock time of the pass
+  // Static estimate of execution cycles the pass saves per visit of the
+  // affected sites (optimization passes only; see pipeline.cc for the
+  // per-check constants). An observability aid, not a measurement.
+  uint64_t cycles_saved = 0;
+};
+
+struct PipelineStats {
+  unsigned jobs = 1;           // resolved worker count the pipeline ran with
+  double total_ms = 0.0;
+  std::vector<PassStats> passes;  // executed passes, in run order
+
+  const PassStats* Find(const std::string& name) const;
+  // Machine-readable single-line JSON (the `redfat --stats` format).
+  std::string ToJson() const;
+};
+
+// Parses the ToJson() format back (used by benches and the golden test to
+// consume `--stats` output).
+Result<PipelineStats> PipelineStatsFromJson(const std::string& json);
+
+// --- analyses --------------------------------------------------------------
+
+// Shared per-image analysis results. Disassembly/CFG are computed on demand
+// and cached; operand classes are deposited by the classify pass; clobber
+// info is memoised per instruction index (PrecomputeClobbers fills many
+// entries across the thread pool; the lazy accessor is single-thread only).
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(const BinaryImage& image) : image_(image) {}
+
+  const BinaryImage& image() const { return image_; }
+
+  Status EnsureDisasm();
+  bool has_disasm() const { return disasm_.has_value(); }
+  const Disassembly& disasm() const;
+
+  Status EnsureCfg();  // implies EnsureDisasm
+  bool has_cfg() const { return cfg_.has_value(); }
+  const CfgInfo& cfg() const;
+
+  void set_operand_classes(std::vector<OperandClass> classes);
+  const std::vector<OperandClass>* operand_classes() const;
+
+  // Clobber info for the instruction at `insn_index`; computed and memoised
+  // on first use. The returned reference stays valid for the cache's
+  // lifetime.
+  const ClobberInfo& clobbers(size_t insn_index);
+  void PrecomputeClobbers(const std::vector<size_t>& indices, unsigned jobs);
+
+ private:
+  const BinaryImage& image_;
+  std::optional<Disassembly> disasm_;
+  std::optional<CfgInfo> cfg_;
+  std::optional<std::vector<OperandClass>> classes_;
+  std::vector<std::optional<ClobberInfo>> clobbers_;  // sized lazily to insns
+};
+
+// --- passes ----------------------------------------------------------------
+
+// Everything a pass may read or produce. Later passes consume what earlier
+// passes deposited (declared per pass in pipeline.cc); the pipeline runs
+// them in registration order.
+struct PipelineContext {
+  PipelineContext(const BinaryImage& input, const RedFatOptions& options,
+                  const AllowList* allow_list)
+      : opts(options), allow(allow_list), cache(input) {}
+
+  RedFatOptions opts;
+  const AllowList* allow = nullptr;
+  AnalysisCache cache;
+
+  // Planning state.
+  bool drop_eliminable = false;       // set by the eliminate pass
+  InstrumentPlan plan;
+
+  // Rewriting state.
+  std::vector<PatchRequest> requests;
+  std::vector<SpanPlan> spans;
+  TrampolineCode tramp_code;
+  RewriteStats rewrite_stats;
+  BinaryImage output;
+};
+
+// What a pass reports back to the pipeline (timing is measured outside).
+struct PassOutcome {
+  size_t items = 0;
+  size_t changed = 0;
+  uint64_t cycles_saved = 0;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  virtual Result<PassOutcome> Run(PipelineContext& ctx) = 0;
+};
+
+// --- the pipeline ----------------------------------------------------------
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  // The standard hardening pipeline for `opts`: all passes registered, with
+  // eliminate/batch/merge pre-disabled according to the option flags (and
+  // merge always disabled in profiling mode, which needs per-site
+  // attribution).
+  static Pipeline Hardening(const RedFatOptions& opts);
+
+  Pipeline& Add(std::unique_ptr<Pass> pass);
+
+  // Registered pass names, in run order (including disabled passes).
+  std::vector<std::string> PassNames() const;
+  // Enables/disables a registered pass; returns false for unknown names.
+  bool SetEnabled(const std::string& name, bool enabled);
+  bool IsEnabled(const std::string& name) const;
+
+  // Runs all enabled passes in order, collecting per-pass stats. On error
+  // the pipeline stops at the failing pass.
+  Status Run(PipelineContext& ctx);
+
+  // Stats of the last Run.
+  const PipelineStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Pass> pass;
+    bool enabled = true;
+  };
+  std::vector<Entry> passes_;
+  PipelineStats stats_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_PIPELINE_H_

@@ -55,7 +55,167 @@ MergeKey KeyOf(const PlannedCheck& c) {
                   c.mem.scale_log2, static_cast<uint8_t>(c.kind)};
 }
 
-void MergeChecks(PlannedTrampoline* tramp, PlanStats* stats) {
+// A batch barrier: the instruction may free objects or change any register.
+bool IsBatchBarrier(Op op) {
+  return IsControlFlow(op) || op == Op::kHostCall || op == Op::kTrap;
+}
+
+}  // namespace
+
+std::vector<OperandClass> ClassifyOperands(const Disassembly& dis, const RedFatOptions& opts,
+                                           PlanStats* stats) {
+  std::vector<OperandClass> classes(dis.insns.size(), OperandClass::kNone);
+  for (size_t i = 0; i < dis.insns.size(); ++i) {
+    const DisasmInsn& di = dis.insns[i];
+    if (!IsMemAccess(di.insn.op)) {
+      continue;
+    }
+    ++stats->mem_operands;
+    const bool is_write = IsMemWrite(di.insn.op);
+    if (!(is_write ? opts.check_writes : opts.check_reads)) {
+      classes[i] = OperandClass::kFiltered;
+      continue;
+    }
+    ++stats->considered;
+    if (IsEliminable(di.insn.mem)) {
+      classes[i] = OperandClass::kEliminable;
+    } else if (HasUnambiguousPointer(di.insn.mem)) {
+      classes[i] = OperandClass::kUnambiguous;
+    } else {
+      classes[i] = OperandClass::kAmbiguous;
+    }
+  }
+  return classes;
+}
+
+std::vector<SiteCandidate> SelectSites(const Disassembly& dis,
+                                       const std::vector<OperandClass>& classes,
+                                       const RedFatOptions& opts, const AllowList* allow,
+                                       bool apply_elim, PlanStats* stats,
+                                       std::vector<SiteRecord>* sites) {
+  REDFAT_CHECK(classes.size() == dis.insns.size());
+  std::vector<SiteCandidate> candidates;
+  for (size_t i = 0; i < dis.insns.size(); ++i) {
+    switch (classes[i]) {
+      case OperandClass::kNone:
+      case OperandClass::kFiltered:
+        continue;
+      case OperandClass::kEliminable:
+        if (apply_elim) {
+          ++stats->eliminated;
+          continue;
+        }
+        break;
+      case OperandClass::kAmbiguous:
+      case OperandClass::kUnambiguous:
+        break;
+    }
+    const DisasmInsn& di = dis.insns[i];
+    const bool is_write = IsMemWrite(di.insn.op);
+
+    // Decide the check kind (§3 "opportunistic hardening"). In profiling
+    // mode, and in "full-on" mode (no allow-list given), every
+    // unambiguous-pointer site gets the full check.
+    CheckKind kind = CheckKind::kRedzoneOnly;
+    if (opts.lowfat && classes[i] == OperandClass::kUnambiguous) {
+      const bool allowed = opts.mode == RedFatOptions::Mode::kProfile || allow == nullptr ||
+                           allow->Contains(di.addr);
+      if (allowed) {
+        kind = CheckKind::kFull;
+      }
+    }
+    const uint32_t site_id = static_cast<uint32_t>(sites->size());
+    sites->push_back(SiteRecord{site_id, di.addr, is_write, kind});
+    if (kind == CheckKind::kFull) {
+      ++stats->full_sites;
+    } else {
+      ++stats->redzone_sites;
+    }
+
+    SiteCandidate cand;
+    cand.insn_index = i;
+    cand.check.mem = di.insn.mem;
+    cand.check.access_len = di.insn.mem.access_size();
+    cand.check.kind = kind;
+    cand.check.is_write = is_write;
+    cand.check.member_sites.push_back(site_id);
+    cand.check.anchor_next = di.end();
+    candidates.push_back(std::move(cand));
+  }
+  return candidates;
+}
+
+std::vector<PlannedTrampoline> SingletonTrampolines(const Disassembly& dis,
+                                                    std::vector<SiteCandidate> candidates) {
+  std::vector<PlannedTrampoline> out;
+  out.reserve(candidates.size());
+  for (SiteCandidate& cand : candidates) {
+    PlannedTrampoline tramp;
+    tramp.addr = dis.insns[cand.insn_index].addr;
+    tramp.insn_index = cand.insn_index;
+    tramp.checks.push_back(std::move(cand.check));
+    out.push_back(std::move(tramp));
+  }
+  return out;
+}
+
+std::vector<PlannedTrampoline> BatchTrampolines(const Disassembly& dis, const CfgInfo& cfg,
+                                                std::vector<PlannedTrampoline> singles) {
+  std::vector<PlannedTrampoline> out;
+  PlannedTrampoline current;
+  bool open = false;
+  RegSet written;
+  uint32_t current_block = 0;
+
+  auto close = [&]() {
+    if (open && !current.checks.empty()) {
+      out.push_back(std::move(current));
+    }
+    current = PlannedTrampoline{};
+    open = false;
+    written = RegSet{};
+  };
+
+  size_t next = 0;
+  std::vector<Reg> regs;
+  for (size_t i = 0; i < dis.insns.size(); ++i) {
+    if (next == singles.size()) {
+      break;  // no candidates left; membership of the open batch is fixed
+    }
+    const DisasmInsn& di = dis.insns[i];
+    if (i == 0 || cfg.block_id[i] != current_block || cfg.jump_targets.count(di.addr) != 0) {
+      close();
+      current_block = cfg.block_id[i];
+    }
+
+    if (next < singles.size() && singles[next].insn_index == i) {
+      PlannedCheck check = std::move(singles[next].checks.front());
+      ++next;
+      if (open && !OperandRegsUnmodified(check.mem, written)) {
+        close();
+      }
+      if (!open) {
+        current.addr = di.addr;
+        current.insn_index = i;
+        open = true;
+        written = RegSet{};  // relevant writes start at the leader
+      }
+      current.checks.push_back(std::move(check));
+    }
+
+    RegsWritten(di.insn, &regs);
+    for (Reg r : regs) {
+      written.Add(r);
+    }
+    if (IsBatchBarrier(di.insn.op)) {
+      close();
+    }
+  }
+  close();
+  return out;
+}
+
+void MergeTrampolineChecks(PlannedTrampoline* tramp) {
   std::map<MergeKey, std::vector<PlannedCheck>> groups;
   std::vector<PlannedCheck> keep;
   for (PlannedCheck& c : tramp->checks) {
@@ -91,113 +251,25 @@ void MergeChecks(PlannedTrampoline* tramp, PlanStats* stats) {
   for (auto& c : keep) {
     tramp->checks.push_back(std::move(c));
   }
-  stats->checks_emitted += tramp->checks.size();
 }
-
-}  // namespace
 
 InstrumentPlan BuildPlan(const Disassembly& dis, const CfgInfo& cfg, const RedFatOptions& opts,
                          const AllowList* allow) {
   InstrumentPlan plan;
-  PlanStats& st = plan.stats;
-
-  PlannedTrampoline current;
-  bool open = false;
-  RegSet written;
-  uint32_t current_block = 0;
-
-  auto close = [&]() {
-    if (open && !current.checks.empty()) {
-      if (opts.merge) {
-        MergeChecks(&current, &st);
-      } else {
-        st.checks_emitted += current.checks.size();
-      }
-      ++st.trampolines;
-      plan.trampolines.push_back(std::move(current));
-    }
-    current = PlannedTrampoline{};
-    open = false;
-    written = RegSet{};
-  };
-
-  std::vector<Reg> regs;
-  for (size_t i = 0; i < dis.insns.size(); ++i) {
-    const DisasmInsn& di = dis.insns[i];
-    if (i == 0 || cfg.block_id[i] != current_block || cfg.jump_targets.count(di.addr) != 0) {
-      close();
-      current_block = cfg.block_id[i];
-    }
-
-    if (IsMemAccess(di.insn.op)) {
-      ++st.mem_operands;
-      const bool is_write = IsMemWrite(di.insn.op);
-      const bool considered = is_write ? opts.check_writes : opts.check_reads;
-      if (considered) {
-        ++st.considered;
-        if (opts.elim && IsEliminable(di.insn.mem)) {
-          ++st.eliminated;
-        } else {
-          // Decide the check kind (§3 "opportunistic hardening"). In
-          // profiling mode, and in "full-on" mode (no allow-list given),
-          // every unambiguous-pointer site gets the full check.
-          CheckKind kind = CheckKind::kRedzoneOnly;
-          if (opts.lowfat && HasUnambiguousPointer(di.insn.mem)) {
-            const bool allowed = opts.mode == RedFatOptions::Mode::kProfile ||
-                                 allow == nullptr || allow->Contains(di.addr);
-            if (allowed) {
-              kind = CheckKind::kFull;
-            }
-          }
-          const uint32_t site_id = static_cast<uint32_t>(plan.sites.size());
-          plan.sites.push_back(SiteRecord{site_id, di.addr, is_write, kind});
-          if (kind == CheckKind::kFull) {
-            ++st.full_sites;
-          } else {
-            ++st.redzone_sites;
-          }
-
-          PlannedCheck check;
-          check.mem = di.insn.mem;
-          check.access_len = di.insn.mem.access_size();
-          check.kind = kind;
-          check.is_write = is_write;
-          check.member_sites.push_back(site_id);
-          check.anchor_next = di.end();
-
-          if (!opts.batch) {
-            close();
-            current.addr = di.addr;
-            current.insn_index = i;
-            current.checks.push_back(std::move(check));
-            open = true;
-            close();
-          } else {
-            if (open && !OperandRegsUnmodified(di.insn.mem, written)) {
-              close();
-            }
-            if (!open) {
-              current.addr = di.addr;
-              current.insn_index = i;
-              open = true;
-              written = RegSet{};  // relevant writes start at the leader
-            }
-            current.checks.push_back(std::move(check));
-          }
-        }
-      }
-    }
-
-    RegsWritten(di.insn, &regs);
-    for (Reg r : regs) {
-      written.Add(r);
-    }
-    if (IsControlFlow(di.insn.op) || di.insn.op == Op::kHostCall || di.insn.op == Op::kTrap) {
-      // Calls/hostcalls may free objects or change any register: batch barrier.
-      close();
-    }
+  const std::vector<OperandClass> classes = ClassifyOperands(dis, opts, &plan.stats);
+  std::vector<SiteCandidate> candidates =
+      SelectSites(dis, classes, opts, allow, opts.elim, &plan.stats, &plan.sites);
+  plan.trampolines = SingletonTrampolines(dis, std::move(candidates));
+  if (opts.batch) {
+    plan.trampolines = BatchTrampolines(dis, cfg, std::move(plan.trampolines));
   }
-  close();
+  for (PlannedTrampoline& tramp : plan.trampolines) {
+    if (opts.merge) {
+      MergeTrampolineChecks(&tramp);
+    }
+    plan.stats.checks_emitted += tramp.checks.size();
+  }
+  plan.stats.trampolines = plan.trampolines.size();
   return plan;
 }
 

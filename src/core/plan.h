@@ -1,18 +1,24 @@
 // Instrumentation planning: which memory operands get which check, and how
 // checks are grouped into trampolines.
 //
-// Pipeline (all static analysis over the stripped binary):
-//   1. enumerate explicit memory operands (reads/writes per options);
+// Planning stages (all static analysis over the stripped binary), each an
+// independently callable function so the pass pipeline (core/pipeline.h)
+// can run, time, and disable them individually:
+//   1. ClassifyOperands — enumerate explicit memory operands (reads/writes
+//      per options) and classify each (eliminable / ambiguous /
+//      unambiguous-pointer);
 //   2. check elimination (§6): drop operands that provably cannot reach the
 //      heap under the fixed address-space layout;
-//   3. per-site policy: full (Redzone)+(LowFat) if the site is allow-listed
-//      and its pointer arithmetic is unambiguous (a non-rsp/rip base
-//      register exists), else (Redzone)-only;
-//   4. check batching (§6): group consecutive same-block sites whose
-//      operands can be evaluated at the leader without changing their
-//      effective address;
-//   5. check merging (§6): fold same-shape operands within a batch into one
-//      check over the union of their access ranges.
+//   3. SelectSites — per-site policy: full (Redzone)+(LowFat) if the site
+//      is allow-listed and its pointer arithmetic is unambiguous (a
+//      non-rsp/rip base register exists), else (Redzone)-only;
+//   4. SingletonTrampolines + BatchTrampolines — check batching (§6): group
+//      consecutive same-block sites whose operands can be evaluated at the
+//      leader without changing their effective address;
+//   5. MergeTrampolineChecks — check merging (§6): fold same-shape operands
+//      within a batch into one check over the union of their access ranges.
+//
+// BuildPlan composes all stages and remains the single-call entry point.
 #ifndef REDFAT_SRC_CORE_PLAN_H_
 #define REDFAT_SRC_CORE_PLAN_H_
 
@@ -91,6 +97,54 @@ bool IsEliminable(const MemOperand& mem);
 // Does the operand carry unambiguous pointer arithmetic (§3), i.e. a base
 // register that is plausibly the pointer? rsp/rip-based operands do not.
 bool HasUnambiguousPointer(const MemOperand& mem);
+
+// Per-instruction operand classification (stage 1). Cached by the pipeline
+// as the "operand classes" analysis.
+enum class OperandClass : uint8_t {
+  kNone,         // no explicit memory operand
+  kFiltered,     // memory operand excluded by the read/write options
+  kEliminable,   // provably non-heap: check-elimination candidate
+  kAmbiguous,    // heap-reachable, but no unambiguous pointer base
+  kUnambiguous,  // heap-reachable with an unambiguous pointer base
+};
+
+// One entry per instruction in `dis`. Fills stats->mem_operands and
+// stats->considered.
+std::vector<OperandClass> ClassifyOperands(const Disassembly& dis, const RedFatOptions& opts,
+                                           PlanStats* stats);
+
+// A classified check candidate for one instruction, before trampoline
+// formation. The check's member_sites holds its (single) site id.
+struct SiteCandidate {
+  size_t insn_index = 0;
+  PlannedCheck check;
+};
+
+// Stages 2+3: site selection. Drops kEliminable operands when `apply_elim`
+// (filling stats->eliminated), decides each surviving site's CheckKind
+// against the allow-list/options, assigns sequential site ids in address
+// order, and appends the SiteRecords to `sites`.
+std::vector<SiteCandidate> SelectSites(const Disassembly& dis,
+                                       const std::vector<OperandClass>& classes,
+                                       const RedFatOptions& opts, const AllowList* allow,
+                                       bool apply_elim, PlanStats* stats,
+                                       std::vector<SiteRecord>* sites);
+
+// Stage 4a: one trampoline per candidate (the unbatched layout).
+std::vector<PlannedTrampoline> SingletonTrampolines(const Disassembly& dis,
+                                                    std::vector<SiteCandidate> candidates);
+
+// Stage 4b: check batching (§6). Coalesces consecutive singleton
+// trampolines within a basic block when the later operand's registers are
+// unmodified since the leader (so all effective addresses can be evaluated
+// at the leader), with barriers at recovered jump targets and after
+// calls/hostcalls/traps.
+std::vector<PlannedTrampoline> BatchTrampolines(const Disassembly& dis, const CfgInfo& cfg,
+                                                std::vector<PlannedTrampoline> singles);
+
+// Stage 5: check merging (§6) within one trampoline. Independent per
+// trampoline (safe to run across the pipeline's thread pool).
+void MergeTrampolineChecks(PlannedTrampoline* tramp);
 
 InstrumentPlan BuildPlan(const Disassembly& dis, const CfgInfo& cfg, const RedFatOptions& opts,
                          const AllowList* allow);

@@ -1,7 +1,6 @@
 #include "src/core/redfat.h"
 
-#include "src/core/codegen.h"
-#include "src/rw/liveness.h"
+#include "src/core/pipeline.h"
 #include "src/support/check.h"
 
 namespace redfat {
@@ -9,42 +8,26 @@ namespace redfat {
 RedFatTool::RedFatTool(RedFatOptions opts) : opts_(opts) {
   if (opts_.mode == RedFatOptions::Mode::kProfile) {
     // Profiling needs per-site pass/fail attribution; a merged check would
-    // conflate its member sites.
+    // conflate its member sites (Pipeline::Hardening also disables the
+    // merge pass in this mode; the flag keeps options() self-describing).
     opts_.merge = false;
   }
 }
 
 Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
                                                 const AllowList* allow) const {
-  Rewriter rewriter(input);
-  if (!rewriter.ok()) {
-    return Error(rewriter.error());
+  Pipeline pipeline = Pipeline::Hardening(opts_);
+  PipelineContext ctx(input, opts_, allow);
+  Status st = pipeline.Run(ctx);
+  if (!st.ok()) {
+    return Error(st.error());
   }
   InstrumentResult out;
-  InstrumentPlan plan = BuildPlan(rewriter.disasm(), rewriter.cfg(), opts_, allow);
-
-  std::vector<PatchRequest> requests;
-  requests.reserve(plan.trampolines.size());
-  for (const PlannedTrampoline& tramp : plan.trampolines) {
-    const ClobberInfo clobbers =
-        ComputeClobbers(rewriter.disasm(), rewriter.cfg(), tramp.insn_index);
-    PatchRequest req;
-    req.addr = tramp.addr;
-    // Capture by value: the plan outlives only this function.
-    req.emit_payload = [tramp, clobbers, opts = opts_](Assembler& as) {
-      EmitTrampolinePayload(as, tramp, clobbers, opts);
-    };
-    requests.push_back(std::move(req));
-  }
-
-  Result<BinaryImage> rewritten =
-      rewriter.Apply(requests, &out.rewrite_stats, opts_.trampoline_base);
-  if (!rewritten.ok()) {
-    return Error(rewritten.error());
-  }
-  out.image = std::move(rewritten).value();
-  out.sites = std::move(plan.sites);
-  out.plan_stats = plan.stats;
+  out.image = std::move(ctx.output);
+  out.sites = std::move(ctx.plan.sites);
+  out.plan_stats = ctx.plan.stats;
+  out.rewrite_stats = ctx.rewrite_stats;
+  out.pipeline_stats = pipeline.stats();
   return out;
 }
 

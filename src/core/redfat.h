@@ -1,9 +1,10 @@
 // The RedFat tool driver: stripped binary in, hardened binary out.
 //
-// Mirrors the paper's command-line tool: it disassembles the input, plans
-// the instrumentation (plan.h), generates check code (codegen.h) and applies
-// it through the E9Patch-style rewriter (rw/rewriter.h). The two-phase
-// workflow of Fig. 5 is:
+// Mirrors the paper's command-line tool. Instrument() is a thin
+// configuration of the pass pipeline (core/pipeline.h): it builds
+// Pipeline::Hardening(opts) — which disables the eliminate/batch/merge
+// passes per the option flags — runs it over the input image, and unpacks
+// the context. The two-phase workflow of Fig. 5 is:
 //
 //   RedFatTool prof(RedFatOptions::Profile());
 //   auto test_binary = prof.Instrument(input);            // step 1
@@ -18,6 +19,7 @@
 
 #include "src/bin/image.h"
 #include "src/core/options.h"
+#include "src/core/pipeline.h"
 #include "src/core/plan.h"
 #include "src/rw/rewriter.h"
 #include "src/support/result.h"
@@ -30,6 +32,7 @@ struct InstrumentResult {
   std::vector<SiteRecord> sites;  // indexed by site id
   PlanStats plan_stats;
   RewriteStats rewrite_stats;
+  PipelineStats pipeline_stats;   // per-pass items/changed/timings
 };
 
 class RedFatTool {

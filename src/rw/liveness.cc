@@ -1,6 +1,7 @@
 #include "src/rw/liveness.h"
 
 #include "src/support/check.h"
+#include "src/support/parallel.h"
 
 namespace redfat {
 
@@ -47,6 +48,15 @@ ClobberInfo ComputeClobbers(const Disassembly& dis, const CfgInfo& cfg, size_t i
     }
   }
   out.flags_dead = flags == State::kDead;
+  return out;
+}
+
+std::vector<ClobberInfo> ComputeClobbersMany(const Disassembly& dis, const CfgInfo& cfg,
+                                             const std::vector<size_t>& indices,
+                                             unsigned jobs) {
+  std::vector<ClobberInfo> out(indices.size());
+  ParallelFor(jobs, indices.size(),
+              [&](size_t i) { out[i] = ComputeClobbers(dis, cfg, indices[i]); });
   return out;
 }
 

@@ -27,6 +27,13 @@ struct ClobberInfo {
 // reads are not dead, registers it writes first are.
 ClobberInfo ComputeClobbers(const Disassembly& dis, const CfgInfo& cfg, size_t index);
 
+// Batch form: clobber info for many instrumentation points, computed across
+// up to `jobs` threads (each index is independent). Returns one entry per
+// input index, in input order.
+std::vector<ClobberInfo> ComputeClobbersMany(const Disassembly& dis, const CfgInfo& cfg,
+                                             const std::vector<size_t>& indices,
+                                             unsigned jobs);
+
 }  // namespace redfat
 
 #endif  // REDFAT_SRC_RW_LIVENESS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/check.h"
+#include "src/support/parallel.h"
 #include "src/support/str.h"
 
 namespace redfat {
@@ -59,6 +60,179 @@ void RelocateInsn(Assembler& as, const DisasmInsn& di) {
 
 }  // namespace
 
+Result<std::vector<SpanPlan>> PlanSpans(const Disassembly& dis, const CfgInfo& cfg,
+                                        const std::vector<PatchRequest>& requests,
+                                        RewriteStats* stats) {
+  REDFAT_CHECK(stats != nullptr);
+  stats->requested = requests.size();
+
+  std::unordered_map<uint64_t, size_t> by_addr;
+  std::vector<uint64_t> addrs;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const uint64_t addr = requests[r].addr;
+    if (dis.IndexAt(addr) == SIZE_MAX) {
+      return Error(StrFormat("rewriter: request at 0x%llx is not an instruction boundary",
+                             static_cast<unsigned long long>(addr)));
+    }
+    const bool inserted = by_addr.emplace(addr, r).second;
+    if (!inserted) {
+      return Error(StrFormat("rewriter: duplicate request at 0x%llx",
+                             static_cast<unsigned long long>(addr)));
+    }
+    addrs.push_back(addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+
+  std::vector<SpanPlan> spans;
+  uint64_t consumed_until = 0;  // sites below this were merged into a prior span
+  for (const uint64_t addr : addrs) {
+    if (addr < consumed_until) {
+      continue;  // payload already emitted inside the covering span
+    }
+    const size_t start_index = dis.IndexAt(addr);
+
+    // Build the overwrite span: enough whole instructions to cover the jmp.
+    SpanPlan span;
+    span.addr = addr;
+    bool conflict_target = false;
+    bool conflict_call = false;
+    for (size_t i = start_index; span.span_len < kJmpLen; ++i) {
+      if (i >= dis.insns.size()) {
+        break;
+      }
+      const DisasmInsn& di = dis.insns[i];
+      if (i != start_index) {
+        if (cfg.jump_targets.count(di.addr) != 0) {
+          conflict_target = true;
+          break;
+        }
+        if (di.insn.op == Op::kCall || di.insn.op == Op::kCallR) {
+          // Punning over a call is legal (we emulate it), but a call ends
+          // with control leaving the trampoline: any span instructions after
+          // it would be skipped. Only allow a call as the final span slot.
+          conflict_call = true;
+        }
+      }
+      span.insn_indices.push_back(i);
+      auto it = by_addr.find(di.addr);
+      span.payloads.push_back(it == by_addr.end() ? SIZE_MAX : it->second);
+      span.span_len += di.length;
+      if (conflict_call && span.span_len < kJmpLen) {
+        break;  // call mid-span: remaining slots unreachable
+      }
+    }
+    if (conflict_target) {
+      ++stats->skipped_target_conflict;
+      continue;
+    }
+    if (conflict_call && span.span_len < kJmpLen) {
+      ++stats->skipped_call_span;
+      continue;
+    }
+    if (span.span_len < kJmpLen) {
+      ++stats->skipped_section_end;
+      continue;
+    }
+    consumed_until = dis.insns[span.insn_indices.back()].end();
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+size_t EmitSpanTrampoline(const Disassembly& dis, Assembler& as, const SpanPlan& span,
+                          const std::vector<PatchRequest>& requests) {
+  size_t applied = 0;
+  for (size_t slot = 0; slot < span.insn_indices.size(); ++slot) {
+    const DisasmInsn& di = dis.insns[span.insn_indices[slot]];
+    if (span.payloads[slot] != SIZE_MAX) {
+      requests[span.payloads[slot]].emit_payload(as);
+      ++applied;
+    }
+    RelocateInsn(as, di);
+  }
+  const DisasmInsn& last = dis.insns[span.insn_indices.back()];
+  const bool falls_through =
+      !(last.insn.op == Op::kJmp || last.insn.op == Op::kJmpR || last.insn.op == Op::kRet ||
+        last.insn.op == Op::kCall || last.insn.op == Op::kCallR ||
+        last.insn.op == Op::kHlt);
+  if (falls_through) {
+    as.JmpAbs(last.end());
+  }
+  return applied;
+}
+
+TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPlan>& spans,
+                               const std::vector<PatchRequest>& requests,
+                               uint64_t trampoline_base, unsigned jobs, RewriteStats* stats) {
+  RewriteStats local;
+  RewriteStats& st = stats != nullptr ? *stats : local;
+  TrampolineCode code;
+  code.starts.assign(spans.size(), 0);
+  jobs = ResolveJobs(jobs);
+  if (jobs <= 1 || spans.size() <= 1) {
+    Assembler tramp(trampoline_base);
+    for (size_t i = 0; i < spans.size(); ++i) {
+      code.starts[i] = tramp.Here();
+      st.applied += EmitSpanTrampoline(dis, tramp, spans[i], requests);
+    }
+    code.bytes = tramp.Finish();
+  } else {
+    // Phase 1: measure every span's trampoline in parallel. Instruction
+    // encodings have fixed lengths, so the size does not depend on the
+    // final placement.
+    std::vector<size_t> sizes(spans.size(), 0);
+    ParallelFor(jobs, spans.size(), [&](size_t i) {
+      Assembler probe(trampoline_base);
+      EmitSpanTrampoline(dis, probe, spans[i], requests);
+      sizes[i] = probe.SizeBytes();
+      probe.Finish();
+    });
+    // Layout: prefix sums give each span its final address.
+    uint64_t offset = 0;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      code.starts[i] = trampoline_base + offset;
+      offset += sizes[i];
+    }
+    // Phase 2: emit every span at its final address in parallel.
+    std::vector<std::vector<uint8_t>> blobs(spans.size());
+    std::vector<size_t> applied(spans.size(), 0);
+    ParallelFor(jobs, spans.size(), [&](size_t i) {
+      Assembler as(code.starts[i]);
+      applied[i] = EmitSpanTrampoline(dis, as, spans[i], requests);
+      blobs[i] = as.Finish();
+      REDFAT_CHECK(blobs[i].size() == sizes[i]);
+    });
+    code.bytes.reserve(offset);
+    for (size_t i = 0; i < spans.size(); ++i) {
+      st.applied += applied[i];
+      code.bytes.insert(code.bytes.end(), blobs[i].begin(), blobs[i].end());
+    }
+  }
+  st.trampolines = spans.size();
+  st.trampoline_bytes = code.bytes.size();
+  return code;
+}
+
+void PatchSpans(Section* text, const std::vector<SpanPlan>& spans,
+                const std::vector<uint64_t>& tramp_starts) {
+  REDFAT_CHECK(text != nullptr);
+  REDFAT_CHECK(spans.size() == tramp_starts.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanPlan& span = spans[i];
+    const uint64_t patch_off = span.addr - text->vaddr;
+    const int64_t rel = static_cast<int64_t>(tramp_starts[i]) -
+                        static_cast<int64_t>(span.addr + kJmpLen);
+    REDFAT_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+    std::vector<uint8_t> jmp_bytes;
+    Encode({.op = Op::kJmp, .imm = rel}, &jmp_bytes);
+    REDFAT_CHECK(jmp_bytes.size() == kJmpLen);
+    std::copy(jmp_bytes.begin(), jmp_bytes.end(), text->bytes.begin() + patch_off);
+    for (unsigned f = kJmpLen; f < span.span_len; ++f) {
+      text->bytes[patch_off + f] = static_cast<uint8_t>(Op::kUd2);
+    }
+  }
+}
+
 Rewriter::Rewriter(const BinaryImage& image) : image_(image) {
   if (image_.FindSection(Section::Kind::kTrampoline) != nullptr) {
     error_ = "rewriter: image already contains a trampoline section";
@@ -75,125 +249,30 @@ Rewriter::Rewriter(const BinaryImage& image) : image_(image) {
 }
 
 Result<BinaryImage> Rewriter::Apply(const std::vector<PatchRequest>& requests,
-                                    RewriteStats* stats, uint64_t trampoline_base) {
+                                    RewriteStats* stats, uint64_t trampoline_base,
+                                    unsigned jobs) {
   REDFAT_CHECK(ok_);
   RewriteStats local;
   RewriteStats& st = stats != nullptr ? *stats : local;
   st = RewriteStats{};
-  st.requested = requests.size();
 
-  std::unordered_map<uint64_t, const PatchRequest*> by_addr;
-  std::vector<uint64_t> addrs;
-  for (const PatchRequest& r : requests) {
-    if (disasm_.IndexAt(r.addr) == SIZE_MAX) {
-      return Error(StrFormat("rewriter: request at 0x%llx is not an instruction boundary",
-                             static_cast<unsigned long long>(r.addr)));
-    }
-    const bool inserted = by_addr.emplace(r.addr, &r).second;
-    if (!inserted) {
-      return Error(StrFormat("rewriter: duplicate request at 0x%llx",
-                             static_cast<unsigned long long>(r.addr)));
-    }
-    addrs.push_back(r.addr);
+  Result<std::vector<SpanPlan>> planned = PlanSpans(disasm_, cfg_, requests, &st);
+  if (!planned.ok()) {
+    return Error(planned.error());
   }
-  std::sort(addrs.begin(), addrs.end());
+  const std::vector<SpanPlan>& spans = planned.value();
+  const TrampolineCode code =
+      EmitTrampolines(disasm_, spans, requests, trampoline_base, jobs, &st);
 
   BinaryImage out = image_;
   Section* text = out.FindSection(Section::Kind::kText);
   REDFAT_CHECK(text != nullptr);
-  Assembler tramp(trampoline_base);
-
-  uint64_t consumed_until = 0;  // sites below this were merged into a prior span
-  for (const uint64_t addr : addrs) {
-    if (addr < consumed_until) {
-      continue;  // payload already emitted inside the covering span
-    }
-    const size_t start_index = disasm_.IndexAt(addr);
-
-    // Build the overwrite span: enough whole instructions to cover the jmp.
-    std::vector<size_t> span;
-    unsigned span_len = 0;
-    bool conflict_target = false;
-    bool conflict_call = false;
-    for (size_t i = start_index; span_len < kJmpLen; ++i) {
-      if (i >= disasm_.insns.size()) {
-        break;
-      }
-      const DisasmInsn& di = disasm_.insns[i];
-      if (i != start_index) {
-        if (cfg_.jump_targets.count(di.addr) != 0) {
-          conflict_target = true;
-          break;
-        }
-        if (di.insn.op == Op::kCall || di.insn.op == Op::kCallR) {
-          // Punning over a call is legal (we emulate it), but a call ends
-          // with control leaving the trampoline: any span instructions after
-          // it would be skipped. Only allow a call as the final span slot.
-          conflict_call = true;
-        }
-      }
-      span.push_back(i);
-      span_len += di.length;
-      if (conflict_call && span_len < kJmpLen) {
-        break;  // call mid-span: remaining slots unreachable
-      }
-    }
-    if (conflict_target) {
-      ++st.skipped_target_conflict;
-      continue;
-    }
-    if (conflict_call && span_len < kJmpLen) {
-      ++st.skipped_call_span;
-      continue;
-    }
-    if (span_len < kJmpLen) {
-      ++st.skipped_section_end;
-      continue;
-    }
-
-    // Emit the trampoline: payload(s) + relocated instructions + jump back.
-    const uint64_t tramp_start = tramp.Here();
-    for (const size_t i : span) {
-      const DisasmInsn& di = disasm_.insns[i];
-      auto it = by_addr.find(di.addr);
-      if (it != by_addr.end()) {
-        it->second->emit_payload(tramp);
-        ++st.applied;
-      }
-      RelocateInsn(tramp, di);
-    }
-    const DisasmInsn& last = disasm_.insns[span.back()];
-    const bool falls_through =
-        !(last.insn.op == Op::kJmp || last.insn.op == Op::kJmpR || last.insn.op == Op::kRet ||
-          last.insn.op == Op::kCall || last.insn.op == Op::kCallR ||
-          last.insn.op == Op::kHlt);
-    if (falls_through) {
-      tramp.JmpAbs(last.end());
-    }
-    ++st.trampolines;
-
-    // Patch the original bytes: jmp rel32 + ud2 filler.
-    const uint64_t patch_off = addr - text->vaddr;
-    const int64_t rel = static_cast<int64_t>(tramp_start) -
-                        static_cast<int64_t>(addr + kJmpLen);
-    REDFAT_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
-    std::vector<uint8_t> jmp_bytes;
-    Encode({.op = Op::kJmp, .imm = rel}, &jmp_bytes);
-    REDFAT_CHECK(jmp_bytes.size() == kJmpLen);
-    std::copy(jmp_bytes.begin(), jmp_bytes.end(), text->bytes.begin() + patch_off);
-    for (unsigned f = kJmpLen; f < span_len; ++f) {
-      text->bytes[patch_off + f] = static_cast<uint8_t>(Op::kUd2);
-    }
-    consumed_until = last.end();
-  }
-
-  std::vector<uint8_t> tramp_bytes = tramp.Finish();
-  st.trampoline_bytes = tramp_bytes.size();
-  if (!tramp_bytes.empty()) {
+  PatchSpans(text, spans, code.starts);
+  if (!code.bytes.empty()) {
     Section ts;
     ts.kind = Section::Kind::kTrampoline;
     ts.vaddr = trampoline_base;
-    ts.bytes = std::move(tramp_bytes);
+    ts.bytes = code.bytes;
     out.sections.push_back(std::move(ts));
   }
   return out;

@@ -18,6 +18,20 @@
 // Relocation fixups: rel32 branches are re-anchored, rip-relative memory
 // operands get their displacement adjusted, and displaced calls are
 // emulated as push-return-address + jmp.
+//
+// Rewriting is exposed as three free-function stages over a shared
+// disassembly (so the pass pipeline can reuse cached analyses, and time and
+// parallelize each stage independently):
+//   PlanSpans        — serial: overwrite-span construction + conflicts;
+//   EmitTrampolines  — per-span code emission (payloads + relocations +
+//                      jump back). Every instruction encoding has a fixed
+//                      length, so a span's trampoline size is independent
+//                      of where it is placed; with `jobs > 1` all spans are
+//                      measured in parallel, the final layout is a prefix
+//                      sum, and each span is re-emitted at its final
+//                      address — byte-identical to the serial layout;
+//   PatchSpans       — serial: overwrite the original text bytes.
+// The Rewriter class composes the three over its own disassembly.
 #ifndef REDFAT_SRC_RW_REWRITER_H_
 #define REDFAT_SRC_RW_REWRITER_H_
 
@@ -35,7 +49,9 @@ namespace redfat {
 
 // Emits payload code into the trampoline assembler. The payload must
 // preserve all guest-visible state it does not own (the caller decides
-// which registers/flags are dead via its own clobber analysis).
+// which registers/flags are dead via its own clobber analysis). Payload
+// emitters must be safe to invoke concurrently from the parallel emission
+// stage (they may run once per layout phase per span).
 using PayloadEmitter = std::function<void(Assembler&)>;
 
 struct PatchRequest {
@@ -53,6 +69,45 @@ struct RewriteStats {
   size_t trampolines = 0;
 };
 
+// One accepted overwrite span: whole instructions covering the 5-byte jmp,
+// plus which request (by index into the request vector) supplies the
+// payload at each slot (SIZE_MAX = no payload at that slot).
+struct SpanPlan {
+  uint64_t addr = 0;                  // patch address (first instruction)
+  unsigned span_len = 0;              // bytes overwritten in text
+  std::vector<size_t> insn_indices;   // instructions displaced, in order
+  std::vector<size_t> payloads;       // parallel to insn_indices
+};
+
+// Stage 1: builds overwrite spans for all requests (validating addresses,
+// counting skips into `stats`). Requests must be at unique
+// instruction-boundary addresses inside the text section.
+Result<std::vector<SpanPlan>> PlanSpans(const Disassembly& dis, const CfgInfo& cfg,
+                                        const std::vector<PatchRequest>& requests,
+                                        RewriteStats* stats);
+
+// Emits one span's trampoline (payloads, relocated instructions, jump back)
+// at the assembler's current position; returns the payloads applied.
+size_t EmitSpanTrampoline(const Disassembly& dis, Assembler& as, const SpanPlan& span,
+                          const std::vector<PatchRequest>& requests);
+
+// Stage 2: emits all span trampolines as one code blob based at
+// `trampoline_base`, recording each span's start address. With `jobs > 1`
+// the spans are emitted across a thread pool; the blob is byte-identical
+// to `jobs == 1`. Fills stats->applied/trampolines/trampoline_bytes.
+struct TrampolineCode {
+  std::vector<uint8_t> bytes;
+  std::vector<uint64_t> starts;  // parallel to the span vector
+};
+TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPlan>& spans,
+                               const std::vector<PatchRequest>& requests,
+                               uint64_t trampoline_base, unsigned jobs, RewriteStats* stats);
+
+// Stage 3: overwrites each span's original bytes with `jmp rel32` into its
+// trampoline plus 1-byte ud2 filler.
+void PatchSpans(Section* text, const std::vector<SpanPlan>& spans,
+                const std::vector<uint64_t>& tramp_starts);
+
 class Rewriter {
  public:
   // The image must not already contain a trampoline section.
@@ -64,12 +119,13 @@ class Rewriter {
   const Disassembly& disasm() const { return disasm_; }
   const CfgInfo& cfg() const { return cfg_; }
 
-  // Applies all requests and returns the rewritten image. Requests must be
-  // at unique instruction-boundary addresses inside the text section.
-  // `trampoline_base` places the new section (shared objects instrumented
-  // separately need distinct, non-overlapping bases — §7.4).
+  // Applies all requests and returns the rewritten image. `trampoline_base`
+  // places the new section (shared objects instrumented separately need
+  // distinct, non-overlapping bases — §7.4). With `jobs > 1` the span
+  // trampolines are emitted across a thread pool; the output is
+  // byte-identical to `jobs == 1`.
   Result<BinaryImage> Apply(const std::vector<PatchRequest>& requests, RewriteStats* stats,
-                            uint64_t trampoline_base = kTrampolineBase);
+                            uint64_t trampoline_base = kTrampolineBase, unsigned jobs = 1);
 
  private:
   BinaryImage image_;

@@ -1,0 +1,53 @@
+#include "src/support/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace redfat {
+
+unsigned HardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned ResolveJobs(unsigned jobs) { return jobs == 0 ? HardwareJobs() : jobs; }
+
+void ParallelFor(unsigned jobs, size_t n, const std::function<void(size_t)>& fn) {
+  jobs = ResolveJobs(jobs);
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const unsigned workers = static_cast<unsigned>(std::min<size_t>(jobs, n));
+  // Chunked dynamic scheduling: big enough to amortize the atomic, small
+  // enough to balance skewed per-item costs (trampoline sizes vary).
+  const size_t chunk = std::max<size_t>(1, n / (static_cast<size_t>(workers) * 8));
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t begin = next.fetch_add(chunk);
+      if (begin >= n) {
+        return;
+      }
+      const size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace redfat

@@ -1,0 +1,31 @@
+// A minimal thread-pool work queue for the rewriting pipeline.
+//
+// ParallelFor partitions [0, n) across up to `jobs` worker threads pulling
+// chunks from a shared atomic counter. Callers own determinism: each index
+// must write only its own output slot, so the result is independent of the
+// schedule and `--jobs=N` output is byte-identical to `--jobs=1`.
+#ifndef REDFAT_SRC_SUPPORT_PARALLEL_H_
+#define REDFAT_SRC_SUPPORT_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace redfat {
+
+// Number of workers to use for `jobs == 0` ("auto"): the hardware
+// concurrency, or 1 if it cannot be determined.
+unsigned HardwareJobs();
+
+// Resolves a user-supplied job count: 0 means auto, anything else is taken
+// as-is.
+unsigned ResolveJobs(unsigned jobs);
+
+// Invokes fn(i) for every i in [0, n), using up to `jobs` threads
+// (`jobs <= 1` runs inline on the calling thread). Blocks until all
+// indices are done. fn must be safe to call concurrently from different
+// threads on different indices.
+void ParallelFor(unsigned jobs, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_PARALLEL_H_

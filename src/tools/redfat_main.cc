@@ -12,6 +12,12 @@
 //   --no-elim --no-batch --no-merge             optimization toggles
 //   --shadow               ASAN-style shadow redzones (ablation; run the
 //                          output under `rfrun --runtime=redfat-shadow`)
+//   --jobs=N               run the per-item pipeline passes on N worker
+//                          threads (0 = one per hardware thread); the
+//                          output is byte-identical for any N
+//   --time-passes          per-pass wall-time report on stderr
+//   --stats FILE           machine-readable pipeline stats JSON ('-' =
+//                          stdout)
 //   -v                     verbose plan/rewrite statistics
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +36,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: redfat [--profile] [--allowlist FILE | --profile-data FILE]\n"
                "              [--no-reads] [--no-size] [--no-lowfat] [--sitemap FILE]\n"
-               "              [--no-elim] [--no-batch] [--no-merge] [--shadow] [-v]\n"
+               "              [--no-elim] [--no-batch] [--no-merge] [--shadow]\n"
+               "              [--jobs=N] [--time-passes] [--stats FILE] [-v]\n"
                "              input.rfbin output.rfbin\n");
   return 2;
 }
@@ -79,6 +86,8 @@ int Main(int argc, char** argv) {
   std::string allow_path;
   std::string profile_data_path;
   std::string sitemap_path;
+  std::string stats_path;
+  bool time_passes = false;
   bool verbose = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +108,19 @@ int Main(int argc, char** argv) {
       opts.merge = false;
     } else if (arg == "--shadow") {
       opts.redzone_impl = RedzoneImpl::kShadow;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(arg.c_str() + 7, &end, 10);
+      if (end == arg.c_str() + 7 || *end != '\0') {
+        return Usage();  // empty or non-numeric value
+      }
+      opts.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--time-passes") {
+      time_passes = true;
+    } else if (arg == "--stats" && i + 1 < argc) {
+      stats_path = argv[++i];
     } else if (arg == "-v") {
       verbose = true;
     } else if (arg == "--allowlist" && i + 1 < argc) {
@@ -162,6 +184,31 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
       return 1;
     }
+  }
+  if (!stats_path.empty()) {
+    const std::string json = out.value().pipeline_stats.ToJson() + "\n";
+    if (stats_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      const Status s =
+          WriteFileBytes(stats_path, std::vector<uint8_t>(json.begin(), json.end()));
+      if (!s.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+        return 1;
+      }
+    }
+  }
+  if (time_passes) {
+    const PipelineStats& ps = out.value().pipeline_stats;
+    std::fprintf(stderr, "redfat: pass timings (%u job%s)\n", ps.jobs,
+                 ps.jobs == 1 ? "" : "s");
+    std::fprintf(stderr, "  %-10s %10s %10s %10s %14s\n", "pass", "items", "changed",
+                 "wall(ms)", "cycles-saved");
+    for (const PassStats& p : ps.passes) {
+      std::fprintf(stderr, "  %-10s %10zu %10zu %10.3f %14llu\n", p.name.c_str(), p.items,
+                   p.changed, p.wall_ms, static_cast<unsigned long long>(p.cycles_saved));
+    }
+    std::fprintf(stderr, "  %-10s %10s %10s %10.3f\n", "total", "", "", ps.total_ms);
   }
   if (verbose) {
     const PlanStats& p = out.value().plan_stats;
