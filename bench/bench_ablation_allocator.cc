@@ -5,6 +5,10 @@
 //   * host-side throughput of the allocator implementations themselves
 //     (LowFatHeap vs LegacyHeap vs the redzone wrapper);
 //   * the modeled guest-visible cycle cost per call.
+//
+// This bench never runs the rewriting pipeline, so it is the one experiment
+// harness without a PassTimeAggregator table; allocator runtime gauges are
+// instead available via `rfrun --metrics` (lowfat.* / redzone.live_bytes).
 #include <benchmark/benchmark.h>
 
 #include "src/heap/legacy_heap.h"

@@ -50,8 +50,10 @@ int Main() {
 
   std::printf("\nCheck-design ablation (fixed workload, lower is better)\n\n");
   std::printf("%-36s %9s %12s %14s\n", "Variant", "slowdown", "tramp bytes", "bytes/site");
+  PassTimeAggregator pass_times;
   for (const Variant& v : variants) {
     const InstrumentResult ir = MustInstrument(img, v.opts);
+    pass_times.Add(ir.pipeline_stats);
     const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
     REDFAT_CHECK(out.result.reason == HaltReason::kExit);
     REDFAT_CHECK(out.outputs == base.outputs);
@@ -62,6 +64,8 @@ int Main() {
                 static_cast<double>(ir.rewrite_stats.trampoline_bytes) /
                     static_cast<double>(ir.plan_stats.checks_emitted));
   }
+  pass_times.Print(
+      "Instrumentation time by pipeline pass (all variants, --stats JSON)");
   std::printf("\nExpected: the merged-UB trick and clobber analysis each shave cycles\n"
               "(the paper judges the branch removal \"worthwhile\", §4.2); disabling\n"
               "size hardening trades a little security for a little speed.\n");

@@ -31,6 +31,7 @@ int Main() {
               "FPs w/ allowlist");
   unsigned total_fp = 0;
   unsigned total_fp_allow = 0;
+  PassTimeAggregator pass_times;
   for (const SpecBenchmark& bench : SpecSuite()) {
     const BinaryImage img = BuildSpecBenchmark(bench);
     RunConfig ref;
@@ -39,6 +40,7 @@ int Main() {
 
     // Full-on: no allow-list.
     const InstrumentResult full = MustInstrument(img, RedFatOptions{});
+    pass_times.Add(full.pipeline_stats);
     const RunOutcome full_run = RunImage(full.image, RuntimeKind::kRedFat, ref);
     const std::set<uint64_t> full_sites = ReportedSiteAddrs(full_run, full.sites);
 
@@ -75,6 +77,8 @@ int Main() {
                   bench.paper_fp_sites, real_sites.size(), fp_allow);
     }
   }
+  pass_times.Print(
+      "Instrumentation time by pipeline pass (full-on config, --stats JSON)");
   std::printf("\nTotal FP sites: %u (paper: 85 across 9 benchmarks); with allow-list: %u "
               "(paper: 0)\n",
               total_fp, total_fp_allow);

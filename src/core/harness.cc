@@ -4,6 +4,8 @@
 #include "src/heap/lowfat.h"
 #include "src/heap/redfat_allocator.h"
 #include "src/heap/shadow_allocator.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
 
 namespace redfat {
 
@@ -34,6 +36,12 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   vm.set_inputs(config.inputs);
   vm.set_rng_seed(config.rng_seed);
   vm.set_instruction_limit(config.instruction_limit);
+  vm.set_telemetry(config.telemetry);
+  vm.set_trace(config.trace);
+  if (config.trace != nullptr) {
+    config.trace->SetProcessName(1, "guest");
+    config.trace->SetThreadName(1, 1, "vm");
+  }
   for (const BinaryImage* image : images) {
     vm.LoadImage(*image);  // the last image's entry wins
   }
@@ -45,6 +53,34 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   out.counters = vm.counters();
   out.prof_counts = vm.prof_counts();
   out.touched_pages = vm.memory().TouchedPages();
+
+  if (config.trace != nullptr) {
+    config.trace->Complete("vm.run", "run", 1, 1, 0.0,
+                           static_cast<double>(out.result.cycles),
+                           {TraceArg{"instructions", out.result.instructions},
+                            TraceArg{"mem_errors", out.errors.size()}});
+  }
+  if (config.telemetry != nullptr) {
+    TelemetryRegistry* reg = config.telemetry;
+    reg->AddCounter("vm.runs", 1);
+    reg->AddCounter("vm.instructions", out.result.instructions);
+    reg->AddCounter("vm.cycles", out.result.cycles);
+    reg->AddCounter("vm.explicit_reads", out.result.explicit_reads);
+    reg->AddCounter("vm.explicit_writes", out.result.explicit_writes);
+    reg->AddCounter("vm.mem_errors", out.errors.size());
+    reg->SetGauge("vm.touched_pages", static_cast<double>(out.touched_pages));
+    if (runtime == RuntimeKind::kRedFat) {
+      const LowFatHeapStats& hs = libredfat.lowfat_stats();
+      reg->SetGauge("lowfat.allocs", static_cast<double>(hs.allocs));
+      reg->SetGauge("lowfat.frees", static_cast<double>(hs.frees));
+      reg->SetGauge("lowfat.live_slots", static_cast<double>(hs.live_slots));
+      reg->SetGauge("lowfat.bump_bytes", static_cast<double>(hs.bump_bytes));
+      reg->SetGauge("lowfat.fallback_allocs",
+                    static_cast<double>(libredfat.fallback_allocs()));
+      reg->SetGauge("redzone.live_bytes",
+                    static_cast<double>(hs.live_slots * kRedzoneSize));
+    }
+  }
   return out;
 }
 
@@ -60,6 +96,23 @@ CoverageStats ComputeCoverage(const std::unordered_map<uint32_t, uint64_t>& coun
       cov.full += it->second;
     } else {
       cov.redzone_only += it->second;
+    }
+  }
+  return cov;
+}
+
+CoverageStats ComputeCoverage(const TelemetrySnapshot& snapshot,
+                              const std::vector<SiteRecord>& sites) {
+  CoverageStats cov;
+  for (const SiteRecord& site : sites) {
+    const SiteTelemetry* st = snapshot.FindSite(site.id);
+    if (st == nullptr || st->checks() == 0) {
+      continue;
+    }
+    if (site.kind == CheckKind::kFull) {
+      cov.full += st->checks();
+    } else {
+      cov.redzone_only += st->checks();
     }
   }
   return cov;

@@ -28,6 +28,13 @@ struct RunConfig {
   uint64_t rng_seed = 1;
   uint64_t instruction_limit = 200'000'000'000ULL;
   CycleModel model;
+  // Optional observability sinks (not owned). When set, the harness wires
+  // them into the VM, records run-level counters (vm.instructions, vm.cycles,
+  // ...), samples heap gauges after the run, and emits guest trace slices.
+  // Null (the default) leaves the run's cycle accounting byte-for-byte
+  // identical to an unobserved run.
+  TelemetryRegistry* telemetry = nullptr;
+  TraceWriter* trace = nullptr;
 };
 
 struct RunOutcome {
@@ -62,6 +69,12 @@ struct CoverageStats {
 };
 
 CoverageStats ComputeCoverage(const std::unordered_map<uint32_t, uint64_t>& counters,
+                              const std::vector<SiteRecord>& sites);
+
+// Same, but from a telemetry snapshot's per-site check counts (so external
+// consumers of a `--metrics` file can recompute coverage offline).
+struct TelemetrySnapshot;
+CoverageStats ComputeCoverage(const TelemetrySnapshot& snapshot,
                               const std::vector<SiteRecord>& sites);
 
 }  // namespace redfat

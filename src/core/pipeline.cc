@@ -9,6 +9,8 @@
 #include "src/support/check.h"
 #include "src/support/parallel.h"
 #include "src/support/str.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
 
 namespace redfat {
 
@@ -48,9 +50,9 @@ std::string PipelineStats::ToJson() const {
     }
     out += StrFormat(
         "{\"name\":\"%s\",\"items\":%zu,\"changed\":%zu,\"wall_ms\":%.3f,"
-        "\"cycles_saved\":%llu}",
+        "\"cycles_saved\":%llu,\"start_ms\":%.3f}",
         p.name.c_str(), p.items, p.changed, p.wall_ms,
-        static_cast<unsigned long long>(p.cycles_saved));
+        static_cast<unsigned long long>(p.cycles_saved), p.start_ms);
   }
   out += "]}";
   return out;
@@ -148,6 +150,8 @@ bool ParsePassObject(JsonCursor& c, PassStats* out) {
       out->wall_ms = num;
     } else if (key == "cycles_saved") {
       out->cycles_saved = static_cast<uint64_t>(num);
+    } else if (key == "start_ms") {
+      out->start_ms = num;  // absent in PR-1-era output; defaults to 0
     }  // unknown numeric keys are ignored for forward compatibility
   }
   return c.Eat('}');
@@ -562,6 +566,7 @@ Status Pipeline::Run(PipelineContext& ctx) {
       continue;
     }
     const auto pass_start = std::chrono::steady_clock::now();
+    const double start_ms = MsSince(run_start);
     Result<PassOutcome> out = e.pass->Run(ctx);
     if (!out.ok()) {
       return Error(StrFormat("pass '%s': %s", e.pass->name(), out.error().c_str()));
@@ -572,10 +577,47 @@ Status Pipeline::Run(PipelineContext& ctx) {
     ps.changed = out.value().changed;
     ps.cycles_saved = out.value().cycles_saved;
     ps.wall_ms = MsSince(pass_start);
+    ps.start_ms = start_ms;
     stats_.passes.push_back(std::move(ps));
   }
   stats_.total_ms = MsSince(run_start);
   return Status::Ok();
+}
+
+// --- telemetry/trace bridges -----------------------------------------------
+
+void AddPipelineTelemetry(const PipelineStats& stats, TelemetryRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->AddCounter("pipeline.runs", 1);
+  registry->SetGauge("pipeline.total_ms", stats.total_ms);
+  registry->SetGauge("pipeline.jobs", stats.jobs);
+  for (const PassStats& p : stats.passes) {
+    registry->AddCounter(StrFormat("pipeline.%s.items", p.name.c_str()), p.items);
+    registry->AddCounter(StrFormat("pipeline.%s.changed", p.name.c_str()), p.changed);
+    if (p.cycles_saved != 0) {
+      registry->AddCounter(StrFormat("pipeline.%s.cycles_saved", p.name.c_str()),
+                           p.cycles_saved);
+    }
+    registry->SetGauge(StrFormat("pipeline.%s.wall_ms", p.name.c_str()), p.wall_ms);
+  }
+}
+
+void AppendPipelineTrace(const PipelineStats& stats, TraceWriter* trace) {
+  if (trace == nullptr) {
+    return;
+  }
+  constexpr int kRewriterPid = 2;
+  constexpr int kRewriterTid = 1;
+  trace->SetProcessName(kRewriterPid, "rewriter");
+  trace->SetThreadName(kRewriterPid, kRewriterTid, "pipeline");
+  for (const PassStats& p : stats.passes) {
+    trace->Complete(p.name, "pass", kRewriterPid, kRewriterTid, p.start_ms * 1000.0,
+                    p.wall_ms * 1000.0,
+                    {TraceArg{"items", p.items}, TraceArg{"changed", p.changed},
+                     TraceArg{"cycles_saved", p.cycles_saved}});
+  }
 }
 
 }  // namespace redfat

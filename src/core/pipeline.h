@@ -53,6 +53,11 @@ struct PassStats {
   // affected sites (optimization passes only; see pipeline.cc for the
   // per-check constants). An observability aid, not a measurement.
   uint64_t cycles_saved = 0;
+  // Offset of the pass's start from the pipeline run's start. Together with
+  // wall_ms this places the pass on a timeline (the `--trace` pipeline
+  // track). Serialized last so PR-1-era consumers, which ignore unknown
+  // numeric keys, still parse the JSON.
+  double start_ms = 0.0;
 };
 
 struct PipelineStats {
@@ -68,6 +73,19 @@ struct PipelineStats {
 // Parses the ToJson() format back (used by benches and the golden test to
 // consume `--stats` output).
 Result<PipelineStats> PipelineStatsFromJson(const std::string& json);
+
+class TelemetryRegistry;
+class TraceWriter;
+
+// Publishes a run's pipeline stats into the unified telemetry registry:
+// counters "pipeline.<pass>.items"/".changed"/".cycles_saved" and gauges
+// "pipeline.total_ms"/"pipeline.<pass>.wall_ms".
+void AddPipelineTelemetry(const PipelineStats& stats, TelemetryRegistry* registry);
+
+// Appends one trace slice per executed pass (pid 2 "rewriter", wall-clock
+// timebase) so a `--trace` file shows the rewrite timeline next to the
+// guest-execution track.
+void AppendPipelineTrace(const PipelineStats& stats, TraceWriter* trace);
 
 // --- analyses --------------------------------------------------------------
 

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 
+#include "src/core/pipeline.h"
 #include "src/support/str.h"
+#include "src/support/telemetry.h"
 
 namespace redfat {
 
@@ -61,6 +63,74 @@ std::string DescribeError(const MemErrorReport& error, const std::vector<SiteRec
   }
   return StrFormat("%s at site %u (rip=0x%llx)", what, error.site,
                    static_cast<unsigned long long>(error.rip));
+}
+
+std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
+                                  const std::vector<SiteRecord>* sites,
+                                  const PipelineStats* pipeline,
+                                  uint64_t total_cycles) {
+  std::string out;
+  out += "=== per-site runtime telemetry ===\n";
+  if (snapshot.sites.empty()) {
+    out += "(no site events recorded)\n";
+  } else {
+    out += StrFormat("%6s %10s %2s %7s  %12s %8s %9s %9s %12s %7s\n", "site", "addr",
+                     "rw", "kind", "checks", "rz-hits", "lf-pass", "lf-fail",
+                     "tramp-cyc", "cyc%");
+    for (const SiteTelemetry& st : snapshot.sites) {
+      const SiteRecord* rec = nullptr;
+      if (sites != nullptr) {
+        for (const SiteRecord& s : *sites) {
+          if (s.id == st.site) {
+            rec = &s;
+            break;
+          }
+        }
+      }
+      const std::string addr =
+          rec != nullptr
+              ? StrFormat("0x%llx", static_cast<unsigned long long>(rec->addr))
+              : "?";
+      const std::string share =
+          total_cycles != 0
+              ? StrFormat("%6.2f%%", 100.0 * static_cast<double>(st.tramp_cycles()) /
+                                         static_cast<double>(total_cycles))
+              : std::string("-");
+      out += StrFormat(
+          "%6u %10s %2s %7s  %12llu %8llu %9llu %9llu %12llu %7s\n", st.site,
+          addr.c_str(), rec != nullptr ? (rec->is_write ? "w" : "r") : "?",
+          rec != nullptr ? (rec->kind == CheckKind::kFull ? "full" : "redzone") : "?",
+          static_cast<unsigned long long>(st.checks()),
+          static_cast<unsigned long long>(st.redzone_hits()),
+          static_cast<unsigned long long>(st.lowfat_passes()),
+          static_cast<unsigned long long>(st.lowfat_fails()),
+          static_cast<unsigned long long>(st.tramp_cycles()), share.c_str());
+    }
+  }
+  if (!snapshot.counters.empty()) {
+    out += "=== counters ===\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out += StrFormat("%-32s %llu\n", name.c_str(),
+                       static_cast<unsigned long long>(value));
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "=== gauges ===\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out += StrFormat("%-32s %g\n", name.c_str(), value);
+    }
+  }
+  if (pipeline != nullptr) {
+    out += "=== rewrite pipeline ===\n";
+    out += StrFormat("%-10s %10s %10s %12s %10s\n", "pass", "items", "changed",
+                     "cyc-saved", "wall-ms");
+    for (const PassStats& p : pipeline->passes) {
+      out += StrFormat("%-10s %10zu %10zu %12llu %10.3f\n", p.name.c_str(), p.items,
+                       p.changed, static_cast<unsigned long long>(p.cycles_saved),
+                       p.wall_ms);
+    }
+  }
+  return out;
 }
 
 }  // namespace redfat

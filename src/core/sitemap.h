@@ -24,6 +24,20 @@ Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lin
 // Sites may be null/short (e.g. Memcheck reports with site 0).
 std::string DescribeError(const MemErrorReport& error, const std::vector<SiteRecord>* sites);
 
+struct PipelineStats;
+struct TelemetrySnapshot;
+
+// The `rfrun --report` text: a per-site table joining the rewriter's static
+// site records (what was instrumented, where) with the run's telemetry (what
+// executed, what it hit, what it cost), followed by the named counters and
+// gauges, and — when rewrite-time stats are available — a pass summary.
+// `sites` and `pipeline` are optional; `total_cycles` scales the per-site
+// cycle share column (0 suppresses it).
+std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
+                                  const std::vector<SiteRecord>* sites,
+                                  const PipelineStats* pipeline,
+                                  uint64_t total_cycles);
+
 }  // namespace redfat
 
 #endif  // REDFAT_SRC_CORE_SITEMAP_H_

@@ -62,6 +62,8 @@ RunOutcome RunMemcheck(const BinaryImage& image, const RunConfig& config,
   vm.set_inputs(config.inputs);
   vm.set_rng_seed(config.rng_seed);
   vm.set_instruction_limit(config.instruction_limit);
+  vm.set_telemetry(config.telemetry);
+  vm.set_trace(config.trace);
   vm.LoadImage(image);
 
   RunOutcome out;

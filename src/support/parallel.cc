@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -27,6 +29,10 @@ void ParallelFor(unsigned jobs, size_t n, const std::function<void(size_t)>& fn)
   // enough to balance skewed per-item costs (trampoline sizes vary).
   const size_t chunk = std::max<size_t>(1, n / (static_cast<size_t>(workers) * 8));
   std::atomic<size_t> next{0};
+  // First exception wins; a thrown exception also drains the queue so every
+  // worker stops promptly instead of finishing the remaining chunks.
+  std::exception_ptr error;
+  std::mutex error_mu;
   auto worker = [&]() {
     for (;;) {
       const size_t begin = next.fetch_add(chunk);
@@ -35,7 +41,18 @@ void ParallelFor(unsigned jobs, size_t n, const std::function<void(size_t)>& fn)
       }
       const size_t end = std::min(n, begin + chunk);
       for (size_t i = begin; i < end; ++i) {
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) {
+              error = std::current_exception();
+            }
+          }
+          next.store(n);
+          return;
+        }
       }
     }
   };
@@ -47,6 +64,9 @@ void ParallelFor(unsigned jobs, size_t n, const std::function<void(size_t)>& fn)
   worker();
   for (std::thread& t : threads) {
     t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
   }
 }
 

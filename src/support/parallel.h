@@ -24,6 +24,10 @@ unsigned ResolveJobs(unsigned jobs);
 // (`jobs <= 1` runs inline on the calling thread). Blocks until all
 // indices are done. fn must be safe to call concurrently from different
 // threads on different indices.
+//
+// If fn throws, the first exception (by completion order) is rethrown on the
+// calling thread after all workers have stopped; remaining unstarted indices
+// are abandoned, so a throw means "some subset of [0, n) ran".
 void ParallelFor(unsigned jobs, size_t n, const std::function<void(size_t)>& fn);
 
 }  // namespace redfat

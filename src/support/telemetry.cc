@@ -1,0 +1,351 @@
+#include "src/support/telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace redfat {
+
+const char* SiteEventName(SiteEvent ev) {
+  switch (ev) {
+    case SiteEvent::kChecks: return "checks";
+    case SiteEvent::kRedzoneHits: return "redzone_hits";
+    case SiteEvent::kLowFatPasses: return "lowfat_passes";
+    case SiteEvent::kLowFatFails: return "lowfat_fails";
+    case SiteEvent::kTrampCycles: return "tramp_cycles";
+  }
+  REDFAT_FATAL("bad site event");
+}
+
+// --- TelemetryShard --------------------------------------------------------
+
+TelemetryShard::~TelemetryShard() {
+  for (std::atomic<Block*>& b : blocks_) {
+    delete b.load(std::memory_order_relaxed);
+  }
+}
+
+void TelemetryShard::AddSite(uint32_t site, SiteEvent ev, uint64_t delta) {
+  const size_t block_index = site / kBlockSites;
+  if (block_index >= kMaxBlocks) {
+    overflow_.fetch_add(delta, std::memory_order_relaxed);
+    return;
+  }
+  Block* block = blocks_[block_index].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    // Only the owning thread allocates, so no CAS race to handle; release
+    // publishes the zeroed block to concurrent Snapshot() readers.
+    block = new Block();
+    blocks_[block_index].store(block, std::memory_order_release);
+  }
+  const size_t slot =
+      (site % kBlockSites) * kNumSiteEvents + static_cast<size_t>(ev);
+  block->v[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+// --- TelemetrySnapshot -----------------------------------------------------
+
+const SiteTelemetry* TelemetrySnapshot::FindSite(uint32_t id) const {
+  const auto it = std::lower_bound(
+      sites.begin(), sites.end(), id,
+      [](const SiteTelemetry& s, uint32_t key) { return s.site < key; });
+  return (it != sites.end() && it->site == id) ? &*it : nullptr;
+}
+
+uint64_t TelemetrySnapshot::TotalSiteEvents(SiteEvent ev) const {
+  uint64_t total = 0;
+  for (const SiteTelemetry& s : sites) {
+    total += s.counts[static_cast<size_t>(ev)];
+  }
+  return total;
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s\"%s\":%.17g", first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"sites\":[";
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const SiteTelemetry& s = sites[i];
+    out += StrFormat("%s{\"id\":%u", i == 0 ? "" : ",", s.site);
+    for (size_t e = 0; e < kNumSiteEvents; ++e) {
+      out += StrFormat(",\"%s\":%llu", SiteEventName(static_cast<SiteEvent>(e)),
+                       static_cast<unsigned long long>(s.counts[e]));
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// A tiny parser for exactly the shapes ToJson() produces (plus arbitrary
+// whitespace), mirroring the PipelineStats parser's conventions: unknown
+// numeric keys inside a site object are ignored for forward compatibility,
+// unknown top-level keys are an error.
+namespace {
+
+struct JsonCursor {
+  const std::string& s;
+  size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+};
+
+bool ParseString(JsonCursor& c, std::string* out) {
+  if (!c.Eat('"')) {
+    return false;
+  }
+  out->clear();
+  while (c.i < c.s.size() && c.s[c.i] != '"') {
+    if (c.s[c.i] == '\\') {
+      return false;  // ToJson() never escapes; reject rather than mis-parse
+    }
+    out->push_back(c.s[c.i++]);
+  }
+  return c.Eat('"');
+}
+
+bool ParseNumber(JsonCursor& c, double* out) {
+  c.SkipWs();
+  const size_t start = c.i;
+  while (c.i < c.s.size() &&
+         (std::isdigit(static_cast<unsigned char>(c.s[c.i])) != 0 || c.s[c.i] == '-' ||
+          c.s[c.i] == '+' || c.s[c.i] == '.' || c.s[c.i] == 'e' || c.s[c.i] == 'E')) {
+    ++c.i;
+  }
+  if (c.i == start) {
+    return false;
+  }
+  try {
+    *out = std::stod(c.s.substr(start, c.i - start));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+// {"name":number,...} into an ordered map.
+template <typename T>
+bool ParseNumberMap(JsonCursor& c, std::map<std::string, T>* out) {
+  if (!c.Eat('{')) {
+    return false;
+  }
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Eat(',')) {
+      return false;
+    }
+    first = false;
+    std::string key;
+    double num = 0;
+    if (!ParseString(c, &key) || !c.Eat(':') || !ParseNumber(c, &num)) {
+      return false;
+    }
+    (*out)[key] = static_cast<T>(num);
+  }
+  return c.Eat('}');
+}
+
+bool ParseSiteObject(JsonCursor& c, SiteTelemetry* out, bool* saw_id) {
+  if (!c.Eat('{')) {
+    return false;
+  }
+  *saw_id = false;
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Eat(',')) {
+      return false;
+    }
+    first = false;
+    std::string key;
+    double num = 0;
+    if (!ParseString(c, &key) || !c.Eat(':') || !ParseNumber(c, &num)) {
+      return false;
+    }
+    if (key == "id") {
+      out->site = static_cast<uint32_t>(num);
+      *saw_id = true;
+      continue;
+    }
+    bool known = false;
+    for (size_t e = 0; e < kNumSiteEvents; ++e) {
+      if (key == SiteEventName(static_cast<SiteEvent>(e))) {
+        out->counts[e] = static_cast<uint64_t>(num);
+        known = true;
+        break;
+      }
+    }
+    (void)known;  // unknown numeric keys are ignored for forward compatibility
+  }
+  return c.Eat('}');
+}
+
+}  // namespace
+
+Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json) {
+  JsonCursor c{json};
+  TelemetrySnapshot snap;
+  if (!c.Eat('{')) {
+    return Error("metrics json: expected object");
+  }
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Eat(',')) {
+      return Error("metrics json: expected ','");
+    }
+    first = false;
+    std::string key;
+    if (!ParseString(c, &key) || !c.Eat(':')) {
+      return Error("metrics json: expected key");
+    }
+    if (key == "counters") {
+      if (!ParseNumberMap(c, &snap.counters)) {
+        return Error("metrics json: bad counters object");
+      }
+    } else if (key == "gauges") {
+      if (!ParseNumberMap(c, &snap.gauges)) {
+        return Error("metrics json: bad gauges object");
+      }
+    } else if (key == "sites") {
+      if (!c.Eat('[')) {
+        return Error("metrics json: expected sites array");
+      }
+      while (!c.Peek(']')) {
+        if (!snap.sites.empty() && !c.Eat(',')) {
+          return Error("metrics json: expected ',' in sites");
+        }
+        SiteTelemetry site;
+        bool saw_id = false;
+        if (!ParseSiteObject(c, &site, &saw_id) || !saw_id) {
+          return Error("metrics json: bad site object");
+        }
+        snap.sites.push_back(site);
+      }
+      if (!c.Eat(']')) {
+        return Error("metrics json: unterminated sites array");
+      }
+    } else {
+      return Error(StrFormat("metrics json: unknown key '%s'", key.c_str()));
+    }
+  }
+  if (!c.Eat('}')) {
+    return Error("metrics json: unterminated object");
+  }
+  c.SkipWs();
+  if (c.i != json.size()) {
+    return Error("metrics json: trailing data");
+  }
+  return snap;
+}
+
+// --- TelemetryRegistry -----------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_registry_gen{1};
+}  // namespace
+
+TelemetryRegistry::TelemetryRegistry()
+    : id_(g_registry_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+TelemetryShard* TelemetryRegistry::shard() {
+  // Per-thread cache keyed by (address, id): the id guard makes a stale
+  // entry for a destroyed registry whose address was reused miss instead of
+  // returning the old (freed) shard.
+  struct CacheEntry {
+    const TelemetryRegistry* registry;
+    uint64_t id;
+    TelemetryShard* shard;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.registry == this && e.id == id_) {
+      return e.shard;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<TelemetryShard>());
+  TelemetryShard* s = shards_.back().get();
+  cache.push_back(CacheEntry{this, id_, s});
+  return s;
+}
+
+void TelemetryRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void TelemetryRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+TelemetrySnapshot TelemetryRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetrySnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+
+  // Merge the shards' blocks into a dense, sorted site list.
+  std::map<uint32_t, SiteTelemetry> merged;
+  uint64_t overflow = 0;
+  for (const std::unique_ptr<TelemetryShard>& shard : shards_) {
+    overflow += shard->overflow_events();
+    for (size_t b = 0; b < TelemetryShard::kMaxBlocks; ++b) {
+      const TelemetryShard::Block* block =
+          shard->blocks_[b].load(std::memory_order_acquire);
+      if (block == nullptr) {
+        continue;
+      }
+      for (size_t s = 0; s < TelemetryShard::kBlockSites; ++s) {
+        const uint32_t site = static_cast<uint32_t>(b * TelemetryShard::kBlockSites + s);
+        for (size_t e = 0; e < kNumSiteEvents; ++e) {
+          const uint64_t v =
+              block->v[s * kNumSiteEvents + e].load(std::memory_order_relaxed);
+          if (v != 0) {
+            SiteTelemetry& st = merged[site];
+            st.site = site;
+            st.counts[e] += v;
+          }
+        }
+      }
+    }
+  }
+  snap.sites.reserve(merged.size());
+  for (auto& [site, st] : merged) {
+    snap.sites.push_back(st);
+  }
+  if (overflow != 0) {
+    snap.counters["telemetry.site_events_dropped"] += overflow;
+  }
+  return snap;
+}
+
+}  // namespace redfat

@@ -1,0 +1,134 @@
+// Unified runtime telemetry: one registry for everything the repo can
+// observe while code *runs* — per-instrumented-site counters from the VM,
+// named counters from any layer, and gauges sampled from the allocators.
+//
+// The registry complements the rewriter's static PipelineStats: the
+// pipeline says what was instrumented, the registry says what actually
+// executed and what it cost. `rfrun --report` joins the two per site id.
+//
+// Concurrency model: the hot path (per-site increments) goes through
+// per-thread shards. A thread obtains its shard once
+// (TelemetryRegistry::shard(), mutex-guarded registration) and then
+// increments relaxed atomics it exclusively writes — no locks, no
+// contention, no false sharing between threads. Snapshot() merges all
+// shards with relaxed loads; counts from threads still running are allowed
+// to be slightly stale, never torn. Named counters and gauges are cold
+// (per-run, not per-event) and live behind the registry mutex.
+//
+// When no registry is attached (the default everywhere), producers hold a
+// null pointer and skip all of this: disabled telemetry costs one branch.
+#ifndef REDFAT_SRC_SUPPORT_TELEMETRY_H_
+#define REDFAT_SRC_SUPPORT_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace redfat {
+
+// Per-site runtime events. Site ids are the ones the planner assigns
+// (SiteRecord::id), so every count joins back to a SiteRecord.
+enum class SiteEvent : uint8_t {
+  kChecks = 0,      // check executions (the trampoline's Count instruction)
+  kRedzoneHits,     // memory errors reported at the site (any ErrorKind)
+  kLowFatPasses,    // profiling mode: (LowFat) component passed
+  kLowFatFails,     // profiling mode: (LowFat) component failed
+  kTrampCycles,     // modeled cycles spent in the site's trampoline code
+};
+inline constexpr size_t kNumSiteEvents = 5;
+const char* SiteEventName(SiteEvent ev);
+
+// One thread's private accumulation buffer. Obtained from
+// TelemetryRegistry::shard(); AddSite must only be called by the owning
+// thread. Storage grows in fixed blocks so a concurrent Snapshot() never
+// observes a reallocation.
+class TelemetryShard {
+ public:
+  TelemetryShard() = default;
+  ~TelemetryShard();
+  TelemetryShard(const TelemetryShard&) = delete;
+  TelemetryShard& operator=(const TelemetryShard&) = delete;
+
+  void AddSite(uint32_t site, SiteEvent ev, uint64_t delta = 1);
+
+  // Events for site ids beyond the addressable range (never silent).
+  uint64_t overflow_events() const { return overflow_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class TelemetryRegistry;
+
+  static constexpr size_t kBlockSites = 256;
+  static constexpr size_t kMaxBlocks = 4096;  // site ids < 1,048,576
+  struct Block {
+    std::atomic<uint64_t> v[kBlockSites * kNumSiteEvents] = {};
+  };
+
+  // Written only by the owning thread (release); read by Snapshot (acquire).
+  std::atomic<Block*> blocks_[kMaxBlocks] = {};
+  std::atomic<uint64_t> overflow_{0};
+};
+
+// --- snapshots -------------------------------------------------------------
+
+struct SiteTelemetry {
+  uint32_t site = 0;
+  uint64_t counts[kNumSiteEvents] = {};
+
+  uint64_t checks() const { return counts[0]; }
+  uint64_t redzone_hits() const { return counts[1]; }
+  uint64_t lowfat_passes() const { return counts[2]; }
+  uint64_t lowfat_fails() const { return counts[3]; }
+  uint64_t tramp_cycles() const { return counts[4]; }
+};
+
+// A merged, point-in-time view of a registry. Serializes to the single-line
+// `--metrics` JSON; TelemetrySnapshotFromJson parses exactly that format
+// back (benches and external harnesses consume it).
+struct TelemetrySnapshot {
+  std::vector<SiteTelemetry> sites;                // sorted by id, non-zero only
+  std::map<std::string, uint64_t> counters;        // monotonic named counts
+  std::map<std::string, double> gauges;            // sampled absolute values
+
+  const SiteTelemetry* FindSite(uint32_t id) const;
+  uint64_t TotalSiteEvents(SiteEvent ev) const;
+  std::string ToJson() const;
+};
+
+Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json);
+
+// --- the registry ----------------------------------------------------------
+
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry();
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  // The calling thread's shard (registered on first use, then cached
+  // thread-locally; the returned pointer stays valid for the registry's
+  // lifetime and must only be used from the calling thread).
+  TelemetryShard* shard();
+
+  // Cold-path named counters (accumulating) and gauges (last write wins).
+  void AddCounter(const std::string& name, uint64_t delta);
+  void SetGauge(const std::string& name, double value);
+
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  const uint64_t id_;  // distinguishes address-reused registries in TLS caches
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TelemetryShard>> shards_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_SUPPORT_TELEMETRY_H_

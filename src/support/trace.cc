@@ -1,0 +1,406 @@
+#include "src/support/trace.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+
+#include "src/support/str.h"
+
+namespace redfat {
+
+namespace {
+
+// Escapes the characters JSON cannot carry raw. Event/category names in
+// this repo are plain identifiers, but foreign strings must not be able to
+// break the document.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(ch)));
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ArgsJson(const std::vector<TraceArg>& args) {
+  std::string out = "{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    out += StrFormat("%s\"%s\":%llu", i == 0 ? "" : ",", JsonEscape(args[i].key).c_str(),
+                     static_cast<unsigned long long>(args[i].value));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+bool TraceWriter::Admit() {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceWriter::SetProcessName(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) {
+    return;
+  }
+  // Metadata events carry the display name as args[0].key (rendered as the
+  // string-valued "name" arg in ToJson, unlike the numeric args elsewhere).
+  events_.push_back(
+      Event{'M', "process_name", "__metadata", pid, 0, 0, 0, {TraceArg{name, 0}}});
+}
+
+void TraceWriter::SetThreadName(int pid, int tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) {
+    return;
+  }
+  events_.push_back(
+      Event{'M', "thread_name", "__metadata", pid, tid, 0, 0, {TraceArg{name, 0}}});
+}
+
+void TraceWriter::Complete(const std::string& name, const std::string& cat, int pid,
+                           int tid, double ts_us, double dur_us,
+                           std::vector<TraceArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) {
+    return;
+  }
+  events_.push_back(Event{'X', name, cat, pid, tid, ts_us, dur_us, std::move(args)});
+}
+
+void TraceWriter::Instant(const std::string& name, const std::string& cat, int pid,
+                          int tid, double ts_us, std::vector<TraceArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) {
+    return;
+  }
+  events_.push_back(Event{'i', name, cat, pid, tid, ts_us, 0, std::move(args)});
+}
+
+void TraceWriter::Counter(const std::string& name, int pid, double ts_us,
+                          uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Admit()) {
+    return;
+  }
+  events_.push_back(
+      Event{'C', name, "counter", pid, 0, ts_us, 0, {TraceArg{"value", value}}});
+}
+
+size_t TraceWriter::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t TraceWriter::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceWriter::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i != 0) {
+      out += ",";
+    }
+    out += StrFormat("{\"ph\":\"%c\",\"name\":\"%s\",\"pid\":%d,\"tid\":%d", e.ph,
+                     JsonEscape(e.name).c_str(), e.pid, e.tid);
+    if (e.ph == 'M') {
+      // Metadata events carry the display name in args.name.
+      out += StrFormat(",\"args\":{\"name\":\"%s\"}",
+                       JsonEscape(e.args.empty() ? "" : e.args[0].key).c_str());
+      out += "}";
+      continue;
+    }
+    out += StrFormat(",\"cat\":\"%s\",\"ts\":%.3f", JsonEscape(e.cat).c_str(), e.ts_us);
+    if (e.ph == 'X') {
+      out += StrFormat(",\"dur\":%.3f", e.dur_us);
+    }
+    if (e.ph == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    if (e.ph == 'C' || !e.args.empty()) {
+      out += ",\"args\":" + ArgsJson(e.args);
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+// --- validation ------------------------------------------------------------
+//
+// A small stand-alone JSON parser (objects, arrays, strings, numbers,
+// true/false/null) — independent of the emitters above so a bug in ToJson
+// cannot hide from its own validator.
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status st = ParseValue(&v);
+    if (!st.ok()) {
+      return Error(st.error());
+    }
+    SkipWs();
+    if (i_ != s_.size()) {
+      return Error("trace json: trailing data");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])) != 0) {
+      ++i_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Eat('"')) {
+      return Error("trace json: expected string");
+    }
+    out->clear();
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char ch = s_[i_++];
+      if (ch == '\\') {
+        if (i_ >= s_.size()) {
+          return Error("trace json: bad escape");
+        }
+        const char esc = s_[i_++];
+        switch (esc) {
+          case '"': ch = '"'; break;
+          case '\\': ch = '\\'; break;
+          case '/': ch = '/'; break;
+          case 'n': ch = '\n'; break;
+          case 'r': ch = '\r'; break;
+          case 't': ch = '\t'; break;
+          case 'b': ch = '\b'; break;
+          case 'f': ch = '\f'; break;
+          case 'u': {
+            if (i_ + 4 > s_.size()) {
+              return Error("trace json: bad \\u escape");
+            }
+            for (int k = 0; k < 4; ++k) {
+              if (std::isxdigit(static_cast<unsigned char>(s_[i_ + k])) == 0) {
+                return Error("trace json: bad \\u escape");
+              }
+            }
+            i_ += 4;
+            ch = '?';  // validation only; exact code point is irrelevant
+            break;
+          }
+          default:
+            return Error("trace json: bad escape");
+        }
+      }
+      out->push_back(ch);
+    }
+    if (!Eat('"')) {
+      return Error("trace json: unterminated string");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (i_ >= s_.size()) {
+      return Error("trace json: unexpected end");
+    }
+    const char c = s_[i_];
+    if (c == '{') {
+      ++i_;
+      out->kind = JsonValue::Kind::kObject;
+      bool first = true;
+      while (!Peek('}')) {
+        if (!first && !Eat(',')) {
+          return Error("trace json: expected ',' in object");
+        }
+        first = false;
+        std::string key;
+        Status st = ParseString(&key);
+        if (!st.ok()) {
+          return st;
+        }
+        if (!Eat(':')) {
+          return Error("trace json: expected ':'");
+        }
+        JsonValue child;
+        st = ParseValue(&child);
+        if (!st.ok()) {
+          return st;
+        }
+        out->object.emplace(std::move(key), std::move(child));
+      }
+      Eat('}');
+      return Status::Ok();
+    }
+    if (c == '[') {
+      ++i_;
+      out->kind = JsonValue::Kind::kArray;
+      bool first = true;
+      while (!Peek(']')) {
+        if (!first && !Eat(',')) {
+          return Error("trace json: expected ',' in array");
+        }
+        first = false;
+        JsonValue child;
+        Status st = ParseValue(&child);
+        if (!st.ok()) {
+          return st;
+        }
+        out->array.push_back(std::move(child));
+      }
+      Eat(']');
+      return Status::Ok();
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (s_.compare(i_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->number = 1;
+      i_ += 4;
+      return Status::Ok();
+    }
+    if (s_.compare(i_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      i_ += 5;
+      return Status::Ok();
+    }
+    if (s_.compare(i_, 4, "null") == 0) {
+      i_ += 4;
+      return Status::Ok();
+    }
+    // Number.
+    const size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 || s_[i_] == '-' ||
+            s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+    }
+    if (i_ == start) {
+      return Error(StrFormat("trace json: unexpected character '%c'", c));
+    }
+    try {
+      out->number = std::stod(s_.substr(start, i_ - start));
+    } catch (...) {
+      return Error("trace json: bad number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::Ok();
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+bool IsNumber(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+}
+bool IsString(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString;
+}
+
+}  // namespace
+
+Status ValidateTraceEventJson(const std::string& json) {
+  JsonParser parser(json);
+  Result<JsonValue> parsed = parser.Parse();
+  if (!parsed.ok()) {
+    return Error(parsed.error());
+  }
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Error("trace json: root is not an object");
+  }
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Error("trace json: missing traceEvents array");
+  }
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string where = StrFormat("trace json: event %zu", i);
+    if (e.kind != JsonValue::Kind::kObject) {
+      return Error(where + " is not an object");
+    }
+    const JsonValue* ph = e.Get("ph");
+    if (!IsString(ph) || ph->str.size() != 1) {
+      return Error(where + ": missing/bad \"ph\"");
+    }
+    if (!IsString(e.Get("name"))) {
+      return Error(where + ": missing/bad \"name\"");
+    }
+    if (!IsNumber(e.Get("pid")) || !IsNumber(e.Get("tid"))) {
+      return Error(where + ": missing/bad \"pid\"/\"tid\"");
+    }
+    const char kind = ph->str[0];
+    if (kind == 'M') {
+      continue;  // metadata events need no timestamp
+    }
+    if (!IsNumber(e.Get("ts"))) {
+      return Error(where + ": missing/bad \"ts\"");
+    }
+    if (kind == 'X' && !IsNumber(e.Get("dur"))) {
+      return Error(where + ": complete event missing \"dur\"");
+    }
+    if (kind == 'C') {
+      const JsonValue* args = e.Get("args");
+      if (args == nullptr || args->kind != JsonValue::Kind::kObject ||
+          args->object.empty()) {
+        return Error(where + ": counter event missing \"args\"");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace redfat

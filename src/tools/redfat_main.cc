@@ -18,6 +18,10 @@
 //   --time-passes          per-pass wall-time report on stderr
 //   --stats FILE           machine-readable pipeline stats JSON ('-' =
 //                          stdout)
+//   --metrics FILE         unified telemetry snapshot JSON of the rewrite
+//                          (pipeline counters/gauges; '-' = stdout)
+//   --trace FILE           Chrome trace-event JSON of the pass timeline
+//                          (load in Perfetto / chrome://tracing)
 //   -v                     verbose plan/rewrite statistics
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +31,8 @@
 
 #include "src/core/redfat.h"
 #include "src/core/sitemap.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
 #include "src/tools/tool_io.h"
 
 namespace redfat {
@@ -38,6 +44,7 @@ int Usage() {
                "              [--no-reads] [--no-size] [--no-lowfat] [--sitemap FILE]\n"
                "              [--no-elim] [--no-batch] [--no-merge] [--shadow]\n"
                "              [--jobs=N] [--time-passes] [--stats FILE] [-v]\n"
+               "              [--metrics FILE] [--trace FILE]\n"
                "              input.rfbin output.rfbin\n");
   return 2;
 }
@@ -87,6 +94,8 @@ int Main(int argc, char** argv) {
   std::string profile_data_path;
   std::string sitemap_path;
   std::string stats_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool time_passes = false;
   bool verbose = false;
   std::vector<std::string> positional;
@@ -121,6 +130,14 @@ int Main(int argc, char** argv) {
       time_passes = true;
     } else if (arg == "--stats" && i + 1 < argc) {
       stats_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else if (arg == "-v") {
       verbose = true;
     } else if (arg == "--allowlist" && i + 1 < argc) {
@@ -186,16 +203,28 @@ int Main(int argc, char** argv) {
     }
   }
   if (!stats_path.empty()) {
-    const std::string json = out.value().pipeline_stats.ToJson() + "\n";
-    if (stats_path == "-") {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      const Status s =
-          WriteFileBytes(stats_path, std::vector<uint8_t>(json.begin(), json.end()));
-      if (!s.ok()) {
-        std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
-        return 1;
-      }
+    const Status s = WriteTextFile(stats_path, out.value().pipeline_stats.ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    TelemetryRegistry reg;
+    AddPipelineTelemetry(out.value().pipeline_stats, &reg);
+    const Status s = WriteTextFile(metrics_path, reg.Snapshot().ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    TraceWriter trace;
+    AppendPipelineTrace(out.value().pipeline_stats, &trace);
+    const Status s = WriteTextFile(trace_path, trace.ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+      return 1;
     }
   }
   if (time_passes) {

@@ -10,6 +10,15 @@
 //   --seed N               guest RNG seed
 //   --limit N              instruction budget
 //   --stats                print instruction/cycle/memory statistics
+//   --metrics FILE         unified telemetry snapshot JSON: per-site check/
+//                          hit/cycle counters, run counters, heap gauges
+//                          ('-' = stdout)
+//   --trace FILE           Chrome trace-event JSON of the run (trampoline
+//                          slices, allocator events; guest cycles as µs)
+//   --report               human-readable per-site report on stdout, joining
+//                          runtime telemetry with --sitemap records and
+//                          --pipeline-stats rewrite stats when given
+//   --pipeline-stats FILE  `redfat --stats` JSON to join into --report
 //
 // Guest outputs are printed one per line. Exit status: the guest's exit
 // code; 134 if the run aborted on a detected memory error (like SIGABRT).
@@ -20,9 +29,12 @@
 #include <vector>
 
 #include "src/core/harness.h"
+#include "src/core/pipeline.h"
 #include "src/core/sitemap.h"
 #include "src/dbi/memcheck.h"
 #include "src/support/str.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
 #include "src/tools/tool_io.h"
 
 namespace redfat {
@@ -32,7 +44,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: rfrun [--runtime=baseline|redfat|redfat-shadow|memcheck]\n"
                "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
-               "             [--seed N] [--limit N] [--stats] prog.rfbin [input...]\n");
+               "             [--seed N] [--limit N] [--stats] [--metrics FILE]\n"
+               "             [--trace FILE] [--report] [--pipeline-stats FILE]\n"
+               "             prog.rfbin [input...]\n");
   return 2;
 }
 
@@ -41,8 +55,12 @@ int Main(int argc, char** argv) {
   std::string policy = "harden";
   std::string profile_dump;
   std::string sitemap_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string pipeline_stats_path;
   RunConfig cfg;
   bool stats = false;
+  bool report = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +78,18 @@ int Main(int argc, char** argv) {
       cfg.instruction_limit = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--pipeline-stats" && i + 1 < argc) {
+      pipeline_stats_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -78,6 +108,17 @@ int Main(int argc, char** argv) {
   if (!image.ok()) {
     std::fprintf(stderr, "rfrun: %s\n", image.error().c_str());
     return 1;
+  }
+
+  // Attach the observability sinks only when requested: a plain run keeps
+  // the VM's telemetry hooks on their null fast path.
+  TelemetryRegistry telemetry;
+  TraceWriter trace;
+  if (!metrics_path.empty() || report) {
+    cfg.telemetry = &telemetry;
+  }
+  if (!trace_path.empty()) {
+    cfg.trace = &trace;
   }
 
   RunOutcome out;
@@ -138,6 +179,47 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(out.result.explicit_reads),
                  static_cast<unsigned long long>(out.result.explicit_writes),
                  static_cast<unsigned long long>(out.touched_pages));
+  }
+  if (!metrics_path.empty()) {
+    const Status s = WriteTextFile(metrics_path, telemetry.Snapshot().ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    const Status s = WriteTextFile(trace_path, trace.ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      return 1;
+    }
+    if (trace.dropped() != 0) {
+      std::fprintf(stderr, "rfrun: trace truncated: %zu events dropped\n",
+                   trace.dropped());
+    }
+  }
+  if (report) {
+    PipelineStats pipeline;
+    bool have_pipeline = false;
+    if (!pipeline_stats_path.empty()) {
+      Result<std::vector<uint8_t>> bytes = ReadFileBytes(pipeline_stats_path);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "rfrun: %s\n", bytes.error().c_str());
+        return 1;
+      }
+      Result<PipelineStats> parsed = PipelineStatsFromJson(
+          std::string(bytes.value().begin(), bytes.value().end()));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
+        return 1;
+      }
+      pipeline = std::move(parsed).value();
+      have_pipeline = true;
+    }
+    const std::string text = FormatTelemetryReport(
+        telemetry.Snapshot(), have_sites ? &sites : nullptr,
+        have_pipeline ? &pipeline : nullptr, out.result.cycles);
+    std::fputs(text.c_str(), stdout);
   }
 
   switch (out.result.reason) {

@@ -72,4 +72,12 @@ Result<std::vector<std::string>> ReadLines(const std::string& path) {
   return lines;
 }
 
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return Status::Ok();
+  }
+  return WriteFileBytes(path, std::vector<uint8_t>(text.begin(), text.end()));
+}
+
 }  // namespace redfat

@@ -21,6 +21,9 @@ Status SaveImageFile(const std::string& path, const BinaryImage& image);
 // ("<site> <passes> <fails>" per line).
 Result<std::vector<std::string>> ReadLines(const std::string& path);
 
+// Writes `text` to `path`; the conventional "-" writes to stdout instead.
+Status WriteTextFile(const std::string& path, const std::string& text);
+
 }  // namespace redfat
 
 #endif  // REDFAT_SRC_TOOLS_TOOL_IO_H_

@@ -4,17 +4,68 @@
 
 #include "src/support/check.h"
 #include "src/support/str.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
 
 namespace redfat {
+
+// The guest's fixed trace identity: one modeled process, one hardware thread.
+namespace {
+constexpr int kGuestPid = 1;
+constexpr int kGuestTid = 1;
+}  // namespace
 
 void Vm::LoadImage(const BinaryImage& image) {
   for (const Section& s : image.sections) {
     memory_.WriteBytes(s.vaddr, s.bytes.data(), s.bytes.size());
+    if (s.kind == Section::Kind::kTrampoline && !s.bytes.empty()) {
+      tramp_ranges_.emplace_back(s.vaddr, s.end_vaddr());
+    }
   }
   cpu_ = CpuState{};
   cpu_.rip = image.entry;
   cpu_.Set(Reg::kRsp, kStackTop - 64);
   icache_.clear();
+}
+
+void Vm::set_telemetry(TelemetryRegistry* t) {
+  telemetry_ = t;
+  tshard_ = t != nullptr ? t->shard() : nullptr;
+}
+
+bool Vm::InTrampoline(uint64_t addr) const {
+  for (const auto& [lo, hi] : tramp_ranges_) {
+    if (addr >= lo && addr < hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Vm::OnCountSite(uint32_t site) {
+  if (tshard_ != nullptr) {
+    tshard_->AddSite(site, SiteEvent::kChecks);
+  }
+  if (t_in_tramp_) {
+    // Batched trampolines Count every member site up front, so the last
+    // counted site owns the visit's cycles when it flushes.
+    t_site_ = site;
+    t_have_site_ = true;
+  }
+}
+
+void Vm::FlushTrampolineVisit() {
+  const uint64_t dur = cycles_ - t_entry_cycles_;
+  t_in_tramp_ = false;
+  t_tramp_cycles_ += dur;
+  if (tshard_ != nullptr && t_have_site_) {
+    tshard_->AddSite(t_site_, SiteEvent::kTrampCycles, dur);
+  }
+  if (trace_ != nullptr) {
+    trace_->Complete("tramp", "check", kGuestPid, kGuestTid,
+                     static_cast<double>(t_entry_cycles_), static_cast<double>(dur),
+                     {TraceArg{"site", t_have_site_ ? t_site_ : ~0ULL}});
+  }
 }
 
 const Vm::Exec* Vm::FetchDecode(uint64_t addr, std::string* fault) {
@@ -68,6 +119,15 @@ bool Vm::EvalCond(Cond c) const {
 
 bool Vm::ReportMemError(uint32_t site, ErrorKind kind) {
   mem_errors_.push_back(MemErrorReport{site, kind, cpu_.rip, instructions_});
+  if (tshard_ != nullptr) {
+    tshard_->AddSite(site, SiteEvent::kRedzoneHits);
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant("mem_error", "error", kGuestPid, kGuestTid,
+                    static_cast<double>(cycles_),
+                    {TraceArg{"site", site},
+                     TraceArg{"kind", static_cast<uint64_t>(kind)}});
+  }
   if (policy_ == Policy::kHarden) {
     halt_ = true;
     halt_reason_ = HaltReason::kMemErrorAbort;
@@ -80,6 +140,7 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
   const uint64_t a0 = cpu_.Get(Reg::kRdi);
   const uint64_t a1 = cpu_.Get(Reg::kRsi);
   const uint64_t a2 = cpu_.Get(Reg::kRdx);
+  const uint64_t hostcall_start = cycles_;
   cycles_ += model_.hostcall_base;
   switch (fn) {
     case HostFn::kExit:
@@ -95,6 +156,17 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
       const AllocOutcome out = allocator_->Malloc(memory_, a0);
       cpu_.Set(Reg::kRax, out.ptr);
       cycles_ += out.cycles;
+      if (trace_ != nullptr) {
+        if (out.ptr != 0) {
+          ++t_live_allocs_;
+        }
+        trace_->Complete("malloc", "alloc", kGuestPid, kGuestTid,
+                         static_cast<double>(hostcall_start),
+                         static_cast<double>(cycles_ - hostcall_start),
+                         {TraceArg{"size", a0}, TraceArg{"ptr", out.ptr}});
+        trace_->Counter("heap.live_objects", kGuestPid, static_cast<double>(cycles_),
+                        t_live_allocs_);
+      }
       return true;
     }
     case HostFn::kFree: {
@@ -103,6 +175,17 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
         return false;
       }
       cycles_ += allocator_->Free(memory_, a0);
+      if (trace_ != nullptr) {
+        if (a0 != 0 && t_live_allocs_ > 0) {
+          --t_live_allocs_;
+        }
+        trace_->Complete("free", "alloc", kGuestPid, kGuestTid,
+                         static_cast<double>(hostcall_start),
+                         static_cast<double>(cycles_ - hostcall_start),
+                         {TraceArg{"ptr", a0}});
+        trace_->Counter("heap.live_objects", kGuestPid, static_cast<double>(cycles_),
+                        t_live_allocs_);
+      }
       return true;
     }
     case HostFn::kMemset:
@@ -383,9 +466,15 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
           break;
         case TrapCode::kProfPass:
           ++prof_counts_[arg].passes;
+          if (tshard_ != nullptr) {
+            tshard_->AddSite(arg, SiteEvent::kLowFatPasses);
+          }
           break;
         case TrapCode::kProfFail:
           ++prof_counts_[arg].fails;
+          if (tshard_ != nullptr) {
+            tshard_->AddSite(arg, SiteEvent::kLowFatFails);
+          }
           break;
         case TrapCode::kAssertFail:
           halt_ = true;
@@ -400,6 +489,9 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
     }
     case Op::kCount:
       ++counters_[static_cast<uint32_t>(in.imm)];
+      if (tshard_ != nullptr || trace_ != nullptr) {
+        OnCountSite(static_cast<uint32_t>(in.imm));
+      }
       break;  // zero cycles: measurement only
     case Op::kInvalid:
     case Op::kNumOps:
@@ -414,10 +506,26 @@ RunResult Vm::Run() {
   halt_ = false;
   RunResult res;
   std::string fault;
+  // Trampoline-visit tracking is only worth per-instruction work when a sink
+  // is attached AND the loaded image actually has trampoline code.
+  const bool track_tramp =
+      (tshard_ != nullptr || trace_ != nullptr) && !tramp_ranges_.empty();
   while (!halt_) {
     if (instructions_ >= instruction_limit_) {
       halt_reason_ = HaltReason::kInstrLimit;
       break;
+    }
+    if (track_tramp) {
+      const bool now = InTrampoline(cpu_.rip);
+      if (now != t_in_tramp_) {
+        if (now) {
+          t_in_tramp_ = true;
+          t_entry_cycles_ = cycles_;
+          t_have_site_ = false;
+        } else {
+          FlushTrampolineVisit();
+        }
+      }
     }
     const Exec* ex = FetchDecode(cpu_.rip, &fault);
     if (ex == nullptr) {
@@ -437,6 +545,13 @@ RunResult Vm::Run() {
       res.fault_message = fault;
       break;
     }
+  }
+  if (t_in_tramp_) {
+    FlushTrampolineVisit();  // run ended (halt/fault/limit) inside a trampoline
+  }
+  if (telemetry_ != nullptr && t_tramp_cycles_ > t_tramp_reported_) {
+    telemetry_->AddCounter("vm.trampoline_cycles", t_tramp_cycles_ - t_tramp_reported_);
+    t_tramp_reported_ = t_tramp_cycles_;
   }
   res.reason = halt_reason_;
   res.exit_status = exit_status_;

@@ -24,6 +24,10 @@
 
 namespace redfat {
 
+class TelemetryRegistry;
+class TelemetryShard;
+class TraceWriter;
+
 struct Flags {
   bool zf = false;
   bool sf = false;
@@ -139,6 +143,13 @@ class Vm {
   void set_rng_seed(uint64_t seed) { rng_ = Rng(seed); }
   void set_instruction_limit(uint64_t limit) { instruction_limit_ = limit; }
 
+  // Optional observability sinks; null (the default) disables the
+  // corresponding tracking entirely. Neither affects modeled cycles — an
+  // instrumented run executes the exact same guest work with or without
+  // telemetry attached.
+  void set_telemetry(TelemetryRegistry* t);
+  void set_trace(TraceWriter* t) { trace_ = t; }
+
   RunResult Run();
 
   // --- state inspection ----------------------------------------------------
@@ -171,6 +182,9 @@ class Vm {
   };
 
   const Exec* FetchDecode(uint64_t addr, std::string* fault);
+  bool InTrampoline(uint64_t addr) const;
+  void OnCountSite(uint32_t site);       // telemetry bookkeeping for Op::kCount
+  void FlushTrampolineVisit();           // close the current trampoline slice
   uint64_t EffectiveAddress(const MemOperand& mem, uint64_t next_rip) const;
   void SetFlagsLogic(uint64_t result);
   bool EvalCond(Cond c) const;
@@ -183,6 +197,9 @@ class Vm {
   CpuState cpu_;
   GuestAllocator* allocator_ = nullptr;
   ExecObserver* observer_ = nullptr;
+  TelemetryRegistry* telemetry_ = nullptr;
+  TelemetryShard* tshard_ = nullptr;  // this VM's shard of telemetry_
+  TraceWriter* trace_ = nullptr;
   Policy policy_ = Policy::kHarden;
   Rng rng_{0x5eedULL};
 
@@ -204,6 +221,18 @@ class Vm {
   bool halt_ = false;
   HaltReason halt_reason_ = HaltReason::kHlt;
   uint64_t exit_status_ = 0;
+
+  // --- telemetry-only state (untouched when no sink is attached) -----------
+  // Trampoline sections of every loaded image; accumulated across LoadImage
+  // calls (shared-object runs map several images into one address space).
+  std::vector<std::pair<uint64_t, uint64_t>> tramp_ranges_;
+  bool t_in_tramp_ = false;      // rip currently inside a trampoline section
+  bool t_have_site_ = false;     // current visit has executed a Count yet
+  uint32_t t_site_ = 0;          // last site counted in the current visit
+  uint64_t t_entry_cycles_ = 0;  // cycles_ when the current visit began
+  uint64_t t_tramp_cycles_ = 0;  // total trampoline cycles, all visits
+  uint64_t t_tramp_reported_ = 0;  // portion already pushed to the registry
+  uint64_t t_live_allocs_ = 0;   // malloc minus free (trace counter track)
 };
 
 }  // namespace redfat

@@ -49,6 +49,23 @@ grep -q "out-of-bounds write at 0x" attack_err.txt || fail "unsymbolized error r
     > /dev/null || fail "memcheck run failed"
 grep -q "MEMORY ERROR" mc_err.txt && fail "memcheck should miss the skip"
 
+# Observability: rewrite-time stats/metrics/trace, runtime metrics/trace,
+# and the joined per-site report.
+"$TOOLS/redfat" --stats cve.stats.json --metrics cve.rw_metrics.json \
+    --trace cve.rw_trace.json cve.rfbin cve.obs.rfbin
+cmp cve.hard.rfbin cve.obs.rfbin || fail "telemetry flags changed the image"
+[ -s cve.stats.json ] || fail "empty pipeline stats"
+"$TOOLS/rfrun" --runtime=redfat --policy=log --metrics=cve.metrics.json \
+    --trace=cve.trace.json --report --pipeline-stats cve.stats.json \
+    --sitemap cve.map cve.hard.rfbin "$ATTACK" > report.txt 2> /dev/null \
+    || fail "telemetry run failed"
+grep -q "per-site runtime telemetry" report.txt || fail "missing telemetry report"
+grep -q "rz-hits" report.txt || fail "missing report columns"
+grep -q "rewrite pipeline" report.txt || fail "report missing pipeline join"
+grep -q '"redzone_hits":[1-9]' cve.metrics.json || fail "metrics missing redzone hits"
+grep -q '"traceEvents":' cve.trace.json || fail "trace missing traceEvents"
+grep -q '"mem_error"' cve.trace.json || fail "trace missing mem_error instant"
+
 # Shadow-impl variant.
 "$TOOLS/redfat" --shadow cve.rfbin cve.sh.rfbin
 if "$TOOLS/rfrun" --runtime=redfat-shadow cve.sh.rfbin "$ATTACK" > /dev/null 2>&1; then

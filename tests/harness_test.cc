@@ -58,7 +58,8 @@ TEST(Coverage, EliminatedOperandsDoNotAppear) {
 }
 
 TEST(Coverage, EmptyCountersGiveZeroFraction) {
-  CoverageStats cov = ComputeCoverage({}, {});
+  CoverageStats cov =
+      ComputeCoverage(std::unordered_map<uint32_t, uint64_t>{}, {});
   EXPECT_DOUBLE_EQ(cov.FullFraction(), 0.0);
 }
 

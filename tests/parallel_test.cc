@@ -1,0 +1,97 @@
+// Tests for support/parallel.h: exactly-once index coverage across job
+// counts, degenerate sizes, and exception propagation to the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/parallel.h"
+
+namespace redfat {
+namespace {
+
+TEST(ParallelTest, ResolveJobsMapsZeroToHardware) {
+  EXPECT_EQ(ResolveJobs(0), HardwareJobs());
+  EXPECT_GE(HardwareJobs(), 1u);
+  EXPECT_EQ(ResolveJobs(1), 1u);
+  EXPECT_EQ(ResolveJobs(7), 7u);
+}
+
+void ExpectEveryIndexExactlyOnce(unsigned jobs, size_t n) {
+  std::vector<std::atomic<uint32_t>> hits(n);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  ParallelFor(jobs, n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "jobs=" << jobs << " n=" << n << " i=" << i;
+  }
+}
+
+TEST(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned jobs : {0u, 1u, 2u, 4u, 16u}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{64},
+                     size_t{1000}}) {
+      ExpectEveryIndexExactlyOnce(jobs, n);
+    }
+  }
+}
+
+TEST(ParallelTest, MoreJobsThanItemsStillCoversAll) {
+  ExpectEveryIndexExactlyOnce(/*jobs=*/32, /*n=*/5);
+}
+
+TEST(ParallelTest, ZeroItemsNeverInvokesFn) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "fn called for empty range"; });
+}
+
+TEST(ParallelTest, InlinePathPreservesOrder) {
+  // jobs <= 1 runs on the calling thread in ascending index order.
+  std::vector<size_t> order;
+  ParallelFor(1, 8, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelTest, RethrowsExceptionFromInlinePath) {
+  EXPECT_THROW(
+      ParallelFor(1, 4,
+                  [](size_t i) {
+                    if (i == 2) {
+                      throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelTest, RethrowsFirstExceptionFromWorkers) {
+  std::atomic<size_t> ran{0};
+  try {
+    ParallelFor(4, 1000, [&ran](size_t i) {
+      if (i == 10) {
+        throw std::runtime_error("worker failure");
+      }
+      ran.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker failure");
+  }
+  // The queue is drained on failure: some subset of [0, n) ran, never more.
+  EXPECT_LT(ran.load(), 1000u);
+}
+
+TEST(ParallelTest, ExceptionLeavesPoolReusable) {
+  // A throw must join all workers; subsequent calls behave normally.
+  EXPECT_THROW(
+      ParallelFor(4, 100, [](size_t) { throw std::logic_error("once"); }),
+      std::logic_error);
+  ExpectEveryIndexExactlyOnce(4, 100);
+}
+
+}  // namespace
+}  // namespace redfat

@@ -195,22 +195,35 @@ TEST(PipelineStatsTest, ToJsonGolden) {
   PipelineStats stats;
   stats.jobs = 2;
   stats.total_ms = 12.5;
-  stats.passes.push_back(PassStats{"disasm", 100, 0, 1.25, 0});
-  stats.passes.push_back(PassStats{"merge", 40, 7, 0.5, 210});
+  stats.passes.push_back(PassStats{"disasm", 100, 0, 1.25, 0, 0.0});
+  stats.passes.push_back(PassStats{"merge", 40, 7, 0.5, 210, 1.25});
   EXPECT_EQ(stats.ToJson(),
             "{\"jobs\":2,\"total_ms\":12.500,\"passes\":["
             "{\"name\":\"disasm\",\"items\":100,\"changed\":0,\"wall_ms\":1.250,"
-            "\"cycles_saved\":0},"
+            "\"cycles_saved\":0,\"start_ms\":0.000},"
             "{\"name\":\"merge\",\"items\":40,\"changed\":7,\"wall_ms\":0.500,"
-            "\"cycles_saved\":210}]}");
+            "\"cycles_saved\":210,\"start_ms\":1.250}]}");
+}
+
+TEST(PipelineStatsTest, ParsesPreStartMsFormat) {
+  // `--stats` output from before start_ms existed must keep parsing, with
+  // the missing field defaulting to zero.
+  Result<PipelineStats> parsed = PipelineStatsFromJson(
+      "{\"jobs\":2,\"total_ms\":12.500,\"passes\":["
+      "{\"name\":\"disasm\",\"items\":100,\"changed\":0,\"wall_ms\":1.250,"
+      "\"cycles_saved\":0}]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().passes.size(), 1u);
+  EXPECT_EQ(parsed.value().passes[0].items, 100u);
+  EXPECT_DOUBLE_EQ(parsed.value().passes[0].start_ms, 0.0);
 }
 
 TEST(PipelineStatsTest, JsonRoundTrip) {
   PipelineStats stats;
   stats.jobs = 8;
   stats.total_ms = 3.75;
-  stats.passes.push_back(PassStats{"classify", 1234, 567, 0.125, 0});
-  stats.passes.push_back(PassStats{"eliminate", 567, 89, 0.25, 3382});
+  stats.passes.push_back(PassStats{"classify", 1234, 567, 0.125, 0, 0.5});
+  stats.passes.push_back(PassStats{"eliminate", 567, 89, 0.25, 3382, 0.625});
 
   Result<PipelineStats> parsed = PipelineStatsFromJson(stats.ToJson());
   ASSERT_TRUE(parsed.ok()) << parsed.error();
@@ -221,6 +234,8 @@ TEST(PipelineStatsTest, JsonRoundTrip) {
   EXPECT_EQ(parsed.value().passes[0].items, 1234u);
   EXPECT_EQ(parsed.value().passes[1].changed, 89u);
   EXPECT_EQ(parsed.value().passes[1].cycles_saved, 3382u);
+  EXPECT_DOUBLE_EQ(parsed.value().passes[0].start_ms, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.value().passes[1].start_ms, 0.625);
 
   const PassStats* found = parsed.value().Find("eliminate");
   ASSERT_NE(found, nullptr);

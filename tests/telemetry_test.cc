@@ -1,0 +1,367 @@
+// Tests for the unified telemetry subsystem (support/telemetry.h,
+// support/trace.h) and its wiring through the VM and harness: shard merging,
+// JSON round-trips, trace-event validity, per-site runtime attribution, and
+// the guarantee that attaching telemetry never changes guest cycles.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/pipeline.h"
+#include "src/core/redfat.h"
+#include "src/core/sitemap.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
+#include "src/workloads/builder.h"
+
+namespace redfat {
+namespace {
+
+// --- shards & registry -----------------------------------------------------
+
+TEST(TelemetryTest, ShardCountsMergeIntoSnapshot) {
+  TelemetryRegistry reg;
+  TelemetryShard* shard = reg.shard();
+  shard->AddSite(3, SiteEvent::kChecks);
+  shard->AddSite(3, SiteEvent::kChecks);
+  shard->AddSite(3, SiteEvent::kRedzoneHits);
+  shard->AddSite(700, SiteEvent::kTrampCycles, 42);  // second block
+
+  const TelemetrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.sites.size(), 2u);
+  const SiteTelemetry* s3 = snap.FindSite(3);
+  ASSERT_NE(s3, nullptr);
+  EXPECT_EQ(s3->checks(), 2u);
+  EXPECT_EQ(s3->redzone_hits(), 1u);
+  const SiteTelemetry* s700 = snap.FindSite(700);
+  ASSERT_NE(s700, nullptr);
+  EXPECT_EQ(s700->tramp_cycles(), 42u);
+  EXPECT_EQ(snap.FindSite(4), nullptr);
+  EXPECT_EQ(snap.TotalSiteEvents(SiteEvent::kChecks), 2u);
+}
+
+TEST(TelemetryTest, ShardReturnsSameInstancePerThread) {
+  TelemetryRegistry reg;
+  EXPECT_EQ(reg.shard(), reg.shard());
+  TelemetryRegistry other;
+  EXPECT_NE(reg.shard(), other.shard());  // distinct registries, same thread
+}
+
+TEST(TelemetryTest, ThreadsAccumulateIntoPrivateShards) {
+  TelemetryRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      TelemetryShard* shard = reg.shard();
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        shard->AddSite(7, SiteEvent::kChecks);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const TelemetrySnapshot snap = reg.Snapshot();
+  const SiteTelemetry* s = snap.FindSite(7);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->checks(), kThreads * kPerThread);
+}
+
+TEST(TelemetryTest, OutOfRangeSitesCountAsDropped) {
+  TelemetryRegistry reg;
+  reg.shard()->AddSite(0x7fffffff, SiteEvent::kChecks);  // beyond kMaxBlocks
+  const TelemetrySnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.sites.empty());
+  EXPECT_EQ(snap.counters.at("telemetry.site_events_dropped"), 1u);
+}
+
+TEST(TelemetryTest, CountersAccumulateAndGaugesOverwrite) {
+  TelemetryRegistry reg;
+  reg.AddCounter("runs", 1);
+  reg.AddCounter("runs", 2);
+  reg.SetGauge("live", 10.0);
+  reg.SetGauge("live", 2.5);
+  const TelemetrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("runs"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("live"), 2.5);
+}
+
+// --- snapshot JSON ----------------------------------------------------------
+
+TEST(TelemetryTest, SnapshotToJsonGolden) {
+  TelemetryRegistry reg;
+  reg.AddCounter("vm.runs", 1);
+  reg.SetGauge("lowfat.allocs", 4);
+  TelemetryShard* shard = reg.shard();
+  shard->AddSite(5, SiteEvent::kChecks, 9);
+  shard->AddSite(5, SiteEvent::kRedzoneHits, 2);
+  EXPECT_EQ(reg.Snapshot().ToJson(),
+            "{\"counters\":{\"vm.runs\":1},\"gauges\":{\"lowfat.allocs\":4},"
+            "\"sites\":[{\"id\":5,\"checks\":9,\"redzone_hits\":2,"
+            "\"lowfat_passes\":0,\"lowfat_fails\":0,\"tramp_cycles\":0}]}");
+}
+
+TEST(TelemetryTest, SnapshotJsonRoundTrip) {
+  TelemetryRegistry reg;
+  reg.AddCounter("vm.cycles", 123456789);
+  reg.SetGauge("redzone.live_bytes", 512);
+  TelemetryShard* shard = reg.shard();
+  shard->AddSite(0, SiteEvent::kChecks, 3);
+  shard->AddSite(9, SiteEvent::kLowFatPasses, 7);
+  shard->AddSite(9, SiteEvent::kLowFatFails, 1);
+
+  const TelemetrySnapshot snap = reg.Snapshot();
+  Result<TelemetrySnapshot> parsed = TelemetrySnapshotFromJson(snap.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().counters, snap.counters);
+  EXPECT_EQ(parsed.value().gauges, snap.gauges);
+  ASSERT_EQ(parsed.value().sites.size(), 2u);
+  const SiteTelemetry* s9 = parsed.value().FindSite(9);
+  ASSERT_NE(s9, nullptr);
+  EXPECT_EQ(s9->lowfat_passes(), 7u);
+  EXPECT_EQ(s9->lowfat_fails(), 1u);
+}
+
+TEST(TelemetryTest, SnapshotJsonRejectsMalformedInput) {
+  EXPECT_FALSE(TelemetrySnapshotFromJson("").ok());
+  EXPECT_FALSE(TelemetrySnapshotFromJson("{").ok());
+  EXPECT_FALSE(TelemetrySnapshotFromJson("{\"unknown\":1}").ok());
+  EXPECT_FALSE(TelemetrySnapshotFromJson("{\"sites\":[{\"checks\":1}]}").ok());  // no id
+  EXPECT_FALSE(TelemetrySnapshotFromJson("{\"counters\":{}} trailing").ok());
+}
+
+// --- trace writer -----------------------------------------------------------
+
+TEST(TraceTest, EmitsValidTraceEventJson) {
+  TraceWriter trace;
+  trace.SetProcessName(1, "guest");
+  trace.SetThreadName(1, 1, "vm");
+  trace.Complete("tramp", "check", 1, 1, 100.0, 25.0, {TraceArg{"site", 3}});
+  trace.Instant("mem_error", "error", 1, 1, 125.0, {TraceArg{"site", 3}});
+  trace.Counter("heap.live_objects", 1, 130.0, 17);
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  const std::string json = trace.ToJson();
+  const Status st = ValidateTraceEventJson(json);
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error()) << "\n" << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TraceTest, CapsEventsAndCountsDrops) {
+  TraceWriter trace(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    trace.Instant("e", "c", 1, 1, i);
+  }
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+  EXPECT_TRUE(ValidateTraceEventJson(trace.ToJson()).ok());
+}
+
+TEST(TraceTest, EscapesHostileStrings) {
+  TraceWriter trace;
+  trace.Complete("quote\"back\\slash\nnewline", "c", 1, 1, 0, 1);
+  const Status st = ValidateTraceEventJson(trace.ToJson());
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error());
+}
+
+TEST(TraceTest, ValidatorRejectsMalformedOrNonTraceJson) {
+  EXPECT_FALSE(ValidateTraceEventJson("").ok());
+  EXPECT_FALSE(ValidateTraceEventJson("not json").ok());
+  EXPECT_FALSE(ValidateTraceEventJson("{}").ok());  // no traceEvents
+  EXPECT_FALSE(ValidateTraceEventJson("{\"traceEvents\":{}}").ok());
+  EXPECT_FALSE(
+      ValidateTraceEventJson("{\"traceEvents\":[{\"name\":\"x\"}]}").ok());  // no ph
+  // A complete event without "dur" violates the contract.
+  EXPECT_FALSE(ValidateTraceEventJson(
+                   "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"pid\":1,"
+                   "\"tid\":1,\"ts\":0}]}")
+                   .ok());
+  EXPECT_TRUE(ValidateTraceEventJson("{\"traceEvents\":[]}").ok());
+}
+
+// --- end-to-end through instrumentation + VM --------------------------------
+
+BinaryImage OobWriteProgram() {
+  ProgramBuilder pb;
+  Assembler& as = pb.text();
+  as.MovRI(Reg::kRdi, 32);
+  as.HostCall(HostFn::kMalloc);
+  as.MovRR(Reg::kR12, Reg::kRax);
+  as.StoreI(MemAt(Reg::kR12, 0), 7);   // in bounds
+  as.StoreI(MemAt(Reg::kR12, 40), 1);  // OOB: lands in the redzone
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+TEST(TelemetryEndToEnd, RedzoneHitAttributedToFaultingSite) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+  ASSERT_FALSE(ir.sites.empty());
+
+  TelemetryRegistry reg;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.telemetry = &reg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  ASSERT_FALSE(out.errors.empty());
+
+  const TelemetrySnapshot snap = reg.Snapshot();
+  const SiteTelemetry* faulting = snap.FindSite(out.errors[0].site);
+  ASSERT_NE(faulting, nullptr);
+  EXPECT_GE(faulting->redzone_hits(), 1u);
+  EXPECT_GE(faulting->checks(), 1u);
+  // Only the faulting site hit its redzone.
+  EXPECT_EQ(snap.TotalSiteEvents(SiteEvent::kRedzoneHits), out.errors.size());
+  // Per-site checks mirror the VM's Count counters exactly.
+  for (const auto& [site, count] : out.counters) {
+    const SiteTelemetry* st = snap.FindSite(site);
+    ASSERT_NE(st, nullptr) << "site " << site;
+    EXPECT_EQ(st->checks(), count) << "site " << site;
+  }
+  // Trampoline cycles were attributed and rolled up.
+  EXPECT_GT(snap.TotalSiteEvents(SiteEvent::kTrampCycles), 0u);
+  EXPECT_EQ(snap.counters.at("vm.trampoline_cycles"),
+            snap.TotalSiteEvents(SiteEvent::kTrampCycles));
+  // Run counters and heap gauges landed.
+  EXPECT_EQ(snap.counters.at("vm.runs"), 1u);
+  EXPECT_GT(snap.counters.at("vm.instructions"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("lowfat.allocs"), 1.0);
+}
+
+TEST(TelemetryEndToEnd, ProfilingRunRecordsLowFatOutcomes) {
+  RedFatTool tool(RedFatOptions::Profile());
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+
+  TelemetryRegistry reg;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.telemetry = &reg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+
+  const TelemetrySnapshot snap = reg.Snapshot();
+  uint64_t passes = 0;
+  uint64_t fails = 0;
+  for (const auto& [site, counts] : out.prof_counts) {
+    passes += counts.passes;
+    fails += counts.fails;
+    const SiteTelemetry* st = snap.FindSite(site);
+    ASSERT_NE(st, nullptr) << "site " << site;
+    EXPECT_EQ(st->lowfat_passes(), counts.passes);
+    EXPECT_EQ(st->lowfat_fails(), counts.fails);
+  }
+  EXPECT_EQ(snap.TotalSiteEvents(SiteEvent::kLowFatPasses), passes);
+  EXPECT_EQ(snap.TotalSiteEvents(SiteEvent::kLowFatFails), fails);
+  EXPECT_GT(passes + fails, 0u);
+}
+
+TEST(TelemetryEndToEnd, TraceCoversRunAllocatorAndTrampolines) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+
+  TraceWriter trace;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.trace = &trace;
+  (void)RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+
+  const std::string json = trace.ToJson();
+  const Status st = ValidateTraceEventJson(json);
+  ASSERT_TRUE(st.ok()) << (st.ok() ? "" : st.error());
+  EXPECT_NE(json.find("\"malloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"tramp\""), std::string::npos);
+  EXPECT_NE(json.find("\"mem_error\""), std::string::npos);
+  EXPECT_NE(json.find("\"vm.run\""), std::string::npos);
+}
+
+TEST(TelemetryEndToEnd, AttachingTelemetryDoesNotChangeGuestCycles) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+
+  RunConfig plain;
+  plain.policy = Policy::kLog;
+  const RunOutcome without = RunImage(ir.image, RuntimeKind::kRedFat, plain);
+
+  TelemetryRegistry reg;
+  TraceWriter trace;
+  RunConfig observed = plain;
+  observed.telemetry = &reg;
+  observed.trace = &trace;
+  const RunOutcome with = RunImage(ir.image, RuntimeKind::kRedFat, observed);
+
+  EXPECT_EQ(without.result.cycles, with.result.cycles);
+  EXPECT_EQ(without.result.instructions, with.result.instructions);
+  EXPECT_EQ(without.counters, with.counters);
+  EXPECT_EQ(without.outputs, with.outputs);
+}
+
+TEST(TelemetryEndToEnd, CoverageFromSnapshotMatchesCounters) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+
+  TelemetryRegistry reg;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.telemetry = &reg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+
+  const CoverageStats from_counters = ComputeCoverage(out.counters, ir.sites);
+  const CoverageStats from_snapshot = ComputeCoverage(reg.Snapshot(), ir.sites);
+  EXPECT_EQ(from_counters.full, from_snapshot.full);
+  EXPECT_EQ(from_counters.redzone_only, from_snapshot.redzone_only);
+}
+
+// --- pipeline bridges & report ----------------------------------------------
+
+TEST(TelemetryBridges, PipelineStatsLandAsCountersGaugesAndSlices) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+
+  TelemetryRegistry reg;
+  AddPipelineTelemetry(ir.pipeline_stats, &reg);
+  const TelemetrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("pipeline.runs"), 1u);
+  EXPECT_GT(snap.counters.at("pipeline.disasm.items"), 0u);
+  EXPECT_GE(snap.gauges.at("pipeline.total_ms"), 0.0);
+
+  TraceWriter trace;
+  AppendPipelineTrace(ir.pipeline_stats, &trace);
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(ValidateTraceEventJson(json).ok());
+  EXPECT_NE(json.find("\"rewriter\""), std::string::npos);
+  EXPECT_NE(json.find("\"disasm\""), std::string::npos);
+
+  // Null sinks are a no-op, not a crash.
+  AddPipelineTelemetry(ir.pipeline_stats, nullptr);
+  AppendPipelineTrace(ir.pipeline_stats, nullptr);
+}
+
+TEST(TelemetryBridges, ReportJoinsSitesTelemetryAndPipeline) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+
+  TelemetryRegistry reg;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.telemetry = &reg;
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+
+  const std::string report = FormatTelemetryReport(reg.Snapshot(), &ir.sites,
+                                                   &ir.pipeline_stats,
+                                                   out.result.cycles);
+  EXPECT_NE(report.find("per-site runtime telemetry"), std::string::npos);
+  EXPECT_NE(report.find("rz-hits"), std::string::npos);
+  EXPECT_NE(report.find("vm.instructions"), std::string::npos);
+  EXPECT_NE(report.find("rewrite pipeline"), std::string::npos);
+  EXPECT_NE(report.find("disasm"), std::string::npos);
+
+  // Degraded forms still render.
+  const std::string bare =
+      FormatTelemetryReport(TelemetrySnapshot{}, nullptr, nullptr, 0);
+  EXPECT_NE(bare.find("no site events recorded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redfat
