@@ -42,6 +42,26 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
     config.trace->SetProcessName(1, "guest");
     config.trace->SetThreadName(1, 1, "vm");
   }
+  // Keyed-site-id -> original instruction address, for `site_addr` trace
+  // args. The keying must mirror Vm::SiteKeyFor: image 0 and any site the VM
+  // would fall back to plain ids for keeps its plain id.
+  std::unordered_map<uint32_t, uint64_t> site_addrs;
+  if (config.trace != nullptr && !config.image_sites.empty()) {
+    for (size_t img = 0; img < config.image_sites.size() && img < images.size(); ++img) {
+      const std::vector<SiteRecord>* sites = config.image_sites[img];
+      if (sites == nullptr) {
+        continue;
+      }
+      const uint32_t ordinal = static_cast<uint32_t>(img);
+      for (const SiteRecord& s : *sites) {
+        const bool keyed =
+            ordinal != 0 && ordinal < kMaxKeyedImages && s.id <= kMaxKeyedSite;
+        const uint32_t key = keyed ? ImageSiteKey(ordinal, s.id) : s.id;
+        site_addrs.emplace(key, s.addr);
+      }
+    }
+    vm.set_site_addrs(&site_addrs);
+  }
   for (const BinaryImage* image : images) {
     vm.LoadImage(*image);  // the last image's entry wins
   }

@@ -35,6 +35,13 @@ struct RunConfig {
   // identical to an unobserved run.
   TelemetryRegistry* telemetry = nullptr;
   TraceWriter* trace = nullptr;
+  // Optional site tables parallel to the `images` argument of RunImages
+  // (missing/null entries are fine). When set alongside `trace`, the harness
+  // builds a keyed-site-id -> instruction-address map so trampoline and
+  // mem_error trace slices carry a `site_addr` arg linking back to the
+  // disassembly (keys follow telemetry.h ImageSiteKey: image ordinal is the
+  // position in `images`).
+  std::vector<const std::vector<SiteRecord>*> image_sites;
 };
 
 struct RunOutcome {

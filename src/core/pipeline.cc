@@ -1,5 +1,6 @@
 #include "src/core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cctype>
 #include <memory>
@@ -224,7 +225,7 @@ Status AnalysisCache::EnsureDisasm() {
   if (disasm_.has_value()) {
     return Status::Ok();
   }
-  Result<Disassembly> dis = DisassembleText(image_);
+  Result<Disassembly> dis = DisassembleText(image_, pool_);
   if (!dis.ok()) {
     return Error(dis.error());
   }
@@ -245,7 +246,7 @@ Status AnalysisCache::EnsureCfg() {
   if (!st.ok()) {
     return st;
   }
-  cfg_ = RecoverCfg(*disasm_, image_);
+  cfg_ = RecoverCfg(*disasm_, image_, pool_);
   return Status::Ok();
 }
 
@@ -269,6 +270,10 @@ const ClobberInfo& AnalysisCache::clobbers(size_t insn_index) {
   }
   REDFAT_CHECK(insn_index < clobbers_.size());
   if (!clobbers_[insn_index].has_value()) {
+    // Memoising on a miss mutates the cache, which is single-thread only:
+    // while the pool is running a region, misses must not happen (callers
+    // precompute instead). Cached entries stay readable concurrently.
+    REDFAT_CHECK(pool_ == nullptr || !pool_->InParallelRegion());
     clobbers_[insn_index] = ComputeClobbers(*disasm_, *cfg_, insn_index);
   }
   return *clobbers_[insn_index];
@@ -279,10 +284,22 @@ void AnalysisCache::PrecomputeClobbers(const std::vector<size_t>& indices, unsig
   if (clobbers_.empty()) {
     clobbers_.resize(disasm_->insns.size());
   }
-  std::vector<ClobberInfo> infos = ComputeClobbersMany(*disasm_, *cfg_, indices, jobs);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    REDFAT_CHECK(indices[i] < clobbers_.size());
-    clobbers_[indices[i]] = std::move(infos[i]);
+  std::vector<size_t> missing;
+  missing.reserve(indices.size());
+  for (size_t index : indices) {
+    REDFAT_CHECK(index < clobbers_.size());
+    if (!clobbers_[index].has_value()) {
+      missing.push_back(index);
+    }
+  }
+  if (missing.empty()) {
+    return;
+  }
+  std::vector<ClobberInfo> infos =
+      pool_ != nullptr ? ComputeClobbersMany(*disasm_, *cfg_, missing, pool_)
+                       : ComputeClobbersMany(*disasm_, *cfg_, missing, jobs);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    clobbers_[missing[i]] = std::move(infos[i]);
   }
 }
 
@@ -326,7 +343,7 @@ class ClassifyPass : public Pass {
       return Error("classify: disasm pass has not run");
     }
     std::vector<OperandClass> classes =
-        ClassifyOperands(ctx.cache.disasm(), ctx.opts, &ctx.plan.stats);
+        ClassifyOperands(ctx.cache.disasm(), ctx.opts, &ctx.plan.stats, ctx.pool);
     const size_t considered = ctx.plan.stats.considered;
     ctx.cache.set_operand_classes(std::move(classes));
     return PassOutcome{.items = ctx.cache.disasm().insns.size(), .changed = considered};
@@ -346,13 +363,39 @@ class EliminatePass : public Pass {
     }
     ctx.drop_eliminable = true;
     PassOutcome out;
-    for (OperandClass c : *classes) {
-      if (c == OperandClass::kFiltered || c == OperandClass::kNone) {
-        continue;
+    const size_t n = classes->size();
+    if (ctx.pool != nullptr && ctx.pool->jobs() > 1 && n >= 1024) {
+      // Range reduction: per-range partial counts summed in range order.
+      const size_t ranges = std::min<size_t>(ctx.pool->jobs() * 4, n);
+      std::vector<size_t> items(ranges, 0);
+      std::vector<size_t> changed(ranges, 0);
+      ctx.pool->ParallelFor(ranges, [&](size_t r) {
+        const size_t begin = r * n / ranges;
+        const size_t end = (r + 1) * n / ranges;
+        for (size_t i = begin; i < end; ++i) {
+          const OperandClass c = (*classes)[i];
+          if (c == OperandClass::kFiltered || c == OperandClass::kNone) {
+            continue;
+          }
+          ++items[r];
+          if (c == OperandClass::kEliminable) {
+            ++changed[r];
+          }
+        }
+      });
+      for (size_t r = 0; r < ranges; ++r) {
+        out.items += items[r];
+        out.changed += changed[r];
       }
-      ++out.items;
-      if (c == OperandClass::kEliminable) {
-        ++out.changed;
+    } else {
+      for (OperandClass c : *classes) {
+        if (c == OperandClass::kFiltered || c == OperandClass::kNone) {
+          continue;
+        }
+        ++out.items;
+        if (c == OperandClass::kEliminable) {
+          ++out.changed;
+        }
       }
     }
     // An eliminated site saves its whole trampoline on every visit.
@@ -371,9 +414,10 @@ class GroupPass : public Pass {
     }
     std::vector<SiteCandidate> candidates =
         SelectSites(ctx.cache.disasm(), *classes, ctx.opts, ctx.allow, ctx.drop_eliminable,
-                    &ctx.plan.stats, &ctx.plan.sites);
+                    &ctx.plan.stats, &ctx.plan.sites, ctx.pool);
     const size_t n = candidates.size();
-    ctx.plan.trampolines = SingletonTrampolines(ctx.cache.disasm(), std::move(candidates));
+    ctx.plan.trampolines =
+        SingletonTrampolines(ctx.cache.disasm(), std::move(candidates), ctx.pool);
     return PassOutcome{.items = n, .changed = ctx.plan.trampolines.size()};
   }
 };
@@ -387,7 +431,7 @@ class BatchPass : public Pass {
     }
     const size_t before = ctx.plan.trampolines.size();
     ctx.plan.trampolines = BatchTrampolines(ctx.cache.disasm(), ctx.cache.cfg(),
-                                            std::move(ctx.plan.trampolines));
+                                            std::move(ctx.plan.trampolines), ctx.pool);
     const size_t removed = before - ctx.plan.trampolines.size();
     // Each coalesced site drops one trampoline round-trip per visit.
     return PassOutcome{.items = before,
@@ -406,8 +450,13 @@ class MergePass : public Pass {
       before += t.checks.size();
     }
     // Merging is independent per trampoline; run it across the pool.
-    ParallelFor(ctx.opts.jobs, tramps.size(),
-                [&](size_t i) { MergeTrampolineChecks(&tramps[i]); });
+    if (ctx.pool != nullptr) {
+      ctx.pool->ParallelFor(tramps.size(),
+                            [&](size_t i) { MergeTrampolineChecks(&tramps[i]); });
+    } else {
+      ParallelFor(ctx.opts.jobs, tramps.size(),
+                  [&](size_t i) { MergeTrampolineChecks(&tramps[i]); });
+    }
     size_t after = 0;
     for (const PlannedTrampoline& t : tramps) {
       after += t.checks.size();
@@ -450,10 +499,21 @@ class CodegenPass : public Pass {
       plan.stats.checks_emitted += t.checks.size();
     }
 
+    // Resolve all leader clobbers through the pool up front (a no-op for
+    // entries the liveness pass already cached). The lazy clobbers()
+    // accessor would compute misses one by one on this thread — and it
+    // CHECK-fails on a miss once the emission region is running.
+    std::vector<size_t> leader_indices;
+    leader_indices.reserve(plan.trampolines.size());
+    for (const PlannedTrampoline& tramp : plan.trampolines) {
+      leader_indices.push_back(tramp.insn_index);
+    }
+    ctx.cache.PrecomputeClobbers(leader_indices, ctx.opts.jobs);
+
     ctx.requests.clear();
     ctx.requests.reserve(plan.trampolines.size());
     for (const PlannedTrampoline& tramp : plan.trampolines) {
-      // Resolve clobbers serially here so the parallel emission phase only
+      // All clobbers are precomputed, so the parallel emission phase only
       // reads the cache. References into the plan/cache stay valid: both
       // live in the context and are not resized after this pass.
       const ClobberInfo& clobbers = ctx.cache.clobbers(tramp.insn_index);
@@ -472,7 +532,7 @@ class CodegenPass : public Pass {
     }
     ctx.spans = std::move(planned).value();
     ctx.tramp_code = EmitTrampolines(ctx.cache.disasm(), ctx.spans, ctx.requests,
-                                     ctx.opts.trampoline_base, ctx.opts.jobs,
+                                     ctx.opts.trampoline_base, ctx.pool,
                                      &ctx.rewrite_stats);
     return PassOutcome{.items = ctx.requests.size(), .changed = ctx.rewrite_stats.applied};
   }
@@ -487,7 +547,7 @@ class PatchPass : public Pass {
     if (text == nullptr) {
       return Error("patch: image has no text section");
     }
-    PatchSpans(text, ctx.spans, ctx.tramp_code.starts);
+    PatchSpans(text, ctx.spans, ctx.tramp_code.starts, ctx.pool);
     if (!ctx.tramp_code.bytes.empty()) {
       Section ts;
       ts.kind = Section::Kind::kTrampoline;
@@ -559,7 +619,22 @@ bool Pipeline::IsEnabled(const std::string& name) const {
 
 Status Pipeline::Run(PipelineContext& ctx) {
   stats_ = PipelineStats{};
-  stats_.jobs = ResolveJobs(ctx.opts.jobs);
+  // One pool serves every pass of the run (no per-pass spawn/join). A batch
+  // driver may inject a shared pool via ctx.pool; otherwise a scoped pool of
+  // opts.jobs workers is created here and detached again on every exit path
+  // (the cache must not keep a dangling pointer past the run).
+  std::optional<ThreadPool> scoped_pool;
+  ThreadPool* const prior_pool = ctx.pool;
+  if (ctx.pool == nullptr) {
+    scoped_pool.emplace(ctx.opts.jobs);
+    ctx.pool = &*scoped_pool;
+  }
+  ctx.cache.set_pool(ctx.pool);
+  stats_.jobs = ctx.pool->jobs();
+  const auto detach_pool = [&] {
+    ctx.cache.set_pool(nullptr);
+    ctx.pool = prior_pool;
+  };
   const auto run_start = std::chrono::steady_clock::now();
   for (Entry& e : passes_) {
     if (!e.enabled) {
@@ -569,6 +644,7 @@ Status Pipeline::Run(PipelineContext& ctx) {
     const double start_ms = MsSince(run_start);
     Result<PassOutcome> out = e.pass->Run(ctx);
     if (!out.ok()) {
+      detach_pool();
       return Error(StrFormat("pass '%s': %s", e.pass->name(), out.error().c_str()));
     }
     PassStats ps;
@@ -581,6 +657,7 @@ Status Pipeline::Run(PipelineContext& ctx) {
     stats_.passes.push_back(std::move(ps));
   }
   stats_.total_ms = MsSince(run_start);
+  detach_pool();
   return Status::Ok();
 }
 

@@ -38,6 +38,7 @@
 #include "src/core/plan.h"
 #include "src/rw/liveness.h"
 #include "src/rw/rewriter.h"
+#include "src/support/parallel.h"
 #include "src/support/result.h"
 
 namespace redfat {
@@ -99,6 +100,13 @@ class AnalysisCache {
 
   const BinaryImage& image() const { return image_; }
 
+  // Pool used by EnsureDisasm/EnsureCfg/PrecomputeClobbers, and consulted by
+  // the lazy clobbers() accessor to reject unsynchronized memoisation while
+  // a parallel region is running. Set by Pipeline::Run for the duration of a
+  // run; nullptr means serial.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
   Status EnsureDisasm();
   bool has_disasm() const { return disasm_.has_value(); }
   const Disassembly& disasm() const;
@@ -112,12 +120,18 @@ class AnalysisCache {
 
   // Clobber info for the instruction at `insn_index`; computed and memoised
   // on first use. The returned reference stays valid for the cache's
-  // lifetime.
+  // lifetime. Single-thread only on a miss: CHECK-fails if an uncached
+  // entry is requested while the pool is inside a parallel region (callers
+  // must PrecomputeClobbers first).
   const ClobberInfo& clobbers(size_t insn_index);
+  // Fills the cache for every listed index that is not already cached, in
+  // parallel (on the attached pool if set, else up to `jobs` transient
+  // threads).
   void PrecomputeClobbers(const std::vector<size_t>& indices, unsigned jobs);
 
  private:
   const BinaryImage& image_;
+  ThreadPool* pool_ = nullptr;
   std::optional<Disassembly> disasm_;
   std::optional<CfgInfo> cfg_;
   std::optional<std::vector<OperandClass>> classes_;
@@ -137,6 +151,12 @@ struct PipelineContext {
   RedFatOptions opts;
   const AllowList* allow = nullptr;
   AnalysisCache cache;
+
+  // Worker pool the passes shard on. Usually owned by Pipeline::Run (which
+  // creates a scoped pool of opts.jobs workers when this is null); a batch
+  // driver instrumenting several images concurrently injects one shared
+  // pool here so the images do not oversubscribe the machine.
+  ThreadPool* pool = nullptr;
 
   // Planning state.
   bool drop_eliminable = false;       // set by the eliminate pass

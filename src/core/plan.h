@@ -109,9 +109,11 @@ enum class OperandClass : uint8_t {
 };
 
 // One entry per instruction in `dis`. Fills stats->mem_operands and
-// stats->considered.
+// stats->considered. With a pool, instruction ranges classify in parallel
+// (each index writes only its own slot; counters are per-range partials
+// summed at the end).
 std::vector<OperandClass> ClassifyOperands(const Disassembly& dis, const RedFatOptions& opts,
-                                           PlanStats* stats);
+                                           PlanStats* stats, ThreadPool* pool = nullptr);
 
 // A classified check candidate for one instruction, before trampoline
 // formation. The check's member_sites holds its (single) site id.
@@ -124,23 +126,35 @@ struct SiteCandidate {
 // (filling stats->eliminated), decides each surviving site's CheckKind
 // against the allow-list/options, assigns sequential site ids in address
 // order, and appends the SiteRecords to `sites`.
+// With a pool, candidate discovery and kind decisions run over instruction
+// ranges in parallel; site ids are then assigned serially in address order,
+// so numbering is identical for every job count.
 std::vector<SiteCandidate> SelectSites(const Disassembly& dis,
                                        const std::vector<OperandClass>& classes,
                                        const RedFatOptions& opts, const AllowList* allow,
                                        bool apply_elim, PlanStats* stats,
-                                       std::vector<SiteRecord>* sites);
+                                       std::vector<SiteRecord>* sites,
+                                       ThreadPool* pool = nullptr);
 
-// Stage 4a: one trampoline per candidate (the unbatched layout).
+// Stage 4a: one trampoline per candidate (the unbatched layout). Each
+// candidate maps to its own output slot, so the pool form is trivially
+// deterministic.
 std::vector<PlannedTrampoline> SingletonTrampolines(const Disassembly& dis,
-                                                    std::vector<SiteCandidate> candidates);
+                                                    std::vector<SiteCandidate> candidates,
+                                                    ThreadPool* pool = nullptr);
 
 // Stage 4b: check batching (§6). Coalesces consecutive singleton
 // trampolines within a basic block when the later operand's registers are
 // unmodified since the leader (so all effective addresses can be evaluated
 // at the leader), with barriers at recovered jump targets and after
 // calls/hostcalls/traps.
+// Batches never cross basic-block boundaries, so with a pool the candidate
+// list is partitioned at block changes, each partition batched
+// independently, and the results concatenated — byte-identical to the
+// serial scan.
 std::vector<PlannedTrampoline> BatchTrampolines(const Disassembly& dis, const CfgInfo& cfg,
-                                                std::vector<PlannedTrampoline> singles);
+                                                std::vector<PlannedTrampoline> singles,
+                                                ThreadPool* pool = nullptr);
 
 // Stage 5: check merging (§6) within one trampoline. Independent per
 // trampoline (safe to run across the pipeline's thread pool).

@@ -15,9 +15,11 @@ RedFatTool::RedFatTool(RedFatOptions opts) : opts_(opts) {
 }
 
 Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
-                                                const AllowList* allow) const {
+                                                const AllowList* allow,
+                                                ThreadPool* pool) const {
   Pipeline pipeline = Pipeline::Hardening(opts_);
   PipelineContext ctx(input, opts_, allow);
+  ctx.pool = pool;
   Status st = pipeline.Run(ctx);
   if (!st.ok()) {
     return Error(st.error());

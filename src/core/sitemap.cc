@@ -69,19 +69,35 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
                                   const std::vector<SiteRecord>* sites,
                                   const PipelineStats* pipeline,
                                   uint64_t total_cycles) {
+  return FormatTelemetryReport(snapshot, std::vector<ImageSiteTable>{{"", sites}},
+                               pipeline, total_cycles);
+}
+
+std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
+                                  const std::vector<ImageSiteTable>& images,
+                                  const PipelineStats* pipeline,
+                                  uint64_t total_cycles) {
+  const bool multi = images.size() > 1;
   std::string out;
   out += "=== per-site runtime telemetry ===\n";
   if (snapshot.sites.empty()) {
     out += "(no site events recorded)\n";
   } else {
+    if (multi) {
+      out += StrFormat("%12s ", "img");
+    }
     out += StrFormat("%6s %10s %2s %7s  %12s %8s %9s %9s %12s %7s\n", "site", "addr",
                      "rw", "kind", "checks", "rz-hits", "lf-pass", "lf-fail",
                      "tramp-cyc", "cyc%");
     for (const SiteTelemetry& st : snapshot.sites) {
+      // Only multi-image runs emit packed keys; single-image site ids may
+      // legitimately exceed the packed-site range and must stay plain.
+      const uint32_t img = multi ? ImageOfSiteKey(st.site) : 0;
+      const uint32_t site_id = multi ? SiteOfSiteKey(st.site) : st.site;
       const SiteRecord* rec = nullptr;
-      if (sites != nullptr) {
-        for (const SiteRecord& s : *sites) {
-          if (s.id == st.site) {
+      if (img < images.size() && images[img].sites != nullptr) {
+        for (const SiteRecord& s : *images[img].sites) {
+          if (s.id == site_id) {
             rec = &s;
             break;
           }
@@ -96,8 +112,15 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
               ? StrFormat("%6.2f%%", 100.0 * static_cast<double>(st.tramp_cycles()) /
                                          static_cast<double>(total_cycles))
               : std::string("-");
+      if (multi) {
+        const std::string img_name =
+            img < images.size() && !images[img].name.empty()
+                ? images[img].name
+                : StrFormat("#%u", img);
+        out += StrFormat("%12s ", img_name.c_str());
+      }
       out += StrFormat(
-          "%6u %10s %2s %7s  %12llu %8llu %9llu %9llu %12llu %7s\n", st.site,
+          "%6u %10s %2s %7s  %12llu %8llu %9llu %9llu %12llu %7s\n", site_id,
           addr.c_str(), rec != nullptr ? (rec->is_write ? "w" : "r") : "?",
           rec != nullptr ? (rec->kind == CheckKind::kFull ? "full" : "redzone") : "?",
           static_cast<unsigned long long>(st.checks()),

@@ -38,6 +38,22 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
                                   const PipelineStats* pipeline,
                                   uint64_t total_cycles);
 
+// One image's site table, for multi-image reports (rfrun --lib). `name`
+// labels the img column; `sites` may be null for uninstrumented images.
+struct ImageSiteTable {
+  std::string name;
+  const std::vector<SiteRecord>* sites = nullptr;
+};
+
+// Multi-image variant: telemetry site ids are decoded per telemetry.h
+// ImageSiteKey and joined against the owning image's table. With more than
+// one image the per-site table grows an `img` column so counters from
+// separately-instrumented libraries stay unambiguous.
+std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
+                                  const std::vector<ImageSiteTable>& images,
+                                  const PipelineStats* pipeline,
+                                  uint64_t total_cycles);
+
 }  // namespace redfat
 
 #endif  // REDFAT_SRC_CORE_SITEMAP_H_

@@ -22,6 +22,8 @@
 
 namespace redfat {
 
+class ThreadPool;
+
 struct DisasmInsn {
   uint64_t addr = 0;
   unsigned length = 0;
@@ -44,8 +46,12 @@ struct Disassembly {
   }
 };
 
-// Linear-sweep disassembly of the text section.
-Result<Disassembly> DisassembleText(const BinaryImage& image);
+// Linear-sweep disassembly of the text section. With a pool, fixed-size
+// address chunks are decoded speculatively in parallel and stitched back
+// together with a deterministic serial cursor walk; the result (and any
+// decode error) is byte-identical to the serial sweep.
+Result<Disassembly> DisassembleText(const BinaryImage& image,
+                                    ThreadPool* pool = nullptr);
 
 struct CfgInfo {
   // Addresses that some (recovered, over-approximated) control transfer may
@@ -56,7 +62,11 @@ struct CfgInfo {
   uint32_t num_blocks = 0;
 };
 
-CfgInfo RecoverCfg(const Disassembly& dis, const BinaryImage& image);
+// With a pool, target collection runs over instruction ranges (set-union is
+// order-insensitive) and block ids are assigned by a leader-count prefix sum;
+// both are independent of the job count.
+CfgInfo RecoverCfg(const Disassembly& dis, const BinaryImage& image,
+                   ThreadPool* pool = nullptr);
 
 }  // namespace redfat
 

@@ -60,4 +60,16 @@ std::vector<ClobberInfo> ComputeClobbersMany(const Disassembly& dis, const CfgIn
   return out;
 }
 
+std::vector<ClobberInfo> ComputeClobbersMany(const Disassembly& dis, const CfgInfo& cfg,
+                                             const std::vector<size_t>& indices,
+                                             ThreadPool* pool) {
+  if (pool == nullptr) {
+    return ComputeClobbersMany(dis, cfg, indices, 1u);
+  }
+  std::vector<ClobberInfo> out(indices.size());
+  pool->ParallelFor(indices.size(),
+                    [&](size_t i) { out[i] = ComputeClobbers(dis, cfg, indices[i]); });
+  return out;
+}
+
 }  // namespace redfat

@@ -15,6 +15,8 @@
 
 namespace redfat {
 
+class ThreadPool;
+
 struct ClobberInfo {
   // Registers proven dead immediately *before* the instrumented instruction
   // executes (the check runs first, then the displaced instruction).
@@ -33,6 +35,11 @@ ClobberInfo ComputeClobbers(const Disassembly& dis, const CfgInfo& cfg, size_t i
 std::vector<ClobberInfo> ComputeClobbersMany(const Disassembly& dis, const CfgInfo& cfg,
                                              const std::vector<size_t>& indices,
                                              unsigned jobs);
+
+// Pool form: same result, but reuses the pipeline's persistent workers.
+std::vector<ClobberInfo> ComputeClobbersMany(const Disassembly& dis, const CfgInfo& cfg,
+                                             const std::vector<size_t>& indices,
+                                             ThreadPool* pool);
 
 }  // namespace redfat
 

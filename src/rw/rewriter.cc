@@ -163,13 +163,13 @@ size_t EmitSpanTrampoline(const Disassembly& dis, Assembler& as, const SpanPlan&
 
 TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPlan>& spans,
                                const std::vector<PatchRequest>& requests,
-                               uint64_t trampoline_base, unsigned jobs, RewriteStats* stats) {
+                               uint64_t trampoline_base, ThreadPool* pool,
+                               RewriteStats* stats) {
   RewriteStats local;
   RewriteStats& st = stats != nullptr ? *stats : local;
   TrampolineCode code;
   code.starts.assign(spans.size(), 0);
-  jobs = ResolveJobs(jobs);
-  if (jobs <= 1 || spans.size() <= 1) {
+  if (pool == nullptr || pool->jobs() <= 1 || spans.size() <= 1) {
     Assembler tramp(trampoline_base);
     for (size_t i = 0; i < spans.size(); ++i) {
       code.starts[i] = tramp.Here();
@@ -181,7 +181,7 @@ TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPla
     // encodings have fixed lengths, so the size does not depend on the
     // final placement.
     std::vector<size_t> sizes(spans.size(), 0);
-    ParallelFor(jobs, spans.size(), [&](size_t i) {
+    pool->ParallelFor(spans.size(), [&](size_t i) {
       Assembler probe(trampoline_base);
       EmitSpanTrampoline(dis, probe, spans[i], requests);
       sizes[i] = probe.SizeBytes();
@@ -196,7 +196,7 @@ TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPla
     // Phase 2: emit every span at its final address in parallel.
     std::vector<std::vector<uint8_t>> blobs(spans.size());
     std::vector<size_t> applied(spans.size(), 0);
-    ParallelFor(jobs, spans.size(), [&](size_t i) {
+    pool->ParallelFor(spans.size(), [&](size_t i) {
       Assembler as(code.starts[i]);
       applied[i] = EmitSpanTrampoline(dis, as, spans[i], requests);
       blobs[i] = as.Finish();
@@ -213,11 +213,25 @@ TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPla
   return code;
 }
 
+TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPlan>& spans,
+                               const std::vector<PatchRequest>& requests,
+                               uint64_t trampoline_base, unsigned jobs, RewriteStats* stats) {
+  jobs = ResolveJobs(jobs);
+  if (jobs <= 1 || spans.size() <= 1) {
+    return EmitTrampolines(dis, spans, requests, trampoline_base,
+                           static_cast<ThreadPool*>(nullptr), stats);
+  }
+  ThreadPool pool(jobs);
+  return EmitTrampolines(dis, spans, requests, trampoline_base, &pool, stats);
+}
+
 void PatchSpans(Section* text, const std::vector<SpanPlan>& spans,
-                const std::vector<uint64_t>& tramp_starts) {
+                const std::vector<uint64_t>& tramp_starts, ThreadPool* pool) {
   REDFAT_CHECK(text != nullptr);
   REDFAT_CHECK(spans.size() == tramp_starts.size());
-  for (size_t i = 0; i < spans.size(); ++i) {
+  // Each span overwrites its own disjoint byte range, so the per-span body
+  // is schedule-independent.
+  const auto patch_one = [&](size_t i) {
     const SpanPlan& span = spans[i];
     const uint64_t patch_off = span.addr - text->vaddr;
     const int64_t rel = static_cast<int64_t>(tramp_starts[i]) -
@@ -229,6 +243,13 @@ void PatchSpans(Section* text, const std::vector<SpanPlan>& spans,
     std::copy(jmp_bytes.begin(), jmp_bytes.end(), text->bytes.begin() + patch_off);
     for (unsigned f = kJmpLen; f < span.span_len; ++f) {
       text->bytes[patch_off + f] = static_cast<uint8_t>(Op::kUd2);
+    }
+  };
+  if (pool != nullptr && pool->jobs() > 1 && spans.size() > 1) {
+    pool->ParallelFor(spans.size(), patch_one);
+  } else {
+    for (size_t i = 0; i < spans.size(); ++i) {
+      patch_one(i);
     }
   }
 }

@@ -103,10 +103,19 @@ TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPla
                                const std::vector<PatchRequest>& requests,
                                uint64_t trampoline_base, unsigned jobs, RewriteStats* stats);
 
+// Pool form: same two-phase measure/layout/emit, but on the pipeline's
+// persistent workers instead of a per-call pool (nullptr = serial).
+TrampolineCode EmitTrampolines(const Disassembly& dis, const std::vector<SpanPlan>& spans,
+                               const std::vector<PatchRequest>& requests,
+                               uint64_t trampoline_base, ThreadPool* pool,
+                               RewriteStats* stats);
+
 // Stage 3: overwrites each span's original bytes with `jmp rel32` into its
-// trampoline plus 1-byte ud2 filler.
+// trampoline plus 1-byte ud2 filler. Spans never overlap (PlanSpans merges
+// or skips colliding sites), so with a pool each span patches its own
+// disjoint text range in parallel.
 void PatchSpans(Section* text, const std::vector<SpanPlan>& spans,
-                const std::vector<uint64_t>& tramp_starts);
+                const std::vector<uint64_t>& tramp_starts, ThreadPool* pool = nullptr);
 
 class Rewriter {
  public:

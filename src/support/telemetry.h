@@ -44,6 +44,22 @@ enum class SiteEvent : uint8_t {
 inline constexpr size_t kNumSiteEvents = 5;
 const char* SiteEventName(SiteEvent ev);
 
+// Multi-image runs (§7.4: an executable plus its shared objects) would
+// otherwise merge every image's planner ids into one counter space. Keyed
+// site ids pack a small image ordinal above the plain site id: image 0
+// (the usual single-image case) keeps plain ids, so single-image consumers
+// see no change; images 1..15 shift into the upper bits and still fit the
+// shard's addressable range (site ids < 2^20).
+inline constexpr uint32_t kImageSiteShift = 16;
+inline constexpr uint32_t kMaxKeyedImages = 16;   // ordinals 0..15
+inline constexpr uint32_t kMaxKeyedSite = (1u << kImageSiteShift) - 1;
+
+inline uint32_t ImageSiteKey(uint32_t image, uint32_t site) {
+  return image == 0 ? site : (image << kImageSiteShift) | site;
+}
+inline uint32_t ImageOfSiteKey(uint32_t key) { return key >> kImageSiteShift; }
+inline uint32_t SiteOfSiteKey(uint32_t key) { return key & kMaxKeyedSite; }
+
 // One thread's private accumulation buffer. Obtained from
 // TelemetryRegistry::shard(); AddSite must only be called by the owning
 // thread. Storage grows in fixed blocks so a concurrent Snapshot() never

@@ -1,6 +1,15 @@
 // redfat — the hardening tool CLI (models the paper's `redfat` command).
 //
 //   redfat [options] input.rfbin output.rfbin
+//   redfat [options] --output-dir DIR input.rfbin [input2.rfbin ...]
+//
+// The second form is batch mode: every input is instrumented concurrently
+// on one shared worker pool (--jobs bounds the total parallelism across
+// images and passes) and written to DIR under its own basename. An input
+// may carry a per-image trampoline base as `path:0xADDR` so separately
+// instrumented shared objects (§7.4) land at non-overlapping addresses.
+// --stats/--metrics/--trace/--sitemap emit one file per image with the
+// image's stem inserted before the extension (stats.json -> stats.foo.json).
 //
 // Options:
 //   --profile              emit profiling instrumentation (Fig. 5, step 1)
@@ -26,11 +35,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/redfat.h"
 #include "src/core/sitemap.h"
+#include "src/support/parallel.h"
 #include "src/support/telemetry.h"
 #include "src/support/trace.h"
 #include "src/tools/tool_io.h"
@@ -45,8 +56,60 @@ int Usage() {
                "              [--no-elim] [--no-batch] [--no-merge] [--shadow]\n"
                "              [--jobs=N] [--time-passes] [--stats FILE] [-v]\n"
                "              [--metrics FILE] [--trace FILE]\n"
-               "              input.rfbin output.rfbin\n");
+               "              input.rfbin output.rfbin\n"
+               "       redfat [options] --output-dir DIR input.rfbin[:0xBASE] ...\n");
   return 2;
+}
+
+// Batch-mode input: a path, optionally suffixed `:0xADDR` to override the
+// image's trampoline base (needed when several instrumented images share one
+// address space).
+struct InputSpec {
+  std::string path;
+  uint64_t trampoline_base = 0;  // 0 = keep the configured default
+};
+
+InputSpec ParseInputSpec(const std::string& arg) {
+  InputSpec spec;
+  spec.path = arg;
+  const size_t colon = arg.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string suffix = arg.substr(colon + 1);
+    if (suffix.rfind("0x", 0) == 0 || suffix.rfind("0X", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long base = std::strtoull(suffix.c_str(), &end, 16);
+      if (end != suffix.c_str() + 2 && *end == '\0' && base != 0) {
+        spec.path = arg.substr(0, colon);
+        spec.trampoline_base = base;
+      }
+    }
+  }
+  return spec;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Stem(const std::string& name) {
+  const size_t dot = name.find_last_of('.');
+  return dot == std::string::npos || dot == 0 ? name : name.substr(0, dot);
+}
+
+// Per-image artifact path: inserts the image stem before the artifact's
+// extension ("stats.json" + "foo" -> "stats.foo.json"). "-" (stdout) is kept
+// as-is; batch emission is serial, so stdout output is merely concatenated.
+std::string PerImagePath(const std::string& base, const std::string& stem) {
+  if (base == "-") {
+    return base;
+  }
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + "." + stem;
+  }
+  return base.substr(0, dot) + "." + stem + base.substr(dot);
 }
 
 Result<AllowList> AllowListFromFile(const std::string& path) {
@@ -88,6 +151,71 @@ Result<AllowList> AllowListFromProfileData(const BinaryImage& input, const std::
   return BuildAllowList(counts, ir.value().sites);
 }
 
+// Emits one image's artifact set (paths are already per-image).
+Status EmitArtifacts(const InstrumentResult& out, const std::string& sitemap_path,
+                     const std::string& stats_path, const std::string& metrics_path,
+                     const std::string& trace_path) {
+  if (!sitemap_path.empty()) {
+    const std::string text = SerializeSiteMap(out.sites);
+    const Status s = WriteFileBytes(sitemap_path,
+                                    std::vector<uint8_t>(text.begin(), text.end()));
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (!stats_path.empty()) {
+    const Status s = WriteTextFile(stats_path, out.pipeline_stats.ToJson() + "\n");
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (!metrics_path.empty()) {
+    TelemetryRegistry reg;
+    AddPipelineTelemetry(out.pipeline_stats, &reg);
+    const Status s = WriteTextFile(metrics_path, reg.Snapshot().ToJson() + "\n");
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (!trace_path.empty()) {
+    TraceWriter trace;
+    AppendPipelineTrace(out.pipeline_stats, &trace);
+    const Status s = WriteTextFile(trace_path, trace.ToJson() + "\n");
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void PrintPassTimings(const std::string& label, const PipelineStats& ps) {
+  std::fprintf(stderr, "redfat:%s pass timings (%u job%s)\n", label.c_str(), ps.jobs,
+               ps.jobs == 1 ? "" : "s");
+  std::fprintf(stderr, "  %-10s %10s %10s %10s %14s\n", "pass", "items", "changed",
+               "wall(ms)", "cycles-saved");
+  for (const PassStats& p : ps.passes) {
+    std::fprintf(stderr, "  %-10s %10zu %10zu %10.3f %14llu\n", p.name.c_str(), p.items,
+                 p.changed, p.wall_ms, static_cast<unsigned long long>(p.cycles_saved));
+  }
+  std::fprintf(stderr, "  %-10s %10s %10s %10.3f\n", "total", "", "", ps.total_ms);
+}
+
+void PrintVerboseStats(const std::string& label, const InstrumentResult& out) {
+  const PlanStats& p = out.plan_stats;
+  const RewriteStats& r = out.rewrite_stats;
+  std::fprintf(stderr,
+               "redfat:%s %zu memory operands, %zu eliminated, %zu full + %zu "
+               "redzone-only sites\n"
+               "redfat:%s %zu trampolines, %zu checks after merging, %llu trampoline "
+               "bytes\n"
+               "redfat:%s skipped %zu (jump-target) + %zu (call-span) + %zu "
+               "(section-end)\n",
+               label.c_str(), p.mem_operands, p.eliminated, p.full_sites, p.redzone_sites,
+               label.c_str(), p.trampolines, p.checks_emitted,
+               static_cast<unsigned long long>(r.trampoline_bytes), label.c_str(),
+               r.skipped_target_conflict, r.skipped_call_span, r.skipped_section_end);
+}
+
 int Main(int argc, char** argv) {
   RedFatOptions opts;
   std::string allow_path;
@@ -96,6 +224,7 @@ int Main(int argc, char** argv) {
   std::string stats_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string output_dir;
   bool time_passes = false;
   bool verbose = false;
   std::vector<std::string> positional;
@@ -138,6 +267,10 @@ int Main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg == "--output-dir" && i + 1 < argc) {
+      output_dir = argv[++i];
+    } else if (arg.rfind("--output-dir=", 0) == 0) {
+      output_dir = arg.substr(13);
     } else if (arg == "-v") {
       verbose = true;
     } else if (arg == "--allowlist" && i + 1 < argc) {
@@ -152,6 +285,95 @@ int Main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+  if (!output_dir.empty()) {
+    // Batch mode: every positional is an input; outputs land in output_dir.
+    if (positional.empty()) {
+      return Usage();
+    }
+    if (opts.mode == RedFatOptions::Mode::kProfile || !allow_path.empty() ||
+        !profile_data_path.empty()) {
+      std::fprintf(stderr,
+                   "redfat: --profile/--allowlist/--profile-data are single-image "
+                   "only (batch inputs have distinct site-id spaces)\n");
+      return 2;
+    }
+
+    const size_t n = positional.size();
+    std::vector<InputSpec> specs;
+    specs.reserve(n);
+    std::vector<BinaryImage> inputs(n);
+    for (size_t i = 0; i < n; ++i) {
+      specs.push_back(ParseInputSpec(positional[i]));
+      Result<BinaryImage> img = LoadImageFile(specs[i].path);
+      if (!img.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", img.error().c_str());
+        return 1;
+      }
+      inputs[i] = std::move(img).value();
+    }
+
+    // One pool shared by the image loop and every image's pipeline: a worker
+    // that enters an image runs that image's passes inline (nested regions
+    // serialize), so total threads never exceed --jobs.
+    ThreadPool pool(opts.jobs);
+    std::vector<std::optional<InstrumentResult>> results(n);
+    std::vector<std::string> errors(n);
+    pool.ParallelFor(n, [&](size_t i) {
+      RedFatOptions image_opts = opts;
+      if (specs[i].trampoline_base != 0) {
+        image_opts.trampoline_base = specs[i].trampoline_base;
+      }
+      RedFatTool tool(image_opts);
+      Result<InstrumentResult> r = tool.Instrument(inputs[i], nullptr, &pool);
+      if (r.ok()) {
+        results[i] = std::move(r).value();
+      } else {
+        errors[i] = r.error();
+      }
+    });
+
+    // Serial emission, input order: deterministic artifact set and readable
+    // interleaving on stdout/stderr.
+    int rc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const std::string name = BaseName(specs[i].path);
+      if (!errors[i].empty()) {
+        std::fprintf(stderr, "redfat: %s: %s\n", specs[i].path.c_str(),
+                     errors[i].c_str());
+        rc = 1;
+        continue;
+      }
+      const InstrumentResult& out = *results[i];
+      const Status saved = SaveImageFile(output_dir + "/" + name, out.image);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "redfat: %s: %s\n", specs[i].path.c_str(),
+                     saved.error().c_str());
+        rc = 1;
+        continue;
+      }
+      const std::string stem = Stem(name);
+      const Status emitted = EmitArtifacts(
+          out, sitemap_path.empty() ? "" : PerImagePath(sitemap_path, stem),
+          stats_path.empty() ? "" : PerImagePath(stats_path, stem),
+          metrics_path.empty() ? "" : PerImagePath(metrics_path, stem),
+          trace_path.empty() ? "" : PerImagePath(trace_path, stem));
+      if (!emitted.ok()) {
+        std::fprintf(stderr, "redfat: %s: %s\n", specs[i].path.c_str(),
+                     emitted.error().c_str());
+        rc = 1;
+        continue;
+      }
+      const std::string label = " " + name + ":";
+      if (time_passes) {
+        PrintPassTimings(label, out.pipeline_stats);
+      }
+      if (verbose) {
+        PrintVerboseStats(label, out);
+      }
+    }
+    return rc;
+  }
+
   if (positional.size() != 2) {
     return Usage();
   }
@@ -193,65 +415,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "redfat: %s\n", saved.error().c_str());
     return 1;
   }
-  if (!sitemap_path.empty()) {
-    const std::string text = SerializeSiteMap(out.value().sites);
-    const Status s = WriteFileBytes(sitemap_path,
-                                    std::vector<uint8_t>(text.begin(), text.end()));
-    if (!s.ok()) {
-      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
-      return 1;
-    }
-  }
-  if (!stats_path.empty()) {
-    const Status s = WriteTextFile(stats_path, out.value().pipeline_stats.ToJson() + "\n");
-    if (!s.ok()) {
-      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
-      return 1;
-    }
-  }
-  if (!metrics_path.empty()) {
-    TelemetryRegistry reg;
-    AddPipelineTelemetry(out.value().pipeline_stats, &reg);
-    const Status s = WriteTextFile(metrics_path, reg.Snapshot().ToJson() + "\n");
-    if (!s.ok()) {
-      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
-      return 1;
-    }
-  }
-  if (!trace_path.empty()) {
-    TraceWriter trace;
-    AppendPipelineTrace(out.value().pipeline_stats, &trace);
-    const Status s = WriteTextFile(trace_path, trace.ToJson() + "\n");
-    if (!s.ok()) {
-      std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
-      return 1;
-    }
+  const Status emitted =
+      EmitArtifacts(out.value(), sitemap_path, stats_path, metrics_path, trace_path);
+  if (!emitted.ok()) {
+    std::fprintf(stderr, "redfat: %s\n", emitted.error().c_str());
+    return 1;
   }
   if (time_passes) {
-    const PipelineStats& ps = out.value().pipeline_stats;
-    std::fprintf(stderr, "redfat: pass timings (%u job%s)\n", ps.jobs,
-                 ps.jobs == 1 ? "" : "s");
-    std::fprintf(stderr, "  %-10s %10s %10s %10s %14s\n", "pass", "items", "changed",
-                 "wall(ms)", "cycles-saved");
-    for (const PassStats& p : ps.passes) {
-      std::fprintf(stderr, "  %-10s %10zu %10zu %10.3f %14llu\n", p.name.c_str(), p.items,
-                   p.changed, p.wall_ms, static_cast<unsigned long long>(p.cycles_saved));
-    }
-    std::fprintf(stderr, "  %-10s %10s %10s %10.3f\n", "total", "", "", ps.total_ms);
+    PrintPassTimings("", out.value().pipeline_stats);
   }
   if (verbose) {
-    const PlanStats& p = out.value().plan_stats;
-    const RewriteStats& r = out.value().rewrite_stats;
-    std::fprintf(stderr,
-                 "redfat: %zu memory operands, %zu eliminated, %zu full + %zu "
-                 "redzone-only sites\n"
-                 "redfat: %zu trampolines, %zu checks after merging, %llu trampoline "
-                 "bytes\n"
-                 "redfat: skipped %zu (jump-target) + %zu (call-span) + %zu "
-                 "(section-end)\n",
-                 p.mem_operands, p.eliminated, p.full_sites, p.redzone_sites, p.trampolines,
-                 p.checks_emitted, static_cast<unsigned long long>(r.trampoline_bytes),
-                 r.skipped_target_conflict, r.skipped_call_span, r.skipped_section_end);
+    PrintVerboseStats("", out.value());
     if (allow_ptr != nullptr) {
       std::fprintf(stderr, "redfat: allow-list with %zu entries applied\n",
                    allow.addrs.size());

@@ -19,6 +19,13 @@
 //                          runtime telemetry with --sitemap records and
 //                          --pipeline-stats rewrite stats when given
 //   --pipeline-stats FILE  `redfat --stats` JSON to join into --report
+//   --lib FILE[:SITEMAP]   map FILE before the main program (repeatable;
+//                          §7.4 shared-object runs). Libraries load in
+//                          option order, the program loads last and keeps
+//                          the entry point. Site counters are keyed per
+//                          image, so --report stays unambiguous when both
+//                          a library and the program are instrumented; the
+//                          optional :SITEMAP joins that image's sites.
 //
 // Guest outputs are printed one per line. Exit status: the guest's exit
 // code; 134 if the run aborted on a detected memory error (like SIGABRT).
@@ -46,8 +53,41 @@ int Usage() {
                "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
                "             [--seed N] [--limit N] [--stats] [--metrics FILE]\n"
                "             [--trace FILE] [--report] [--pipeline-stats FILE]\n"
+               "             [--lib FILE[:SITEMAP]]...\n"
                "             prog.rfbin [input...]\n");
   return 2;
+}
+
+// A --lib argument: an image to map before the program, optionally with its
+// own site map for --report joining.
+struct LibSpec {
+  std::string path;
+  std::string sitemap;
+};
+
+LibSpec ParseLibSpec(const std::string& spec) {
+  LibSpec lib;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon != 0) {
+    lib.path = spec.substr(0, colon);
+    lib.sitemap = spec.substr(colon + 1);
+  } else {
+    lib.path = spec;
+  }
+  return lib;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+Result<std::vector<SiteRecord>> LoadSiteMapFile(const std::string& path) {
+  Result<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.ok()) {
+    return Error(lines.error());
+  }
+  return ParseSiteMap(lines.value());
 }
 
 int Main(int argc, char** argv) {
@@ -61,6 +101,7 @@ int Main(int argc, char** argv) {
   RunConfig cfg;
   bool stats = false;
   bool report = false;
+  std::vector<LibSpec> libs;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +131,10 @@ int Main(int argc, char** argv) {
       report = true;
     } else if (arg == "--pipeline-stats" && i + 1 < argc) {
       pipeline_stats_path = argv[++i];
+    } else if (arg == "--lib" && i + 1 < argc) {
+      libs.push_back(ParseLibSpec(argv[++i]));
+    } else if (arg.rfind("--lib=", 0) == 0) {
+      libs.push_back(ParseLibSpec(arg.substr(6)));
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -109,6 +154,45 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "rfrun: %s\n", image.error().c_str());
     return 1;
   }
+  std::vector<BinaryImage> lib_images;
+  lib_images.reserve(libs.size());
+  for (const LibSpec& lib : libs) {
+    Result<BinaryImage> li = LoadImageFile(lib.path);
+    if (!li.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", li.error().c_str());
+      return 1;
+    }
+    lib_images.push_back(std::move(li).value());
+  }
+
+  // Site maps are needed before the run: trace-event `site_addr` args are
+  // built from them. Index i holds library i's sites; index libs.size() the
+  // program's (mirroring image load order, which fixes telemetry ordinals).
+  std::vector<std::vector<SiteRecord>> image_sites(libs.size() + 1);
+  std::vector<bool> have_image_sites(libs.size() + 1, false);
+  for (size_t i = 0; i < libs.size(); ++i) {
+    if (libs[i].sitemap.empty()) {
+      continue;
+    }
+    Result<std::vector<SiteRecord>> parsed = LoadSiteMapFile(libs[i].sitemap);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
+      return 1;
+    }
+    image_sites[i] = std::move(parsed).value();
+    have_image_sites[i] = true;
+  }
+  if (!sitemap_path.empty()) {
+    Result<std::vector<SiteRecord>> parsed = LoadSiteMapFile(sitemap_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
+      return 1;
+    }
+    image_sites[libs.size()] = std::move(parsed).value();
+    have_image_sites[libs.size()] = true;
+  }
+  const std::vector<SiteRecord>& sites = image_sites[libs.size()];
+  const bool have_sites = have_image_sites[libs.size()];
 
   // Attach the observability sinks only when requested: a plain run keeps
   // the VM's telemetry hooks on their null fast path.
@@ -119,39 +203,39 @@ int Main(int argc, char** argv) {
   }
   if (!trace_path.empty()) {
     cfg.trace = &trace;
+    for (size_t i = 0; i < image_sites.size(); ++i) {
+      cfg.image_sites.push_back(have_image_sites[i] ? &image_sites[i] : nullptr);
+    }
   }
 
   RunOutcome out;
   if (runtime == "memcheck") {
+    if (!libs.empty()) {
+      std::fprintf(stderr, "rfrun: --lib is not supported under memcheck\n");
+      return 2;
+    }
     out = RunMemcheck(image.value(), cfg);
-  } else if (runtime == "redfat") {
-    out = RunImage(image.value(), RuntimeKind::kRedFat, cfg);
-  } else if (runtime == "redfat-shadow") {
-    out = RunImage(image.value(), RuntimeKind::kRedFatShadow, cfg);
-  } else if (runtime == "baseline") {
-    out = RunImage(image.value(), RuntimeKind::kBaseline, cfg);
   } else {
-    return Usage();
+    RuntimeKind kind;
+    if (runtime == "redfat") {
+      kind = RuntimeKind::kRedFat;
+    } else if (runtime == "redfat-shadow") {
+      kind = RuntimeKind::kRedFatShadow;
+    } else if (runtime == "baseline") {
+      kind = RuntimeKind::kBaseline;
+    } else {
+      return Usage();
+    }
+    std::vector<const BinaryImage*> images;
+    for (const BinaryImage& li : lib_images) {
+      images.push_back(&li);
+    }
+    images.push_back(&image.value());  // last: the program keeps the entry
+    out = RunImages(images, kind, cfg);
   }
 
   for (uint64_t w : out.outputs) {
     std::printf("%llu\n", static_cast<unsigned long long>(w));
-  }
-  std::vector<SiteRecord> sites;
-  bool have_sites = false;
-  if (!sitemap_path.empty()) {
-    Result<std::vector<std::string>> lines = ReadLines(sitemap_path);
-    if (!lines.ok()) {
-      std::fprintf(stderr, "rfrun: %s\n", lines.error().c_str());
-      return 1;
-    }
-    Result<std::vector<SiteRecord>> parsed = ParseSiteMap(lines.value());
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
-      return 1;
-    }
-    sites = std::move(parsed).value();
-    have_sites = true;
   }
   for (const MemErrorReport& e : out.errors) {
     std::fprintf(stderr, "rfrun: MEMORY ERROR: %s\n",
@@ -216,9 +300,25 @@ int Main(int argc, char** argv) {
       pipeline = std::move(parsed).value();
       have_pipeline = true;
     }
-    const std::string text = FormatTelemetryReport(
-        telemetry.Snapshot(), have_sites ? &sites : nullptr,
-        have_pipeline ? &pipeline : nullptr, out.result.cycles);
+    std::string text;
+    if (libs.empty()) {
+      text = FormatTelemetryReport(telemetry.Snapshot(), have_sites ? &sites : nullptr,
+                                   have_pipeline ? &pipeline : nullptr,
+                                   out.result.cycles);
+    } else {
+      // Per-image tables: telemetry keys decode to (image ordinal, site id);
+      // ordinals follow load order — libraries first, the program last.
+      std::vector<ImageSiteTable> tables;
+      for (size_t i = 0; i < libs.size(); ++i) {
+        tables.push_back(ImageSiteTable{
+            BaseName(libs[i].path), have_image_sites[i] ? &image_sites[i] : nullptr});
+      }
+      tables.push_back(
+          ImageSiteTable{BaseName(positional[0]), have_sites ? &sites : nullptr});
+      text = FormatTelemetryReport(telemetry.Snapshot(), tables,
+                                   have_pipeline ? &pipeline : nullptr,
+                                   out.result.cycles);
+    }
     std::fputs(text.c_str(), stdout);
   }
 

@@ -16,10 +16,11 @@ constexpr int kGuestTid = 1;
 }  // namespace
 
 void Vm::LoadImage(const BinaryImage& image) {
+  const uint32_t ordinal = images_loaded_++;
   for (const Section& s : image.sections) {
     memory_.WriteBytes(s.vaddr, s.bytes.data(), s.bytes.size());
     if (s.kind == Section::Kind::kTrampoline && !s.bytes.empty()) {
-      tramp_ranges_.emplace_back(s.vaddr, s.end_vaddr());
+      tramp_ranges_.push_back(TrampRange{s.vaddr, s.end_vaddr(), ordinal});
     }
   }
   cpu_ = CpuState{};
@@ -33,24 +34,36 @@ void Vm::set_telemetry(TelemetryRegistry* t) {
   tshard_ = t != nullptr ? t->shard() : nullptr;
 }
 
-bool Vm::InTrampoline(uint64_t addr) const {
-  for (const auto& [lo, hi] : tramp_ranges_) {
-    if (addr >= lo && addr < hi) {
-      return true;
+bool Vm::InTrampoline(uint64_t addr) const { return TrampImageAt(addr) >= 0; }
+
+int Vm::TrampImageAt(uint64_t addr) const {
+  for (const TrampRange& r : tramp_ranges_) {
+    if (addr >= r.lo && addr < r.hi) {
+      return static_cast<int>(r.image);
     }
   }
-  return false;
+  return -1;
+}
+
+uint32_t Vm::SiteKeyFor(uint32_t site) const {
+  // Image 0 (and single-image runs) keeps plain ids. Packing needs the site
+  // id to fit below the image bits; oversized ids stay plain rather than
+  // alias another image's counters.
+  if (t_image_ == 0 || t_image_ >= kMaxKeyedImages || site > kMaxKeyedSite) {
+    return site;
+  }
+  return ImageSiteKey(t_image_, site);
 }
 
 void Vm::OnCountSite(uint32_t site) {
-  if (tshard_ != nullptr) {
-    tshard_->AddSite(site, SiteEvent::kChecks);
-  }
   if (t_in_tramp_) {
     // Batched trampolines Count every member site up front, so the last
     // counted site owns the visit's cycles when it flushes.
     t_site_ = site;
     t_have_site_ = true;
+  }
+  if (tshard_ != nullptr) {
+    tshard_->AddSite(SiteKeyFor(site), SiteEvent::kChecks);
   }
 }
 
@@ -59,13 +72,25 @@ void Vm::FlushTrampolineVisit() {
   t_in_tramp_ = false;
   t_tramp_cycles_ += dur;
   if (tshard_ != nullptr && t_have_site_) {
-    tshard_->AddSite(t_site_, SiteEvent::kTrampCycles, dur);
+    tshard_->AddSite(SiteKeyFor(t_site_), SiteEvent::kTrampCycles, dur);
   }
   if (trace_ != nullptr) {
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg{"site", t_have_site_ ? t_site_ : ~0ULL});
+    if (t_image_ != 0) {
+      args.push_back(TraceArg{"image", t_image_});
+    }
+    if (site_addrs_ != nullptr && t_have_site_) {
+      auto it = site_addrs_->find(SiteKeyFor(t_site_));
+      if (it != site_addrs_->end()) {
+        args.push_back(TraceArg{"site_addr", it->second});
+      }
+    }
     trace_->Complete("tramp", "check", kGuestPid, kGuestTid,
                      static_cast<double>(t_entry_cycles_), static_cast<double>(dur),
-                     {TraceArg{"site", t_have_site_ ? t_site_ : ~0ULL}});
+                     args);
   }
+  t_image_ = 0;
 }
 
 const Vm::Exec* Vm::FetchDecode(uint64_t addr, std::string* fault) {
@@ -120,13 +145,23 @@ bool Vm::EvalCond(Cond c) const {
 bool Vm::ReportMemError(uint32_t site, ErrorKind kind) {
   mem_errors_.push_back(MemErrorReport{site, kind, cpu_.rip, instructions_});
   if (tshard_ != nullptr) {
-    tshard_->AddSite(site, SiteEvent::kRedzoneHits);
+    tshard_->AddSite(SiteKeyFor(site), SiteEvent::kRedzoneHits);
   }
   if (trace_ != nullptr) {
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg{"site", site});
+    args.push_back(TraceArg{"kind", static_cast<uint64_t>(kind)});
+    if (t_image_ != 0) {
+      args.push_back(TraceArg{"image", t_image_});
+    }
+    if (site_addrs_ != nullptr) {
+      auto it = site_addrs_->find(SiteKeyFor(site));
+      if (it != site_addrs_->end()) {
+        args.push_back(TraceArg{"site_addr", it->second});
+      }
+    }
     trace_->Instant("mem_error", "error", kGuestPid, kGuestTid,
-                    static_cast<double>(cycles_),
-                    {TraceArg{"site", site},
-                     TraceArg{"kind", static_cast<uint64_t>(kind)}});
+                    static_cast<double>(cycles_), args);
   }
   if (policy_ == Policy::kHarden) {
     halt_ = true;
@@ -516,10 +551,12 @@ RunResult Vm::Run() {
       break;
     }
     if (track_tramp) {
-      const bool now = InTrampoline(cpu_.rip);
+      const int tramp_image = TrampImageAt(cpu_.rip);
+      const bool now = tramp_image >= 0;
       if (now != t_in_tramp_) {
         if (now) {
           t_in_tramp_ = true;
+          t_image_ = static_cast<uint32_t>(tramp_image);
           t_entry_cycles_ = cycles_;
           t_have_site_ = false;
         } else {

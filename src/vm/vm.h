@@ -149,6 +149,12 @@ class Vm {
   // telemetry attached.
   void set_telemetry(TelemetryRegistry* t);
   void set_trace(TraceWriter* t) { trace_ = t; }
+  // Optional keyed-site-id -> original-instruction-address map (see
+  // telemetry.h ImageSiteKey). When set, trampoline/mem_error trace events
+  // carry a `site_addr` arg linking the slice back to the disassembly.
+  void set_site_addrs(const std::unordered_map<uint32_t, uint64_t>* m) {
+    site_addrs_ = m;
+  }
 
   RunResult Run();
 
@@ -183,6 +189,12 @@ class Vm {
 
   const Exec* FetchDecode(uint64_t addr, std::string* fault);
   bool InTrampoline(uint64_t addr) const;
+  // Ordinal of the image whose trampoline section contains `addr`, or -1.
+  int TrampImageAt(uint64_t addr) const;
+  // Telemetry key for `site` in the current trampoline's image: plain in
+  // single-image runs (back-compat), (image, site)-packed in multi-image
+  // runs so per-library counters stay unambiguous (§7.4).
+  uint32_t SiteKeyFor(uint32_t site) const;
   void OnCountSite(uint32_t site);       // telemetry bookkeeping for Op::kCount
   void FlushTrampolineVisit();           // close the current trampoline slice
   uint64_t EffectiveAddress(const MemOperand& mem, uint64_t next_rip) const;
@@ -225,10 +237,20 @@ class Vm {
   // --- telemetry-only state (untouched when no sink is attached) -----------
   // Trampoline sections of every loaded image; accumulated across LoadImage
   // calls (shared-object runs map several images into one address space).
-  std::vector<std::pair<uint64_t, uint64_t>> tramp_ranges_;
+  // Each range remembers which image (by load ordinal) owns it so per-site
+  // counters can be keyed per image.
+  struct TrampRange {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    uint32_t image = 0;
+  };
+  std::vector<TrampRange> tramp_ranges_;
+  const std::unordered_map<uint32_t, uint64_t>* site_addrs_ = nullptr;
+  uint32_t images_loaded_ = 0;   // LoadImage calls; the next image's ordinal
   bool t_in_tramp_ = false;      // rip currently inside a trampoline section
   bool t_have_site_ = false;     // current visit has executed a Count yet
-  uint32_t t_site_ = 0;          // last site counted in the current visit
+  uint32_t t_site_ = 0;          // last site counted in the current visit (plain id)
+  uint32_t t_image_ = 0;         // image ordinal of the current trampoline
   uint64_t t_entry_cycles_ = 0;  // cycles_ when the current visit began
   uint64_t t_tramp_cycles_ = 0;  // total trampoline cycles, all visits
   uint64_t t_tramp_reported_ = 0;  // portion already pushed to the registry

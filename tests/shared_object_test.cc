@@ -6,8 +6,13 @@
 // pointer; the vulnerable store lives in the library.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/core/harness.h"
 #include "src/core/redfat.h"
+#include "src/support/str.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
 #include "src/workloads/builder.h"
 
 namespace redfat {
@@ -91,6 +96,62 @@ TEST(SharedObject, InstrumentingTheLibraryClosesTheGap) {
       RunImages({&lib_hard.image, &main_hard.image}, RuntimeKind::kRedFat, benign);
   EXPECT_EQ(ok.result.reason, HaltReason::kExit) << ok.result.fault_message;
   EXPECT_TRUE(ok.errors.empty());
+}
+
+TEST(SharedObject, TelemetryKeysCountersPerImage) {
+  // Both planners assign site ids starting at 0: without (image, site)
+  // keying the library's and the program's counters would merge. The library
+  // loads first (ordinal 0, plain ids); the program keys into ordinal 1.
+  const InstrumentResult lib_hard = Harden(BuildLibrary(), kLibTrampBase);
+  const InstrumentResult main_hard = Harden(BuildMain(), kTrampolineBase);
+  TelemetryRegistry telemetry;
+  RunConfig benign;
+  benign.inputs = {3};
+  benign.telemetry = &telemetry;
+  const RunOutcome out =
+      RunImages({&lib_hard.image, &main_hard.image}, RuntimeKind::kRedFat, benign);
+  ASSERT_EQ(out.result.reason, HaltReason::kExit) << out.result.fault_message;
+
+  const TelemetrySnapshot snap = telemetry.Snapshot();
+  uint64_t lib_checks = 0;
+  uint64_t main_checks = 0;
+  for (const SiteTelemetry& st : snap.sites) {
+    if (ImageOfSiteKey(st.site) == 0) {
+      lib_checks += st.checks();
+      EXPECT_LT(SiteOfSiteKey(st.site), lib_hard.sites.size());
+    } else {
+      EXPECT_EQ(ImageOfSiteKey(st.site), 1u);
+      main_checks += st.checks();
+      EXPECT_LT(SiteOfSiteKey(st.site), main_hard.sites.size());
+    }
+  }
+  EXPECT_GT(lib_checks, 0u) << "the library's store executed its check";
+  EXPECT_GT(main_checks, 0u) << "the program's store executed its check";
+}
+
+TEST(SharedObject, TraceSiteAddrsResolvePerImage) {
+  const InstrumentResult lib_hard = Harden(BuildLibrary(), kLibTrampBase);
+  const InstrumentResult main_hard = Harden(BuildMain(), kTrampolineBase);
+  TraceWriter trace;
+  RunConfig attack;
+  attack.inputs = {10};
+  attack.policy = Policy::kLog;
+  attack.trace = &trace;
+  attack.image_sites = {&lib_hard.sites, &main_hard.sites};
+  const RunOutcome out =
+      RunImages({&lib_hard.image, &main_hard.image}, RuntimeKind::kRedFat, attack);
+  ASSERT_FALSE(out.errors.empty());
+
+  // The faulting store lives in the library: its mem_error slice must carry
+  // the library instruction's address, resolvable only through the
+  // per-image site tables.
+  ASSERT_LT(out.errors[0].site, lib_hard.sites.size());
+  const uint64_t lib_addr = lib_hard.sites[out.errors[0].site].addr;
+  EXPECT_GE(lib_addr, kLibCodeBase);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find(StrFormat("\"site_addr\":%llu",
+                                static_cast<unsigned long long>(lib_addr))),
+            std::string::npos);
 }
 
 TEST(SharedObject, TrampolineSectionsDoNotCollide) {

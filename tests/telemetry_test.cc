@@ -11,6 +11,7 @@
 #include "src/core/pipeline.h"
 #include "src/core/redfat.h"
 #include "src/core/sitemap.h"
+#include "src/support/str.h"
 #include "src/support/telemetry.h"
 #include "src/support/trace.h"
 #include "src/workloads/builder.h"
@@ -274,6 +275,31 @@ TEST(TelemetryEndToEnd, TraceCoversRunAllocatorAndTrampolines) {
   EXPECT_NE(json.find("\"tramp\""), std::string::npos);
   EXPECT_NE(json.find("\"mem_error\""), std::string::npos);
   EXPECT_NE(json.find("\"vm.run\""), std::string::npos);
+}
+
+TEST(TelemetryEndToEnd, TraceCarriesSiteAddrAnnotations) {
+  RedFatTool tool(RedFatOptions{});
+  const InstrumentResult ir = tool.Instrument(OobWriteProgram()).value();
+  ASSERT_FALSE(ir.sites.empty());
+
+  TraceWriter trace;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.trace = &trace;
+  cfg.image_sites = {&ir.sites};  // enables site_addr trace args
+  const RunOutcome out = RunImage(ir.image, RuntimeKind::kRedFat, cfg);
+  ASSERT_FALSE(out.errors.empty());
+
+  const std::string json = trace.ToJson();
+  ASSERT_TRUE(ValidateTraceEventJson(json).ok());
+  // Trampoline and mem_error slices link back to the disassembly: the
+  // faulting site's original instruction address appears as a numeric arg.
+  ASSERT_LT(out.errors[0].site, ir.sites.size());
+  const SiteRecord& faulting = ir.sites[out.errors[0].site];
+  EXPECT_NE(json.find(StrFormat(
+                "\"site_addr\":%llu",
+                static_cast<unsigned long long>(faulting.addr))),
+            std::string::npos);
 }
 
 TEST(TelemetryEndToEnd, AttachingTelemetryDoesNotChangeGuestCycles) {
