@@ -90,7 +90,7 @@ Result<BinaryImage> BinaryImage::Deserialize(const std::vector<uint8_t>& bytes) 
     }
     Section s;
     const uint8_t kind = bytes[pos++];
-    if (kind > static_cast<uint8_t>(Section::Kind::kTrampoline)) {
+    if (kind > static_cast<uint8_t>(Section::Kind::kInlineCheck)) {
       return Error(StrFormat("image: bad section kind %u", kind));
     }
     s.kind = static_cast<Section::Kind>(kind);

@@ -19,6 +19,7 @@ struct Section {
     kText = 0,        // executable code, subject to instrumentation
     kData = 1,        // initialized data
     kTrampoline = 2,  // executable code added by a rewriter (never re-instrumented)
+    kInlineCheck = 3, // rewriter code for hot-tier (inlined) checks
   };
 
   Kind kind = Kind::kText;

@@ -249,8 +249,11 @@ void EmitTrampolinePayload(Assembler& as, const PlannedTrampoline& tramp,
   }
 
   // Scratch preference order: dead registers first (free), then the rest.
+  // Cold-tier trampolines are demoted to the save-all discipline: their
+  // runtime cost is negligible by definition, and skipping the liveness
+  // data keeps the wide demoted batches uniform.
   std::vector<Reg> preference;
-  const bool use_clobbers = opts.clobber_analysis;
+  const bool use_clobbers = opts.clobber_analysis && tramp.tier != Tier::kCold;
   if (use_clobbers) {
     preference = clobbers.dead_regs;
   }

@@ -16,6 +16,8 @@
 
 namespace redfat {
 
+struct TierProfile;  // core/plan.h
+
 // How the (Redzone) component is implemented (§4.1):
 //   kLowFatMetadata — the paper's scheme: state/size metadata stored inside
 //     the 16-byte redzone, located via base(ptr). Shares machinery with the
@@ -60,7 +62,18 @@ struct RedFatOptions {
   // Where this binary's trampoline section is placed. Executables use the
   // default; shared objects instrumented separately (§7.4) must pick a
   // non-overlapping address within rel32 reach of their own text.
+  // Hot-tier trampolines land in a second (inline-check) region at
+  // trampoline_base + kInlineCheckOffset.
   uint64_t trampoline_base = kTrampolineBase;
+
+  // Profile-guided check tiering: a prior run's per-site cycle profile
+  // (core/plan.h TierProfile), or null for untiered output — in which case
+  // the tier pass is disabled and the image is byte-identical to a build
+  // without tiering support. The pointee must outlive the instrumentation
+  // run. `hot_threshold` is the fraction of total profiled trampoline
+  // cycles the hot set must cover (sites ranked by cycles, descending).
+  const TierProfile* tier_profile = nullptr;
+  double hot_threshold = 0.9;
 
   static RedFatOptions Unoptimized() {
     RedFatOptions o;

@@ -422,6 +422,33 @@ class GroupPass : public Pass {
   }
 };
 
+// Profile-guided check tiering: joins the prior run's per-site cycle
+// profile against the freshly numbered site table, then stamps each
+// singleton trampoline with its leader site's tier so the batch and codegen
+// passes can act on it. Runs only when a TierProfile is attached; disabled
+// it contributes nothing (and the output stays byte-identical).
+class TierPass : public Pass {
+ public:
+  const char* name() const override { return "tier"; }
+  Result<PassOutcome> Run(PipelineContext& ctx) override {
+    if (ctx.opts.tier_profile == nullptr) {
+      return PassOutcome{};
+    }
+    const TierStats ts = AssignSiteTiers(*ctx.opts.tier_profile, ctx.opts.hot_threshold,
+                                         &ctx.plan.sites);
+    for (PlannedTrampoline& tramp : ctx.plan.trampolines) {
+      const uint32_t site = tramp.checks.front().member_sites.front();
+      REDFAT_CHECK(site < ctx.plan.sites.size());
+      tramp.tier = ctx.plan.sites[site].tier;
+    }
+    // Every hot site drops (at least) its trampoline round-trip per visit;
+    // the static estimate mirrors the other optimization passes.
+    return PassOutcome{.items = ctx.opts.tier_profile->cycles_by_site.size(),
+                       .changed = ts.hot + ts.cold,
+                       .cycles_saved = ts.hot * kEstTrampOverheadCycles};
+  }
+};
+
 class BatchPass : public Pass {
  public:
   const char* name() const override { return "batch"; }
@@ -531,9 +558,67 @@ class CodegenPass : public Pass {
       return Error(planned.error());
     }
     ctx.spans = std::move(planned).value();
-    ctx.tramp_code = EmitTrampolines(ctx.cache.disasm(), ctx.spans, ctx.requests,
-                                     ctx.opts.trampoline_base, ctx.pool,
-                                     &ctx.rewrite_stats);
+
+    // Hot-tier spans are emitted into a second blob (the inline-check
+    // region) so their runtime cycles are attributable separately from
+    // trampoline cycles. A span is hot when the request that owns it (its
+    // first payload slot) came from a hot trampoline; requests are indexed
+    // like plan.trampolines.
+    std::vector<size_t> hot_idx;
+    for (size_t i = 0; i < ctx.spans.size(); ++i) {
+      for (size_t payload : ctx.spans[i].payloads) {
+        if (payload != SIZE_MAX) {
+          if (plan.trampolines[payload].tier == Tier::kHot) {
+            hot_idx.push_back(i);
+          }
+          break;
+        }
+      }
+    }
+    if (hot_idx.empty()) {
+      ctx.tramp_code = EmitTrampolines(ctx.cache.disasm(), ctx.spans, ctx.requests,
+                                       ctx.opts.trampoline_base, ctx.pool,
+                                       &ctx.rewrite_stats);
+      return PassOutcome{.items = ctx.requests.size(), .changed = ctx.rewrite_stats.applied};
+    }
+    std::vector<SpanPlan> rest_spans;
+    std::vector<SpanPlan> hot_spans;
+    std::vector<size_t> rest_idx;
+    rest_spans.reserve(ctx.spans.size() - hot_idx.size());
+    hot_spans.reserve(hot_idx.size());
+    {
+      size_t h = 0;
+      for (size_t i = 0; i < ctx.spans.size(); ++i) {
+        if (h < hot_idx.size() && hot_idx[h] == i) {
+          hot_spans.push_back(ctx.spans[i]);
+          ++h;
+        } else {
+          rest_spans.push_back(ctx.spans[i]);
+          rest_idx.push_back(i);
+        }
+      }
+    }
+    TrampolineCode rest = EmitTrampolines(ctx.cache.disasm(), rest_spans, ctx.requests,
+                                          ctx.opts.trampoline_base, ctx.pool,
+                                          &ctx.rewrite_stats);
+    RewriteStats inline_stats;
+    ctx.inline_code = EmitTrampolines(ctx.cache.disasm(), hot_spans, ctx.requests,
+                                      ctx.opts.trampoline_base + kInlineCheckOffset,
+                                      ctx.pool, &inline_stats);
+    ctx.rewrite_stats.applied += inline_stats.applied;
+    ctx.rewrite_stats.inline_trampolines = inline_stats.trampolines;
+    ctx.rewrite_stats.inline_bytes = inline_stats.trampoline_bytes;
+    // Reassemble the per-span start table in original span order (PatchSpans
+    // consumes it positionally).
+    std::vector<uint64_t> starts(ctx.spans.size(), 0);
+    for (size_t i = 0; i < rest_idx.size(); ++i) {
+      starts[rest_idx[i]] = rest.starts[i];
+    }
+    for (size_t i = 0; i < hot_idx.size(); ++i) {
+      starts[hot_idx[i]] = ctx.inline_code.starts[i];
+    }
+    ctx.tramp_code.bytes = std::move(rest.bytes);
+    ctx.tramp_code.starts = std::move(starts);
     return PassOutcome{.items = ctx.requests.size(), .changed = ctx.rewrite_stats.applied};
   }
 };
@@ -555,6 +640,13 @@ class PatchPass : public Pass {
       ts.bytes = ctx.tramp_code.bytes;
       ctx.output.sections.push_back(std::move(ts));
     }
+    if (!ctx.inline_code.bytes.empty()) {
+      Section is;
+      is.kind = Section::Kind::kInlineCheck;
+      is.vaddr = ctx.opts.trampoline_base + kInlineCheckOffset;
+      is.bytes = ctx.inline_code.bytes;
+      ctx.output.sections.push_back(std::move(is));
+    }
     return PassOutcome{.items = ctx.spans.size(), .changed = ctx.spans.size()};
   }
 };
@@ -570,12 +662,14 @@ Pipeline Pipeline::Hardening(const RedFatOptions& opts) {
   p.Add(std::make_unique<ClassifyPass>());
   p.Add(std::make_unique<EliminatePass>());
   p.Add(std::make_unique<GroupPass>());
+  p.Add(std::make_unique<TierPass>());
   p.Add(std::make_unique<BatchPass>());
   p.Add(std::make_unique<MergePass>());
   p.Add(std::make_unique<LivenessPass>());
   p.Add(std::make_unique<CodegenPass>());
   p.Add(std::make_unique<PatchPass>());
   p.SetEnabled("eliminate", opts.elim);
+  p.SetEnabled("tier", opts.tier_profile != nullptr);
   p.SetEnabled("batch", opts.batch);
   // Profiling needs per-site pass/fail attribution; a merged check would
   // conflate its member sites.

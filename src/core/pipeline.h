@@ -9,6 +9,7 @@
 //   classify   per-operand classification (operand classes analysis)
 //   eliminate  check elimination (§6)            [disabled = "unoptimized"]
 //   group      site policy + singleton trampoline formation
+//   tier       profile-guided check tiering      [disabled without --profile]
 //   batch      check batching (§6)               [disabled = "+elim" column]
 //   merge      check merging (§6)                [disabled = "+batch" column]
 //   liveness   clobber analysis for every trampoline leader
@@ -162,10 +163,13 @@ struct PipelineContext {
   bool drop_eliminable = false;       // set by the eliminate pass
   InstrumentPlan plan;
 
-  // Rewriting state.
+  // Rewriting state. `tramp_code.starts` is parallel to `spans` and covers
+  // every span regardless of which blob its code landed in; `inline_code`
+  // holds the hot-tier blob (empty without a tiering profile).
   std::vector<PatchRequest> requests;
   std::vector<SpanPlan> spans;
   TrampolineCode tramp_code;
+  TrampolineCode inline_code;
   RewriteStats rewrite_stats;
   BinaryImage output;
 };

@@ -9,6 +9,99 @@
 
 namespace redfat {
 
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kWarm:
+      return "warm";
+    case Tier::kHot:
+      return "hot";
+    case Tier::kCold:
+      return "cold";
+  }
+  return "?";
+}
+
+TierStats AssignSiteTiers(const TierProfile& profile, double hot_threshold,
+                          std::vector<SiteRecord>* sites) {
+  TierStats ts;
+  // Resolve every profile entry to a current site index. With a sitemap the
+  // join goes through the profiled image's instruction addresses and
+  // requires the site shape (rw + check kind) to match — a profile from a
+  // different binary resolves nothing and tiers nothing.
+  std::unordered_map<uint64_t, size_t> by_addr;
+  std::unordered_map<uint32_t, const SiteRecord*> prof_by_id;
+  if (profile.sitemap != nullptr) {
+    by_addr.reserve(sites->size());
+    for (size_t i = 0; i < sites->size(); ++i) {
+      by_addr[(*sites)[i].addr] = i;
+    }
+    prof_by_id.reserve(profile.sitemap->size());
+    for (const SiteRecord& s : *profile.sitemap) {
+      prof_by_id[s.id] = &s;
+    }
+  }
+  std::vector<std::pair<size_t, uint64_t>> resolved;  // (site index, cycles)
+  resolved.reserve(profile.cycles_by_site.size());
+  for (const auto& [id, cycles] : profile.cycles_by_site) {
+    if (profile.sitemap != nullptr) {
+      const auto pit = prof_by_id.find(id);
+      if (pit == prof_by_id.end()) {
+        ++ts.unknown;
+        continue;
+      }
+      const SiteRecord& prof = *pit->second;
+      auto it = by_addr.find(prof.addr);
+      if (it == by_addr.end()) {
+        ++ts.mismatched;
+        continue;
+      }
+      const SiteRecord& cur = (*sites)[it->second];
+      if (cur.is_write != prof.is_write || cur.kind != prof.kind) {
+        ++ts.mismatched;
+        continue;
+      }
+      resolved.emplace_back(it->second, cycles);
+    } else {
+      if (id >= sites->size()) {
+        ++ts.unknown;
+        continue;
+      }
+      resolved.emplace_back(static_cast<size_t>(id), cycles);
+    }
+  }
+  // Rank by cycles (site index breaks ties) so the hot prefix is a total
+  // order — the map's iteration order never leaks into the result.
+  std::sort(resolved.begin(), resolved.end(),
+            [](const std::pair<size_t, uint64_t>& a, const std::pair<size_t, uint64_t>& b) {
+              if (a.second != b.second) {
+                return a.second > b.second;
+              }
+              return a.first < b.first;
+            });
+  uint64_t total = 0;
+  for (const auto& [idx, cycles] : resolved) {
+    (*sites)[idx].tier = Tier::kCold;
+    total += cycles;
+  }
+  ts.cold = resolved.size();
+  if (total > 0) {
+    uint64_t cum = 0;
+    for (const auto& [idx, cycles] : resolved) {
+      if (cycles == 0) {
+        break;  // the zero-cycle tail can never be hot
+      }
+      (*sites)[idx].tier = Tier::kHot;
+      ++ts.hot;
+      --ts.cold;
+      cum += cycles;
+      if (static_cast<double>(cum) >= hot_threshold * static_cast<double>(total)) {
+        break;
+      }
+    }
+  }
+  return ts;
+}
+
 bool IsEliminable(const MemOperand& mem) {
   if (mem.has_index()) {
     return false;
@@ -257,6 +350,18 @@ std::vector<PlannedTrampoline> BatchCandidateRange(const Disassembly& dis, const
   bool open = false;
   RegSet written;
   uint32_t current_block = 0;
+  // Induction tracking for tiered (hot/cold) leaders: the constant offset
+  // each register has accumulated since the leader via add/sub-immediate,
+  // and whether the register's value is still leader-value + delta. Only
+  // maintained while a tiered batch is open; with every tier kWarm the scan
+  // below is exactly the pre-tiering algorithm.
+  int64_t delta[kNumGprs] = {};
+  bool delta_known[kNumGprs] = {};
+
+  auto reset_deltas = [&]() {
+    std::fill(delta, delta + kNumGprs, 0);
+    std::fill(delta_known, delta_known + kNumGprs, true);
+  };
 
   auto close = [&]() {
     if (open && !current.checks.empty()) {
@@ -265,6 +370,34 @@ std::vector<PlannedTrampoline> BatchCandidateRange(const Disassembly& dis, const
     current = PlannedTrampoline{};
     open = false;
     written = RegSet{};
+  };
+
+  // Rebase `check` so that evaluating it at the leader yields the address
+  // the operand resolves to at its own instruction: every operand register
+  // must have a known constant delta, and the shifted displacement must
+  // still encode. Returns false (caller closes the batch) otherwise.
+  auto try_fold = [&](PlannedCheck* check) {
+    int64_t shift = 0;
+    if (check->mem.has_base() && check->mem.base != Reg::kRip) {
+      const size_t b = RegIndex(check->mem.base);
+      if (!delta_known[b]) {
+        return false;
+      }
+      shift += delta[b];
+    }
+    if (check->mem.has_index()) {
+      const size_t x = RegIndex(check->mem.index);
+      if (!delta_known[x]) {
+        return false;
+      }
+      shift += delta[x] << check->mem.scale_log2;
+    }
+    const int64_t nd = static_cast<int64_t>(check->mem.disp) + shift;
+    if (nd < INT32_MIN || nd > INT32_MAX) {
+      return false;
+    }
+    check->mem.disp = static_cast<int32_t>(nd);
+    return true;
   };
 
   size_t next = c_begin;
@@ -282,16 +415,23 @@ std::vector<PlannedTrampoline> BatchCandidateRange(const Disassembly& dis, const
     }
 
     if (next < c_end && singles[next].insn_index == i) {
+      const Tier cand_tier = singles[next].tier;
       PlannedCheck check = std::move(singles[next].checks.front());
       ++next;
       if (open && !OperandRegsUnmodified(check.mem, written)) {
-        close();
+        const bool folded = current.tier != Tier::kWarm && !check.mem.rip_relative() &&
+                            try_fold(&check);
+        if (!folded) {
+          close();
+        }
       }
       if (!open) {
         current.addr = di.addr;
         current.insn_index = i;
+        current.tier = cand_tier;
         open = true;
         written = RegSet{};  // relevant writes start at the leader
+        reset_deltas();
       }
       current.checks.push_back(std::move(check));
     }
@@ -299,6 +439,18 @@ std::vector<PlannedTrampoline> BatchCandidateRange(const Disassembly& dis, const
     RegsWritten(di.insn, &regs);
     for (Reg r : regs) {
       written.Add(r);
+    }
+    if (open && current.tier != Tier::kWarm) {
+      if ((di.insn.op == Op::kAddRI || di.insn.op == Op::kSubRI) && IsGpr(di.insn.r0)) {
+        const size_t r = RegIndex(di.insn.r0);
+        delta[r] += di.insn.op == Op::kAddRI ? di.insn.imm : -di.insn.imm;
+      } else {
+        for (Reg r : regs) {
+          if (IsGpr(r)) {
+            delta_known[RegIndex(r)] = false;
+          }
+        }
+      }
     }
     if (IsBatchBarrier(di.insn.op)) {
       close();
@@ -368,21 +520,63 @@ void MergeTrampolineChecks(PlannedTrampoline* tramp) {
   std::vector<PlannedCheck> merged;
   for (auto& [key, list] : groups) {
     (void)key;
-    PlannedCheck m = list.front();
-    int64_t lo = m.mem.disp;
-    int64_t hi = m.mem.disp + m.access_len;
+    // The merged range must be computed in 64 bits: disp is int32 and
+    // access_len is uint32, so `disp + access_len` wraps through unsigned
+    // arithmetic for negative displacements (e.g. rsp-relative checks that
+    // survive --no-elim).
+    int64_t lo = list.front().mem.disp;
+    int64_t hi = lo + static_cast<int64_t>(list.front().access_len);
     for (size_t i = 1; i < list.size(); ++i) {
-      const PlannedCheck& c = list[i];
-      lo = std::min<int64_t>(lo, c.mem.disp);
-      hi = std::max<int64_t>(hi, c.mem.disp + c.access_len);
-      m.is_write = m.is_write || c.is_write;
-      m.member_sites.insert(m.member_sites.end(), c.member_sites.begin(),
-                            c.member_sites.end());
+      const int64_t cl = list[i].mem.disp;
+      const int64_t ch = cl + static_cast<int64_t>(list[i].access_len);
+      lo = std::min(lo, cl);
+      hi = std::max(hi, ch);
     }
-    REDFAT_CHECK(lo >= INT32_MIN && hi - lo <= UINT32_MAX);
-    m.mem.disp = static_cast<int32_t>(lo);
-    m.access_len = static_cast<uint32_t>(hi - lo);
-    merged.push_back(std::move(m));
+    // Codegen narrows the merged access_len through int32, so INT32_MAX is
+    // the widest span a single merged check can encode. Groups within the
+    // bound merge exactly as before (member order preserved — output bytes
+    // are unchanged for every previously-working plan); wider groups are
+    // split by displacement into the fewest in-bound merged checks.
+    if (hi - lo <= INT32_MAX) {
+      PlannedCheck m = list.front();
+      for (size_t i = 1; i < list.size(); ++i) {
+        const PlannedCheck& c = list[i];
+        m.is_write = m.is_write || c.is_write;
+        m.member_sites.insert(m.member_sites.end(), c.member_sites.begin(),
+                              c.member_sites.end());
+      }
+      m.mem.disp = static_cast<int32_t>(lo);
+      m.access_len = static_cast<uint32_t>(hi - lo);
+      merged.push_back(std::move(m));
+      continue;
+    }
+    std::stable_sort(list.begin(), list.end(),
+                     [](const PlannedCheck& a, const PlannedCheck& b) {
+                       return a.mem.disp < b.mem.disp;
+                     });
+    size_t i = 0;
+    while (i < list.size()) {
+      PlannedCheck m = std::move(list[i]);
+      int64_t slo = m.mem.disp;
+      int64_t shi = slo + static_cast<int64_t>(m.access_len);
+      size_t j = i + 1;
+      for (; j < list.size(); ++j) {
+        const PlannedCheck& c = list[j];
+        const int64_t ch =
+            static_cast<int64_t>(c.mem.disp) + static_cast<int64_t>(c.access_len);
+        if (ch - slo > INT32_MAX) {
+          break;
+        }
+        shi = std::max(shi, ch);
+        m.is_write = m.is_write || c.is_write;
+        m.member_sites.insert(m.member_sites.end(), c.member_sites.begin(),
+                              c.member_sites.end());
+      }
+      m.mem.disp = static_cast<int32_t>(slo);
+      m.access_len = static_cast<uint32_t>(shi - slo);
+      merged.push_back(std::move(m));
+      i = j;
+    }
   }
   tramp->checks.clear();
   for (auto& c : merged) {

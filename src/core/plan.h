@@ -23,6 +23,7 @@
 #define REDFAT_SRC_CORE_PLAN_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -35,6 +36,19 @@ enum class CheckKind : uint8_t {
   kRedzoneOnly,  // base computed from the accessed address only
   kFull,         // (Redzone)+(LowFat): base computed from the pointer first
 };
+
+// Profile-guided check tier (closing the telemetry -> plan loop). Without a
+// profile every site is kWarm and planning/codegen behave exactly as before;
+// a profile promotes the sites that dominate runtime trampoline cycles to
+// kHot (aggressive batching + placement in the inline-check region) and
+// demotes the provably-negligible rest to kCold (compact save-all bodies in
+// wider batches).
+enum class Tier : uint8_t {
+  kWarm = 0,  // unprofiled: today's behavior
+  kHot,       // top --hot-threshold fraction of profiled tramp cycles
+  kCold,      // profiled, but outside the hot set
+};
+const char* TierName(Tier tier);
 
 // Allow-list of instrumentation sites proven (by profiling) safe for the
 // (LowFat) component, keyed by original instruction address — stable across
@@ -58,11 +72,14 @@ struct PlannedCheck {
 };
 
 // A trampoline to install at `addr` running `checks` then the displaced
-// instruction.
+// instruction. The tier is the leader site's tier: it selects the payload's
+// register discipline (kCold saves everything) and which code region the
+// trampoline is emitted into (kHot goes to the inline-check region).
 struct PlannedTrampoline {
   uint64_t addr = 0;
   size_t insn_index = 0;
   std::vector<PlannedCheck> checks;
+  Tier tier = Tier::kWarm;
 };
 
 struct SiteRecord {
@@ -70,7 +87,36 @@ struct SiteRecord {
   uint64_t addr = 0;
   bool is_write = false;
   CheckKind kind = CheckKind::kRedzoneOnly;
+  Tier tier = Tier::kWarm;  // assigned by the tier pass; kWarm without a profile
 };
+
+// A prior run's per-site trampoline-cycle profile, joined against the plan
+// during the tier pass. `cycles_by_site` is keyed by the *profiled* image's
+// site ids; `sitemap` (optional) is that image's site table, used to re-join
+// by instruction address and to reject profiles taken from a different
+// binary (mismatching entries are ignored, never mis-tiered). Without a
+// sitemap, ids are joined directly — valid when the profile came from the
+// same input instrumented with the same planning options (site numbering is
+// deterministic).
+struct TierProfile {
+  std::unordered_map<uint32_t, uint64_t> cycles_by_site;
+  const std::vector<SiteRecord>* sitemap = nullptr;
+};
+
+struct TierStats {
+  size_t hot = 0;         // sites promoted to Tier::kHot
+  size_t cold = 0;        // sites demoted to Tier::kCold
+  size_t unknown = 0;     // profile ids with no such site (ignored)
+  size_t mismatched = 0;  // sitemap join failed addr/kind/rw (ignored)
+};
+
+// Assigns a tier to every site: profiled sites are ranked by cycles
+// (descending, site id breaking ties) and the minimal prefix reaching
+// `hot_threshold` of the total becomes kHot; the remaining profiled sites
+// become kCold; unprofiled sites stay kWarm. Zero-cycle profiles promote
+// nothing. Deterministic for any job count (pure function of the inputs).
+TierStats AssignSiteTiers(const TierProfile& profile, double hot_threshold,
+                          std::vector<SiteRecord>* sites);
 
 struct PlanStats {
   size_t mem_operands = 0;       // all explicit memory operands in the binary
@@ -148,6 +194,13 @@ std::vector<PlannedTrampoline> SingletonTrampolines(const Disassembly& dis,
 // unmodified since the leader (so all effective addresses can be evaluated
 // at the leader), with barriers at recovered jump targets and after
 // calls/hostcalls/traps.
+// Tiered leaders (kHot/kCold, i.e. profile present) additionally fold
+// induction-stepped operands: when every register of a later operand has
+// only been changed by constant add/sub immediates since the leader, the
+// check joins the batch with its displacement rebased by the accumulated
+// delta — the folded check evaluates the same effective address at the
+// leader. With every tier kWarm (no profile) the scan is bit-for-bit
+// today's algorithm.
 // Batches never cross basic-block boundaries, so with a pool the candidate
 // list is partitioned at block changes, each partition batched
 // independently, and the results concatenated — byte-identical to the

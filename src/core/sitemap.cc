@@ -9,11 +9,25 @@
 namespace redfat {
 
 std::string SerializeSiteMap(const std::vector<SiteRecord>& sites) {
-  std::string out = "# redfat site map: id addr rw kind\n";
+  // The tier column only appears when the tier pass actually ran (some site
+  // is non-warm), so untiered site maps stay byte-identical to older builds.
+  bool tiered = false;
   for (const SiteRecord& s : sites) {
-    out += StrFormat("%u 0x%llx %c %s\n", s.id, static_cast<unsigned long long>(s.addr),
+    if (s.tier != Tier::kWarm) {
+      tiered = true;
+      break;
+    }
+  }
+  std::string out = tiered ? "# redfat site map: id addr rw kind tier\n"
+                           : "# redfat site map: id addr rw kind\n";
+  for (const SiteRecord& s : sites) {
+    out += StrFormat("%u 0x%llx %c %s", s.id, static_cast<unsigned long long>(s.addr),
                      s.is_write ? 'w' : 'r',
                      s.kind == CheckKind::kFull ? "full" : "redzone");
+    if (tiered) {
+      out += StrFormat(" %s", TierName(s.tier));
+    }
+    out += "\n";
   }
   return out;
 }
@@ -28,7 +42,10 @@ Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lin
     unsigned long long addr = 0;
     char rw = 0;
     char kind[16] = {};
-    if (std::sscanf(line.c_str(), "%u %llx %c %15s", &id, &addr, &rw, kind) != 4) {
+    char tier[16] = {};
+    const int n =
+        std::sscanf(line.c_str(), "%u %llx %c %15s %15s", &id, &addr, &rw, kind, tier);
+    if (n != 4 && n != 5) {
       return Error(StrFormat("sitemap: malformed line: %s", line.c_str()));
     }
     SiteRecord s;
@@ -36,6 +53,17 @@ Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lin
     s.addr = addr;
     s.is_write = rw == 'w';
     s.kind = std::string(kind) == "full" ? CheckKind::kFull : CheckKind::kRedzoneOnly;
+    if (n == 5) {
+      const std::string t(tier);
+      if (t == "hot") {
+        s.tier = Tier::kHot;
+      } else if (t == "cold") {
+        s.tier = Tier::kCold;
+      } else if (t != "warm") {
+        return Error(StrFormat("sitemap: unknown tier '%s' in line: %s", tier,
+                               line.c_str()));
+      }
+    }
     sites.push_back(s);
   }
   return sites;
@@ -86,9 +114,9 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
     if (multi) {
       out += StrFormat("%12s ", "img");
     }
-    out += StrFormat("%6s %10s %2s %7s  %12s %8s %9s %9s %12s %7s\n", "site", "addr",
-                     "rw", "kind", "checks", "rz-hits", "lf-pass", "lf-fail",
-                     "tramp-cyc", "cyc%");
+    out += StrFormat("%6s %10s %2s %7s %4s  %12s %8s %9s %9s %12s %12s %7s\n",
+                     "site", "addr", "rw", "kind", "tier", "checks", "rz-hits",
+                     "lf-pass", "lf-fail", "tramp-cyc", "inline-cyc", "cyc%");
     for (const SiteTelemetry& st : snapshot.sites) {
       // Only multi-image runs emit packed keys; single-image site ids may
       // legitimately exceed the packed-site range and must stay plain.
@@ -107,9 +135,10 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
           rec != nullptr
               ? StrFormat("0x%llx", static_cast<unsigned long long>(rec->addr))
               : "?";
+      const uint64_t site_cycles = st.tramp_cycles() + st.inline_cycles();
       const std::string share =
           total_cycles != 0
-              ? StrFormat("%6.2f%%", 100.0 * static_cast<double>(st.tramp_cycles()) /
+              ? StrFormat("%6.2f%%", 100.0 * static_cast<double>(site_cycles) /
                                          static_cast<double>(total_cycles))
               : std::string("-");
       if (multi) {
@@ -120,14 +149,16 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
         out += StrFormat("%12s ", img_name.c_str());
       }
       out += StrFormat(
-          "%6u %10s %2s %7s  %12llu %8llu %9llu %9llu %12llu %7s\n", site_id,
-          addr.c_str(), rec != nullptr ? (rec->is_write ? "w" : "r") : "?",
+          "%6u %10s %2s %7s %4s  %12llu %8llu %9llu %9llu %12llu %12llu %7s\n",
+          site_id, addr.c_str(), rec != nullptr ? (rec->is_write ? "w" : "r") : "?",
           rec != nullptr ? (rec->kind == CheckKind::kFull ? "full" : "redzone") : "?",
+          rec != nullptr ? TierName(rec->tier) : "?",
           static_cast<unsigned long long>(st.checks()),
           static_cast<unsigned long long>(st.redzone_hits()),
           static_cast<unsigned long long>(st.lowfat_passes()),
           static_cast<unsigned long long>(st.lowfat_fails()),
-          static_cast<unsigned long long>(st.tramp_cycles()), share.c_str());
+          static_cast<unsigned long long>(st.tramp_cycles()),
+          static_cast<unsigned long long>(st.inline_cycles()), share.c_str());
     }
   }
   if (!snapshot.counters.empty()) {

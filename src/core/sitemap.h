@@ -4,6 +4,8 @@
 // metadata, so the tool writes it out-of-band).
 //
 // Text format, one line per site:  <id> <hex addr> <r|w> <full|redzone>
+// plus an optional trailing <warm|hot|cold> tier column, emitted only when
+// the rewrite was profile-tiered (so untiered maps match older builds).
 #ifndef REDFAT_SRC_CORE_SITEMAP_H_
 #define REDFAT_SRC_CORE_SITEMAP_H_
 

@@ -94,6 +94,10 @@ constexpr uint64_t SizeClassBytes(unsigned c) {
 inline constexpr uint64_t kRuntimeTableBase = 0x10000;   // SIZES/MAGICS/SHIFTS
 inline constexpr uint64_t kCodeBase = 0x400000;          // like a non-PIE ELF
 inline constexpr uint64_t kTrampolineBase = 0x400000 + 0x10000000;  // +256 MiB
+// Hot-tier (inline) check code lands this far above the image's trampoline
+// base: its own region so the VM can attribute inline-check cycles
+// separately from trampoline cycles, still within rel32 reach of the text.
+inline constexpr uint64_t kInlineCheckOffset = 0x4000000;  // +64 MiB
 inline constexpr uint64_t kStackTop = uint64_t{16} << 30;  // 16 GiB: >2 GiB from heap
 inline constexpr uint64_t kStackSize = 8ull << 20;         // 8 MiB
 

@@ -67,6 +67,10 @@ struct RewriteStats {
   size_t skipped_section_end = 0;     // not enough bytes before section end
   uint64_t trampoline_bytes = 0;
   size_t trampolines = 0;
+  // Hot-tier spans emitted into the separate inline-check region (zero
+  // without a tiering profile).
+  uint64_t inline_bytes = 0;
+  size_t inline_trampolines = 0;
 };
 
 // One accepted overwrite span: whole instructions covering the 5-byte jmp,

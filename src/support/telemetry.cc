@@ -15,6 +15,7 @@ const char* SiteEventName(SiteEvent ev) {
     case SiteEvent::kLowFatPasses: return "lowfat_passes";
     case SiteEvent::kLowFatFails: return "lowfat_fails";
     case SiteEvent::kTrampCycles: return "tramp_cycles";
+    case SiteEvent::kInlineCycles: return "inline_check_cycles";
   }
   REDFAT_FATAL("bad site event");
 }
@@ -264,6 +265,31 @@ Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json) {
     return Error("metrics json: trailing data");
   }
   return snap;
+}
+
+TelemetrySnapshot MergeTelemetrySnapshots(const std::vector<TelemetrySnapshot>& snapshots) {
+  TelemetrySnapshot out;
+  std::map<uint32_t, SiteTelemetry> merged;
+  for (const TelemetrySnapshot& snap : snapshots) {
+    for (const SiteTelemetry& s : snap.sites) {
+      SiteTelemetry& dst = merged[s.site];
+      dst.site = s.site;
+      for (size_t e = 0; e < kNumSiteEvents; ++e) {
+        dst.counts[e] += s.counts[e];
+      }
+    }
+    for (const auto& [name, value] : snap.counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      out.gauges[name] = value;  // last writer wins, in input order
+    }
+  }
+  out.sites.reserve(merged.size());
+  for (auto& [site, st] : merged) {
+    out.sites.push_back(st);
+  }
+  return out;
 }
 
 // --- TelemetryRegistry -----------------------------------------------------

@@ -40,8 +40,11 @@ enum class SiteEvent : uint8_t {
   kLowFatPasses,    // profiling mode: (LowFat) component passed
   kLowFatFails,     // profiling mode: (LowFat) component failed
   kTrampCycles,     // modeled cycles spent in the site's trampoline code
+  // Modeled cycles spent in the site's hot-tier (inline-check region) code.
+  // Appended last so older snapshots round-trip: absent keys read as 0.
+  kInlineCycles,
 };
-inline constexpr size_t kNumSiteEvents = 5;
+inline constexpr size_t kNumSiteEvents = 6;
 const char* SiteEventName(SiteEvent ev);
 
 // Multi-image runs (§7.4: an executable plus its shared objects) would
@@ -101,6 +104,7 @@ struct SiteTelemetry {
   uint64_t lowfat_passes() const { return counts[2]; }
   uint64_t lowfat_fails() const { return counts[3]; }
   uint64_t tramp_cycles() const { return counts[4]; }
+  uint64_t inline_cycles() const { return counts[5]; }
 };
 
 // A merged, point-in-time view of a registry. Serializes to the single-line
@@ -117,6 +121,12 @@ struct TelemetrySnapshot {
 };
 
 Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json);
+
+// Sums snapshots from several runs/processes into one profile: per-site
+// counts are added per (keyed) site id, named counters are added, gauges
+// take the last writer (per input order). The aggregation step of the
+// profile -> re-rewrite loop (`redfat --merge-metrics`).
+TelemetrySnapshot MergeTelemetrySnapshots(const std::vector<TelemetrySnapshot>& snapshots);
 
 // --- the registry ----------------------------------------------------------
 

@@ -11,8 +11,22 @@
 // --stats/--metrics/--trace/--sitemap emit one file per image with the
 // image's stem inserted before the extension (stats.json -> stats.foo.json).
 //
+// A third form aggregates telemetry snapshots from several runs into one
+// profile for `--profile=FILE` (counters summed per site):
+//
+//   redfat --merge-metrics out.json a.json b.json ...
+//
 // Options:
 //   --profile              emit profiling instrumentation (Fig. 5, step 1)
+//   --profile=FILE         tier checks using a prior run's --metrics
+//                          snapshot: hot sites get inline checks, cold
+//                          sites get demoted batches (see --hot-threshold)
+//   --profile-sitemap FILE site map saved with the profiled build; joins
+//                          profile site ids by address so a profile from a
+//                          differently-planned build is ignored rather
+//                          than mis-applied
+//   --hot-threshold=F      fraction of profiled trampoline cycles the hot
+//                          tier must cover (default 0.9)
 //   --allowlist FILE       allow-list file: one hex site address per line
 //   --profile-data FILE    build the allow-list from an `rfrun
 //                          --profile-dump` file (re-plans the input binary
@@ -42,6 +56,7 @@
 #include "src/core/redfat.h"
 #include "src/core/sitemap.h"
 #include "src/support/parallel.h"
+#include "src/support/str.h"
 #include "src/support/telemetry.h"
 #include "src/support/trace.h"
 #include "src/tools/tool_io.h"
@@ -52,12 +67,15 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: redfat [--profile] [--allowlist FILE | --profile-data FILE]\n"
+               "              [--profile=METRICS.json] [--profile-sitemap FILE]\n"
+               "              [--hot-threshold=F]\n"
                "              [--no-reads] [--no-size] [--no-lowfat] [--sitemap FILE]\n"
                "              [--no-elim] [--no-batch] [--no-merge] [--shadow]\n"
                "              [--jobs=N] [--time-passes] [--stats FILE] [-v]\n"
                "              [--metrics FILE] [--trace FILE]\n"
                "              input.rfbin output.rfbin\n"
-               "       redfat [options] --output-dir DIR input.rfbin[:0xBASE] ...\n");
+               "       redfat [options] --output-dir DIR input.rfbin[:0xBASE] ...\n"
+               "       redfat --merge-metrics out.json a.json b.json ...\n");
   return 2;
 }
 
@@ -110,6 +128,64 @@ std::string PerImagePath(const std::string& base, const std::string& stem) {
     return base + "." + stem;
   }
   return base.substr(0, dot) + "." + stem + base.substr(dot);
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  Result<std::vector<uint8_t>> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) {
+    return Error(bytes.error());
+  }
+  return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+// `redfat --merge-metrics out.json a.json b.json ...`: sums per-site
+// counters across several runs' --metrics snapshots into one profile.
+int MergeMetricsMain(const std::vector<std::string>& paths) {
+  if (paths.size() < 2) {
+    return Usage();
+  }
+  std::vector<TelemetrySnapshot> snaps;
+  for (size_t i = 1; i < paths.size(); ++i) {
+    Result<std::string> text = ReadWholeFile(paths[i]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", text.error().c_str());
+      return 1;
+    }
+    Result<TelemetrySnapshot> snap = TelemetrySnapshotFromJson(text.value());
+    if (!snap.ok()) {
+      std::fprintf(stderr, "redfat: %s: %s\n", paths[i].c_str(), snap.error().c_str());
+      return 1;
+    }
+    snaps.push_back(std::move(snap).value());
+  }
+  const TelemetrySnapshot merged = MergeTelemetrySnapshots(snaps);
+  const Status s = WriteTextFile(paths[0], merged.ToJson() + "\n");
+  if (!s.ok()) {
+    std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Loads a --metrics snapshot into the tier pass's input: plain (image-0)
+// site ids mapped to the cycles the site's checks cost at runtime.
+Result<TierProfile> TierProfileFromMetrics(const std::string& path) {
+  Result<std::string> text = ReadWholeFile(path);
+  if (!text.ok()) {
+    return Error(text.error());
+  }
+  Result<TelemetrySnapshot> snap = TelemetrySnapshotFromJson(text.value());
+  if (!snap.ok()) {
+    return Error(StrFormat("%s: %s", path.c_str(), snap.error().c_str()));
+  }
+  TierProfile profile;
+  for (const SiteTelemetry& st : snap.value().sites) {
+    if (ImageOfSiteKey(st.site) != 0) {
+      continue;  // multi-image keys: only the main image's sites apply
+    }
+    profile.cycles_by_site[st.site] = st.tramp_cycles() + st.inline_cycles();
+  }
+  return profile;
 }
 
 Result<AllowList> AllowListFromFile(const std::string& path) {
@@ -220,18 +296,40 @@ int Main(int argc, char** argv) {
   RedFatOptions opts;
   std::string allow_path;
   std::string profile_data_path;
+  std::string tier_profile_path;
+  std::string profile_sitemap_path;
   std::string sitemap_path;
   std::string stats_path;
   std::string metrics_path;
   std::string trace_path;
   std::string output_dir;
+  bool merge_metrics = false;
   bool time_passes = false;
   bool verbose = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--profile") {
+    // --profile=FILE (tiering input) first: bare --profile is Fig. 5's
+    // profiling-instrumentation mode, a different feature entirely.
+    if (arg.rfind("--profile=", 0) == 0) {
+      tier_profile_path = arg.substr(10);
+    } else if (arg == "--profile") {
       opts.mode = RedFatOptions::Mode::kProfile;
+    } else if (arg == "--profile-sitemap" && i + 1 < argc) {
+      profile_sitemap_path = argv[++i];
+    } else if (arg.rfind("--profile-sitemap=", 0) == 0) {
+      profile_sitemap_path = arg.substr(18);
+    } else if (arg.rfind("--hot-threshold=", 0) == 0) {
+      char* end = nullptr;
+      const double f = std::strtod(arg.c_str() + 16, &end);
+      if (end == arg.c_str() + 16 || *end != '\0' || f < 0.0 || f > 1.0) {
+        return Usage();
+      }
+      opts.hot_threshold = f;
+    } else if (arg == "--hot-threshold" && i + 1 < argc) {
+      opts.hot_threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--merge-metrics") {
+      merge_metrics = true;
     } else if (arg == "--no-reads") {
       opts.check_reads = false;
     } else if (arg == "--no-size") {
@@ -285,16 +383,19 @@ int Main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+  if (merge_metrics) {
+    return MergeMetricsMain(positional);
+  }
   if (!output_dir.empty()) {
     // Batch mode: every positional is an input; outputs land in output_dir.
     if (positional.empty()) {
       return Usage();
     }
     if (opts.mode == RedFatOptions::Mode::kProfile || !allow_path.empty() ||
-        !profile_data_path.empty()) {
+        !profile_data_path.empty() || !tier_profile_path.empty()) {
       std::fprintf(stderr,
-                   "redfat: --profile/--allowlist/--profile-data are single-image "
-                   "only (batch inputs have distinct site-id spaces)\n");
+                   "redfat: --profile/--allowlist/--profile-data/--profile=FILE are "
+                   "single-image only (batch inputs have distinct site-id spaces)\n");
       return 2;
     }
 
@@ -402,6 +503,35 @@ int Main(int argc, char** argv) {
     }
     allow = std::move(a).value();
     allow_ptr = &allow;
+  }
+
+  TierProfile tier_profile;
+  std::vector<SiteRecord> profile_sites;
+  if (!tier_profile_path.empty()) {
+    Result<TierProfile> p = TierProfileFromMetrics(tier_profile_path);
+    if (!p.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", p.error().c_str());
+      return 1;
+    }
+    tier_profile = std::move(p).value();
+    if (!profile_sitemap_path.empty()) {
+      Result<std::vector<std::string>> lines = ReadLines(profile_sitemap_path);
+      if (!lines.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", lines.error().c_str());
+        return 1;
+      }
+      Result<std::vector<SiteRecord>> parsed = ParseSiteMap(lines.value());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", parsed.error().c_str());
+        return 1;
+      }
+      profile_sites = std::move(parsed).value();
+      tier_profile.sitemap = &profile_sites;
+    }
+    opts.tier_profile = &tier_profile;
+  } else if (!profile_sitemap_path.empty()) {
+    std::fprintf(stderr, "redfat: --profile-sitemap requires --profile=FILE\n");
+    return 2;
   }
 
   RedFatTool tool(opts);

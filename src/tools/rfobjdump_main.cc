@@ -25,6 +25,7 @@ const char* SectionKindName(Section::Kind k) {
     case Section::Kind::kText: return ".text";
     case Section::Kind::kData: return ".data";
     case Section::Kind::kTrampoline: return ".redfat.tramp";
+    case Section::Kind::kInlineCheck: return ".redfat.inline";
   }
   return "?";
 }

@@ -19,8 +19,10 @@ void Vm::LoadImage(const BinaryImage& image) {
   const uint32_t ordinal = images_loaded_++;
   for (const Section& s : image.sections) {
     memory_.WriteBytes(s.vaddr, s.bytes.data(), s.bytes.size());
-    if (s.kind == Section::Kind::kTrampoline && !s.bytes.empty()) {
-      tramp_ranges_.push_back(TrampRange{s.vaddr, s.end_vaddr(), ordinal});
+    if ((s.kind == Section::Kind::kTrampoline || s.kind == Section::Kind::kInlineCheck) &&
+        !s.bytes.empty()) {
+      tramp_ranges_.push_back(TrampRange{s.vaddr, s.end_vaddr(), ordinal,
+                                         s.kind == Section::Kind::kInlineCheck});
     }
   }
   cpu_ = CpuState{};
@@ -37,12 +39,17 @@ void Vm::set_telemetry(TelemetryRegistry* t) {
 bool Vm::InTrampoline(uint64_t addr) const { return TrampImageAt(addr) >= 0; }
 
 int Vm::TrampImageAt(uint64_t addr) const {
+  const TrampRange* r = TrampRangeAt(addr);
+  return r != nullptr ? static_cast<int>(r->image) : -1;
+}
+
+const Vm::TrampRange* Vm::TrampRangeAt(uint64_t addr) const {
   for (const TrampRange& r : tramp_ranges_) {
     if (addr >= r.lo && addr < r.hi) {
-      return static_cast<int>(r.image);
+      return &r;
     }
   }
-  return -1;
+  return nullptr;
 }
 
 uint32_t Vm::SiteKeyFor(uint32_t site) const {
@@ -70,9 +77,10 @@ void Vm::OnCountSite(uint32_t site) {
 void Vm::FlushTrampolineVisit() {
   const uint64_t dur = cycles_ - t_entry_cycles_;
   t_in_tramp_ = false;
-  t_tramp_cycles_ += dur;
+  (t_inline_ ? t_inline_cycles_ : t_tramp_cycles_) += dur;
   if (tshard_ != nullptr && t_have_site_) {
-    tshard_->AddSite(SiteKeyFor(t_site_), SiteEvent::kTrampCycles, dur);
+    tshard_->AddSite(SiteKeyFor(t_site_),
+                     t_inline_ ? SiteEvent::kInlineCycles : SiteEvent::kTrampCycles, dur);
   }
   if (trace_ != nullptr) {
     std::vector<TraceArg> args;
@@ -86,11 +94,12 @@ void Vm::FlushTrampolineVisit() {
         args.push_back(TraceArg{"site_addr", it->second});
       }
     }
-    trace_->Complete("tramp", "check", kGuestPid, kGuestTid,
+    trace_->Complete(t_inline_ ? "inline" : "tramp", "check", kGuestPid, kGuestTid,
                      static_cast<double>(t_entry_cycles_), static_cast<double>(dur),
                      args);
   }
   t_image_ = 0;
+  t_inline_ = false;
 }
 
 const Vm::Exec* Vm::FetchDecode(uint64_t addr, std::string* fault) {
@@ -551,16 +560,22 @@ RunResult Vm::Run() {
       break;
     }
     if (track_tramp) {
-      const int tramp_image = TrampImageAt(cpu_.rip);
-      const bool now = tramp_image >= 0;
-      if (now != t_in_tramp_) {
+      const TrampRange* range = TrampRangeAt(cpu_.rip);
+      const bool now = range != nullptr;
+      // A visit also closes when rip crosses directly between ranges with a
+      // different attribution (trampoline vs inline region, or another
+      // image) — each visit's cycles must land on exactly one bucket.
+      if (now != t_in_tramp_ ||
+          (now && (range->inline_region != t_inline_ || range->image != t_image_))) {
+        if (t_in_tramp_) {
+          FlushTrampolineVisit();
+        }
         if (now) {
           t_in_tramp_ = true;
-          t_image_ = static_cast<uint32_t>(tramp_image);
+          t_inline_ = range->inline_region;
+          t_image_ = range->image;
           t_entry_cycles_ = cycles_;
           t_have_site_ = false;
-        } else {
-          FlushTrampolineVisit();
         }
       }
     }
@@ -589,6 +604,10 @@ RunResult Vm::Run() {
   if (telemetry_ != nullptr && t_tramp_cycles_ > t_tramp_reported_) {
     telemetry_->AddCounter("vm.trampoline_cycles", t_tramp_cycles_ - t_tramp_reported_);
     t_tramp_reported_ = t_tramp_cycles_;
+  }
+  if (telemetry_ != nullptr && t_inline_cycles_ > t_inline_reported_) {
+    telemetry_->AddCounter("vm.inline_check_cycles", t_inline_cycles_ - t_inline_reported_);
+    t_inline_reported_ = t_inline_cycles_;
   }
   res.reason = halt_reason_;
   res.exit_status = exit_status_;

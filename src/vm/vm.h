@@ -187,10 +187,13 @@ class Vm {
     unsigned length = 0;
   };
 
+  struct TrampRange;
   const Exec* FetchDecode(uint64_t addr, std::string* fault);
   bool InTrampoline(uint64_t addr) const;
   // Ordinal of the image whose trampoline section contains `addr`, or -1.
   int TrampImageAt(uint64_t addr) const;
+  // The trampoline/inline-check range containing `addr`, or null.
+  const TrampRange* TrampRangeAt(uint64_t addr) const;
   // Telemetry key for `site` in the current trampoline's image: plain in
   // single-image runs (back-compat), (image, site)-packed in multi-image
   // runs so per-library counters stay unambiguous (§7.4).
@@ -243,17 +246,23 @@ class Vm {
     uint64_t lo = 0;
     uint64_t hi = 0;
     uint32_t image = 0;
+    // True for the image's inline-check (hot-tier) region: its visits are
+    // attributed to SiteEvent::kInlineCycles instead of kTrampCycles.
+    bool inline_region = false;
   };
   std::vector<TrampRange> tramp_ranges_;
   const std::unordered_map<uint32_t, uint64_t>* site_addrs_ = nullptr;
   uint32_t images_loaded_ = 0;   // LoadImage calls; the next image's ordinal
   bool t_in_tramp_ = false;      // rip currently inside a trampoline section
+  bool t_inline_ = false;        // ... and that section is an inline-check region
   bool t_have_site_ = false;     // current visit has executed a Count yet
   uint32_t t_site_ = 0;          // last site counted in the current visit (plain id)
   uint32_t t_image_ = 0;         // image ordinal of the current trampoline
   uint64_t t_entry_cycles_ = 0;  // cycles_ when the current visit began
   uint64_t t_tramp_cycles_ = 0;  // total trampoline cycles, all visits
   uint64_t t_tramp_reported_ = 0;  // portion already pushed to the registry
+  uint64_t t_inline_cycles_ = 0;   // total inline-check cycles, all visits
+  uint64_t t_inline_reported_ = 0;  // portion already pushed to the registry
   uint64_t t_live_allocs_ = 0;   // malloc minus free (trace counter track)
 };
 

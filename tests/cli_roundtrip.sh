@@ -77,4 +77,21 @@ fi
 grep -q ".redfat.tramp" dis.txt || fail "no trampoline section in dump"
 grep -q "jump target" dis.txt || fail "no cfg annotations"
 
+# Profile-guided tiering: profile, merge two runs' metrics, re-rewrite.
+"$TOOLS/rfrun" --runtime=redfat --metrics=tier_a.json mcf.hard.rfbin 50 0x3f \
+    > /dev/null || fail "tier profiling run a"
+"$TOOLS/rfrun" --runtime=redfat --metrics=tier_b.json mcf.hard.rfbin 30 0x3f \
+    > /dev/null || fail "tier profiling run b"
+"$TOOLS/redfat" --merge-metrics tier_merged.json tier_a.json tier_b.json \
+    || fail "merge-metrics"
+grep -q '"tramp_cycles":[1-9]' tier_merged.json || fail "merged profile empty"
+"$TOOLS/redfat" --profile=tier_merged.json --sitemap tier.map \
+    mcf.rfbin mcf.tiered.rfbin || fail "tiered rewrite"
+grep -qE " (hot|cold)$" tier.map || fail "tiered sitemap missing tier column"
+"$TOOLS/rfrun" --runtime=redfat mcf.tiered.rfbin 50 0x3f > tiered_out.txt \
+    || fail "tiered run aborted on a clean program"
+cmp base_out.txt tiered_out.txt || fail "tiered output differs from baseline"
+"$TOOLS/rfobjdump" mcf.tiered.rfbin > tiered_dis.txt || fail "rfobjdump tiered"
+grep -q ".redfat.inline" tiered_dis.txt || fail "no inline-check section in dump"
+
 echo "cli_roundtrip: OK"

@@ -11,7 +11,7 @@ namespace redfat {
 namespace {
 
 const std::vector<std::string> kAllPasses = {
-    "disasm", "cfg",   "classify", "eliminate", "group",
+    "disasm", "cfg",   "classify", "eliminate", "group",    "tier",
     "batch",  "merge", "liveness", "codegen",   "patch",
 };
 
@@ -59,8 +59,19 @@ TEST(PipelineTest, HardeningRegistersAllPassesInOrder) {
   Pipeline p = Pipeline::Hardening(RedFatOptions{});
   EXPECT_EQ(p.PassNames(), kAllPasses);
   for (const std::string& name : kAllPasses) {
+    // tier only runs when a profile is supplied (--profile=FILE).
+    if (name == "tier") {
+      EXPECT_FALSE(p.IsEnabled(name)) << name;
+      continue;
+    }
     EXPECT_TRUE(p.IsEnabled(name)) << name;
   }
+
+  RedFatOptions with_profile;
+  static const TierProfile kEmptyProfile;
+  with_profile.tier_profile = &kEmptyProfile;
+  Pipeline tiered = Pipeline::Hardening(with_profile);
+  EXPECT_TRUE(tiered.IsEnabled("tier"));
 }
 
 TEST(PipelineTest, OptionFlagsDisableOptimizationPasses) {
@@ -256,9 +267,16 @@ TEST(PipelineStatsTest, RealRunProducesParseableStats) {
   RunHardening(SmallHeapProgram(), RedFatOptions{}, &stats);
   Result<PipelineStats> parsed = PipelineStatsFromJson(stats.ToJson());
   ASSERT_TRUE(parsed.ok()) << parsed.error();
-  EXPECT_EQ(parsed.value().passes.size(), kAllPasses.size());
-  for (size_t i = 0; i < kAllPasses.size(); ++i) {
-    EXPECT_EQ(parsed.value().passes[i].name, kAllPasses[i]);
+  // Disabled passes contribute no stats; tier is off without --profile.
+  std::vector<std::string> expected;
+  for (const std::string& name : kAllPasses) {
+    if (name != "tier") {
+      expected.push_back(name);
+    }
+  }
+  ASSERT_EQ(parsed.value().passes.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parsed.value().passes[i].name, expected[i]);
   }
   const PassStats* disasm = parsed.value().Find("disasm");
   ASSERT_NE(disasm, nullptr);

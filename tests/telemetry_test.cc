@@ -102,7 +102,8 @@ TEST(TelemetryTest, SnapshotToJsonGolden) {
   EXPECT_EQ(reg.Snapshot().ToJson(),
             "{\"counters\":{\"vm.runs\":1},\"gauges\":{\"lowfat.allocs\":4},"
             "\"sites\":[{\"id\":5,\"checks\":9,\"redzone_hits\":2,"
-            "\"lowfat_passes\":0,\"lowfat_fails\":0,\"tramp_cycles\":0}]}");
+            "\"lowfat_passes\":0,\"lowfat_fails\":0,\"tramp_cycles\":0,"
+            "\"inline_check_cycles\":0}]}");
 }
 
 TEST(TelemetryTest, SnapshotJsonRoundTrip) {
@@ -387,6 +388,61 @@ TEST(TelemetryBridges, ReportJoinsSitesTelemetryAndPipeline) {
   const std::string bare =
       FormatTelemetryReport(TelemetrySnapshot{}, nullptr, nullptr, 0);
   EXPECT_NE(bare.find("no site events recorded"), std::string::npos);
+}
+
+// --- snapshot merging (--merge-metrics) -------------------------------------
+
+TelemetrySnapshot SnapWith(uint32_t site, SiteEvent ev, uint64_t n) {
+  TelemetrySnapshot s;
+  SiteTelemetry st;
+  st.site = site;
+  st.counts[static_cast<size_t>(ev)] = n;
+  s.sites.push_back(st);
+  return s;
+}
+
+TEST(TelemetryMerge, SumsSiteCountsPerKeyedId) {
+  TelemetrySnapshot a = SnapWith(3, SiteEvent::kTrampCycles, 100);
+  a.sites[0].counts[static_cast<size_t>(SiteEvent::kChecks)] = 7;
+  TelemetrySnapshot b = SnapWith(3, SiteEvent::kTrampCycles, 50);
+  b.sites.push_back(SiteTelemetry{});
+  b.sites[1].site = 9;
+  b.sites[1].counts[static_cast<size_t>(SiteEvent::kInlineCycles)] = 4;
+
+  const TelemetrySnapshot m = MergeTelemetrySnapshots({a, b});
+  ASSERT_EQ(m.sites.size(), 2u);
+  EXPECT_EQ(m.sites[0].site, 3u);
+  EXPECT_EQ(m.sites[0].tramp_cycles(), 150u);
+  EXPECT_EQ(m.sites[0].checks(), 7u);
+  EXPECT_EQ(m.sites[1].site, 9u);
+  EXPECT_EQ(m.sites[1].inline_cycles(), 4u);
+}
+
+TEST(TelemetryMerge, SumsCountersGaugesLastWriterWins) {
+  TelemetrySnapshot a;
+  a.counters["vm.runs"] = 1;
+  a.gauges["lowfat.allocs"] = 10;
+  TelemetrySnapshot b;
+  b.counters["vm.runs"] = 2;
+  b.counters["vm.cycles"] = 99;
+  b.gauges["lowfat.allocs"] = 20;
+
+  const TelemetrySnapshot m = MergeTelemetrySnapshots({a, b});
+  EXPECT_EQ(m.counters.at("vm.runs"), 3u);
+  EXPECT_EQ(m.counters.at("vm.cycles"), 99u);
+  EXPECT_EQ(m.gauges.at("lowfat.allocs"), 20.0);
+}
+
+TEST(TelemetryMerge, EmptyInputsYieldEmptySnapshot) {
+  const TelemetrySnapshot m = MergeTelemetrySnapshots({});
+  EXPECT_TRUE(m.sites.empty());
+  EXPECT_TRUE(m.counters.empty());
+
+  // Merging one snapshot round-trips its contents.
+  TelemetrySnapshot a = SnapWith(1, SiteEvent::kChecks, 5);
+  const TelemetrySnapshot one = MergeTelemetrySnapshots({a});
+  ASSERT_EQ(one.sites.size(), 1u);
+  EXPECT_EQ(one.sites[0].checks(), 5u);
 }
 
 }  // namespace
