@@ -9,6 +9,7 @@
 #define REDFAT_SRC_CORE_HARNESS_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,15 @@ struct RunConfig {
   uint64_t rng_seed = 1;
   uint64_t instruction_limit = 200'000'000'000ULL;
   CycleModel model;
+  // Dispatch engine. kBlock (superblock code cache) is the production
+  // default; kStep remains for differential testing. Guest-visible results
+  // are bit-identical either way.
+  VmEngine engine = VmEngine::kBlock;
+  // When nonzero, `on_epoch` fires every `metrics_epoch` guest instructions
+  // (exactly — never mid-instruction, and at the same points under either
+  // engine). Used by rfrun --metrics-epoch to write delta snapshots.
+  uint64_t metrics_epoch = 0;
+  std::function<void()> on_epoch;
   // Optional observability sinks (not owned). When set, the harness wires
   // them into the VM, records run-level counters (vm.instructions, vm.cycles,
   // ...), samples heap gauges after the run, and emits guest trace slices.

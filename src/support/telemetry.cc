@@ -292,6 +292,38 @@ TelemetrySnapshot MergeTelemetrySnapshots(const std::vector<TelemetrySnapshot>& 
   return out;
 }
 
+TelemetrySnapshot DeltaTelemetrySnapshot(const TelemetrySnapshot& cur,
+                                         const TelemetrySnapshot& prev) {
+  TelemetrySnapshot out;
+  for (const SiteTelemetry& s : cur.sites) {
+    const SiteTelemetry* p = prev.FindSite(s.site);
+    SiteTelemetry d;
+    d.site = s.site;
+    bool any = false;
+    for (size_t e = 0; e < kNumSiteEvents; ++e) {
+      d.counts[e] = s.counts[e] - (p != nullptr ? p->counts[e] : 0);
+      any = any || d.counts[e] != 0;
+    }
+    if (any) {
+      out.sites.push_back(d);  // cur.sites is sorted, so out stays sorted
+    }
+  }
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev.counters.find(name);
+    const uint64_t d = value - (it != prev.counters.end() ? it->second : 0);
+    // A zero delta is kept when the counter is new this epoch (e.g. a
+    // zero-valued vm.mem_errors): merged epochs must reproduce the one-shot
+    // snapshot's key set, not just its sums.
+    if (d != 0 || it == prev.counters.end()) {
+      out.counters[name] = d;
+    }
+  }
+  // Gauges are point samples, not accumulators: the epoch reports cur's
+  // values as-is, and merge's last-writer-wins keeps the final sample.
+  out.gauges = cur.gauges;
+  return out;
+}
+
 // --- TelemetryRegistry -----------------------------------------------------
 
 namespace {

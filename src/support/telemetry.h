@@ -128,6 +128,15 @@ Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json);
 // profile -> re-rewrite loop (`redfat --merge-metrics`).
 TelemetrySnapshot MergeTelemetrySnapshots(const std::vector<TelemetrySnapshot>& snapshots);
 
+// cur - prev for the monotonic parts (per-site counts and named counters;
+// entries that delta to all-zero are dropped), while gauges keep cur's
+// absolute values (they are samples, not accumulators). Streaming epochs
+// (`rfrun --metrics-epoch`) chain these so that merging every epoch file
+// with MergeTelemetrySnapshots reproduces the one-shot snapshot exactly:
+// counts telescope, and last-writer-wins leaves the final gauge sample.
+TelemetrySnapshot DeltaTelemetrySnapshot(const TelemetrySnapshot& cur,
+                                         const TelemetrySnapshot& prev);
+
 // --- the registry ----------------------------------------------------------
 
 class TelemetryRegistry {

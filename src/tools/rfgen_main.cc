@@ -5,6 +5,7 @@
 //   rfgen kraken NAME out.rfbin
 //   rfgen cve NAME out.rfbin          # prints attack/benign inputs
 //   rfgen synth SEED out.rfbin        # generic synthetic program
+//   rfgen server SEED out.rfbin       # request/response heap-churn server
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +27,9 @@ int Usage() {
                "       rfgen kraken NAME out.rfbin\n"
                "       rfgen cve NAME out.rfbin\n"
                "       rfgen synth SEED out.rfbin\n"
-               "Programs read inputs[0]=iterations, inputs[1]=mode (SPEC/Kraken/synth).\n");
+               "       rfgen server SEED out.rfbin\n"
+               "Programs read inputs[0]=iterations, inputs[1]=mode (SPEC/Kraken/synth);\n"
+               "the server program reads inputs[0]=requests.\n");
   return 2;
 }
 
@@ -106,6 +109,11 @@ int Main(int argc, char** argv) {
     SynthParams p;
     p.seed = std::strtoull(name.c_str(), nullptr, 0);
     return Save(GenerateSynthProgram(p), out);
+  }
+  if (cmd == "server") {
+    ServerParams p;
+    p.seed = std::strtoull(name.c_str(), nullptr, 0);
+    return Save(GenerateServerProgram(p), out);
   }
   return Usage();
 }

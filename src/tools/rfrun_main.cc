@@ -13,6 +13,16 @@
 //   --metrics FILE         unified telemetry snapshot JSON: per-site check/
 //                          hit/cycle counters, run counters, heap gauges
 //                          ('-' = stdout)
+//   --metrics-epoch=N      with --metrics FILE: additionally stream delta
+//                          snapshots every N guest instructions, written to
+//                          FILE with ".json" replaced by ".<epoch>.json"
+//                          (0-based). Each epoch file holds only that
+//                          epoch's new events, so merging every epoch with
+//                          `redfat --merge-metrics` reproduces the one-shot
+//                          FILE exactly
+//   --engine=step|block    interpreter dispatch engine (default: block, the
+//                          superblock code cache; step is the reference
+//                          per-instruction loop — results are bit-identical)
 //   --trace FILE           Chrome trace-event JSON of the run (trampoline
 //                          slices, allocator events; guest cycles as µs)
 //   --report               human-readable per-site report on stdout, joining
@@ -52,6 +62,7 @@ int Usage() {
                "usage: rfrun [--runtime=baseline|redfat|redfat-shadow|memcheck]\n"
                "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
                "             [--seed N] [--limit N] [--stats] [--metrics FILE]\n"
+               "             [--metrics-epoch=N] [--engine=step|block]\n"
                "             [--trace FILE] [--report] [--pipeline-stats FILE]\n"
                "             [--lib FILE[:SITEMAP]]...\n"
                "             prog.rfbin [input...]\n");
@@ -123,6 +134,19 @@ int Main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(10);
+    } else if (arg.rfind("--metrics-epoch=", 0) == 0) {
+      cfg.metrics_epoch = std::strtoull(arg.substr(16).c_str(), nullptr, 0);
+    } else if (arg == "--metrics-epoch" && i + 1 < argc) {
+      cfg.metrics_epoch = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      const std::string engine = arg.substr(9);
+      if (engine == "step") {
+        cfg.engine = VmEngine::kStep;
+      } else if (engine == "block") {
+        cfg.engine = VmEngine::kBlock;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -208,6 +232,41 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Streaming epochs: every N guest instructions, write the *delta* since
+  // the previous epoch to "<metrics stem>.<epoch>.json". The final epoch —
+  // the tail of the run plus the run-level counters/gauges the harness adds
+  // after Vm::Run returns — is written once the run completes, so merging
+  // every epoch file reproduces the one-shot --metrics snapshot.
+  uint32_t epoch_index = 0;
+  TelemetrySnapshot epoch_prev;
+  bool epoch_write_failed = false;
+  std::string epoch_stem;
+  if (cfg.metrics_epoch != 0) {
+    if (metrics_path.empty() || metrics_path == "-") {
+      std::fprintf(stderr, "rfrun: --metrics-epoch requires --metrics FILE\n");
+      return 2;
+    }
+    epoch_stem = metrics_path;
+    const std::string suffix = ".json";
+    if (epoch_stem.size() > suffix.size() &&
+        epoch_stem.compare(epoch_stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      epoch_stem.resize(epoch_stem.size() - suffix.size());
+    }
+    cfg.telemetry = &telemetry;
+    cfg.on_epoch = [&]() {
+      const TelemetrySnapshot cur = telemetry.Snapshot();
+      const std::string path = StrFormat("%s.%u.json", epoch_stem.c_str(), epoch_index);
+      const Status s =
+          WriteTextFile(path, DeltaTelemetrySnapshot(cur, epoch_prev).ToJson() + "\n");
+      if (!s.ok()) {
+        std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+        epoch_write_failed = true;
+      }
+      epoch_prev = cur;
+      ++epoch_index;
+    };
+  }
+
   RunOutcome out;
   if (runtime == "memcheck") {
     if (!libs.empty()) {
@@ -263,6 +322,20 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(out.result.explicit_reads),
                  static_cast<unsigned long long>(out.result.explicit_writes),
                  static_cast<unsigned long long>(out.touched_pages));
+  }
+  if (cfg.metrics_epoch != 0) {
+    // The closing epoch: events since the last boundary plus the harness's
+    // post-run vm.* counters and heap gauges.
+    const TelemetrySnapshot cur = telemetry.Snapshot();
+    const std::string path = StrFormat("%s.%u.json", epoch_stem.c_str(), epoch_index);
+    const Status s =
+        WriteTextFile(path, DeltaTelemetrySnapshot(cur, epoch_prev).ToJson() + "\n");
+    if (!s.ok() || epoch_write_failed) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      }
+      return 1;
+    }
   }
   if (!metrics_path.empty()) {
     const Status s = WriteTextFile(metrics_path, telemetry.Snapshot().ToJson() + "\n");

@@ -74,6 +74,13 @@ void Memory::Fill(uint64_t addr, uint8_t value, uint64_t n) {
     const uint64_t a = addr + done;
     const uint64_t in_page = a & (kPageSize - 1);
     const uint64_t chunk = std::min<uint64_t>(kPageSize - in_page, n - done);
+    // Zero-filling an absent page is a no-op: untouched memory already reads
+    // as 0, so a guest memset(p, 0, n) over a lazily-mapped region must not
+    // materialize every page it sweeps.
+    if (value == 0 && FindPage(a >> kPageShift) == nullptr) {
+      done += chunk;
+      continue;
+    }
     Page* p = TouchPage(a >> kPageShift);
     std::memset(p->data() + in_page, value, chunk);
     done += chunk;

@@ -3,6 +3,13 @@
 // The guest address space follows the paper's layout literally (32 GiB
 // low-fat regions, stacks and code far below them), which only works because
 // pages are materialized lazily: an untouched 32 GiB region costs nothing.
+//
+// A direct-mapped software TLB sits in front of the page map: the aligned
+// Read/Write fast path is an index, a tag compare and a memcpy, falling back
+// to the unordered_map only on a TLB miss. Page objects are individually
+// heap-allocated and never freed for the lifetime of the Memory, so cached
+// pointers stay valid across map rehashes; absent pages are deliberately not
+// cached (a later Write could materialize them behind the TLB's back).
 #ifndef REDFAT_SRC_VM_MEMORY_H_
 #define REDFAT_SRC_VM_MEMORY_H_
 
@@ -39,24 +46,60 @@ class Memory {
   // Number of pages ever materialized (a proxy for resident memory).
   size_t TouchedPages() const { return pages_.size(); }
 
+  // Drops every cached translation. Pages themselves are untouched; this
+  // only forces the next access per page through the map again (image
+  // reload hygiene — correctness never depends on it, because pages are
+  // never deallocated and writes refresh their own entries).
+  void InvalidateTlb() const {
+    for (TlbEntry& e : tlb_) {
+      e = TlbEntry{};
+    }
+  }
+
  private:
   using Page = std::array<uint8_t, kPageSize>;
 
+  static constexpr size_t kTlbSize = 256;  // direct-mapped, tagged by page no
+  static constexpr uint64_t kEmptyTag = ~uint64_t{0};  // page no 2^52 max
+
+  struct TlbEntry {
+    uint64_t tag = kEmptyTag;
+    Page* page = nullptr;
+  };
+
   const Page* FindPage(uint64_t page_no) const {
+    TlbEntry& e = tlb_[page_no & (kTlbSize - 1)];
+    if (e.tag == page_no) {
+      return e.page;
+    }
     auto it = pages_.find(page_no);
-    return it == pages_.end() ? nullptr : it->second.get();
+    if (it == pages_.end()) {
+      return nullptr;
+    }
+    e.tag = page_no;
+    e.page = it->second.get();
+    return e.page;
   }
 
   Page* TouchPage(uint64_t page_no) {
+    TlbEntry& e = tlb_[page_no & (kTlbSize - 1)];
+    if (e.tag == page_no) {
+      return e.page;
+    }
     std::unique_ptr<Page>& p = pages_[page_no];
     if (!p) {
       p = std::make_unique<Page>();
       p->fill(0);
     }
+    e.tag = page_no;
+    e.page = p.get();
     return p.get();
   }
 
   std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  // The TLB is a cache, not state: filling it from const reads is fine
+  // (single-threaded like the Vm that owns this Memory).
+  mutable std::array<TlbEntry, kTlbSize> tlb_;
 };
 
 }  // namespace redfat

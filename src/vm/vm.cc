@@ -28,7 +28,11 @@ void Vm::LoadImage(const BinaryImage& image) {
   cpu_ = CpuState{};
   cpu_.rip = image.entry;
   cpu_.Set(Reg::kRsp, kStackTop - 64);
+  // New code bytes invalidate every decoded view of memory: the step
+  // engine's per-address cache, the superblock cache, and the memory TLB.
   icache_.clear();
+  block_cache_.clear();
+  memory_.InvalidateTlb();
 }
 
 void Vm::set_telemetry(TelemetryRegistry* t) {
@@ -121,6 +125,52 @@ const Vm::Exec* Vm::FetchDecode(uint64_t addr, std::string* fault) {
   auto [pos, inserted] = icache_.emplace(addr, ex);
   (void)inserted;
   return &pos->second;
+}
+
+const Vm::Block* Vm::FetchBlock(uint64_t addr, std::string* fault) {
+  if (block_cache_.empty()) {
+    block_cache_.resize(kBlockCacheSize);
+  }
+  Block& b = block_cache_[addr & (kBlockCacheSize - 1)];
+  if (b.entry == addr) {
+    return &b;
+  }
+  // Direct-mapped: a colliding resident block is simply rebuilt over.
+  b.entry = ~uint64_t{0};
+  b.execs.clear();
+  const TrampRange* entry_range = TrampRangeAt(addr);
+  uint64_t cur = addr;
+  uint8_t buf[16];
+  while (b.execs.size() < kMaxBlockInsns) {
+    // Never span a trampoline/inline-region boundary: one range
+    // classification at block entry must hold for every instruction in it.
+    if (cur != addr && TrampRangeAt(cur) != entry_range) {
+      break;
+    }
+    memory_.ReadBytes(cur, buf, sizeof(buf));
+    Result<Decoded> d = Decode(buf, sizeof(buf));
+    if (!d.ok()) {
+      if (b.execs.empty()) {
+        *fault = StrFormat("fetch at 0x%llx: %s", static_cast<unsigned long long>(cur),
+                           d.error().c_str());
+        return nullptr;
+      }
+      // End the block cleanly before the undecodable instruction; the next
+      // dispatch at its address reproduces the step engine's fetch fault.
+      break;
+    }
+    Exec ex;
+    ex.insn = d.value().insn;
+    ex.length = d.value().length;
+    b.execs.push_back(ex);
+    cur += ex.length;
+    const Op op = ex.insn.op;
+    if (IsControlFlow(op) || op == Op::kHostCall || op == Op::kTrap || op == Op::kHlt) {
+      break;  // superblock terminator (kUd2 faults in ExecuteOne instead)
+    }
+  }
+  b.entry = addr;
+  return &b;
 }
 
 uint64_t Vm::EffectiveAddress(const MemOperand& mem, uint64_t next_rip) const {
@@ -546,9 +596,7 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
   return true;
 }
 
-RunResult Vm::Run() {
-  halt_ = false;
-  RunResult res;
+void Vm::RunStepLoop(RunResult* res) {
   std::string fault;
   // Trampoline-visit tracking is only worth per-instruction work when a sink
   // is attached AND the loaded image actually has trampoline code.
@@ -582,7 +630,7 @@ RunResult Vm::Run() {
     const Exec* ex = FetchDecode(cpu_.rip, &fault);
     if (ex == nullptr) {
       halt_reason_ = HaltReason::kFault;
-      res.fault_message = fault;
+      res->fault_message = fault;
       break;
     }
     if (observer_ != nullptr) {
@@ -594,9 +642,111 @@ RunResult Vm::Run() {
     ++instructions_;
     if (!ExecuteOne(*ex, &fault)) {
       halt_reason_ = HaltReason::kFault;
-      res.fault_message = fault;
+      res->fault_message = fault;
       break;
     }
+    if (epoch_every_ != 0 && instructions_ == epoch_next_) {
+      epoch_hook_();
+      epoch_next_ += epoch_every_;
+    }
+  }
+}
+
+void Vm::RunBlockLoop(RunResult* res) {
+  std::string fault;
+  const bool track_tramp =
+      (tshard_ != nullptr || trace_ != nullptr) && !tramp_ranges_.empty();
+  while (!halt_) {
+    if (instructions_ >= instruction_limit_) {
+      halt_reason_ = HaltReason::kInstrLimit;
+      break;
+    }
+    if (track_tramp) {
+      // Blocks never span a trampoline/inline-region boundary and end at
+      // every control transfer, so rip's range can only change at a block
+      // entry: one classification here is exactly equivalent to the step
+      // engine's per-instruction check.
+      const TrampRange* range = TrampRangeAt(cpu_.rip);
+      const bool now = range != nullptr;
+      if (now != t_in_tramp_ ||
+          (now && (range->inline_region != t_inline_ || range->image != t_image_))) {
+        if (t_in_tramp_) {
+          FlushTrampolineVisit();
+        }
+        if (now) {
+          t_in_tramp_ = true;
+          t_inline_ = range->inline_region;
+          t_image_ = range->image;
+          t_entry_cycles_ = cycles_;
+          t_have_site_ = false;
+        }
+      }
+    }
+    const Block* block = FetchBlock(cpu_.rip, &fault);
+    if (block == nullptr) {
+      halt_reason_ = HaltReason::kFault;
+      res->fault_message = fault;
+      break;
+    }
+    // Cap the dispatch count so the instruction limit and any epoch boundary
+    // halt at the exact same instruction as under the step engine; the
+    // block's tail re-enters through FetchBlock (as a fresh tail block) on
+    // the next iteration.
+    uint64_t stop_at = instruction_limit_;
+    if (epoch_every_ != 0 && epoch_next_ < stop_at) {
+      stop_at = epoch_next_;
+    }
+    const uint64_t budget = stop_at - instructions_;
+    const size_t n = budget < block->execs.size() ? static_cast<size_t>(budget)
+                                                  : block->execs.size();
+    bool faulted = false;
+    if (observer_ == nullptr) {
+      // Hot path: dispatch the decoded run back to back.
+      for (size_t i = 0; i < n; ++i) {
+        ++instructions_;
+        if (!ExecuteOne(block->execs[i], &fault)) {
+          faulted = true;
+          break;
+        }
+        if (halt_) {
+          break;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        cycles_ += observer_->OnInstruction(*this, cpu_.rip, block->execs[i].insn);
+        if (halt_) {
+          break;  // observer reported a fatal memory error (Policy::kHarden)
+        }
+        ++instructions_;
+        if (!ExecuteOne(block->execs[i], &fault)) {
+          faulted = true;
+          break;
+        }
+        if (halt_) {
+          break;
+        }
+      }
+    }
+    if (faulted) {
+      halt_reason_ = HaltReason::kFault;
+      res->fault_message = fault;
+      break;
+    }
+    if (epoch_every_ != 0 && instructions_ == epoch_next_) {
+      epoch_hook_();
+      epoch_next_ += epoch_every_;
+    }
+  }
+}
+
+RunResult Vm::Run() {
+  halt_ = false;
+  RunResult res;
+  if (engine_ == VmEngine::kBlock) {
+    RunBlockLoop(&res);
+  } else {
+    RunStepLoop(&res);
   }
   if (t_in_tramp_) {
     FlushTrampolineVisit();  // run ended (halt/fault/limit) inside a trampoline

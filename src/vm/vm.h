@@ -82,6 +82,24 @@ struct CycleModel {
   uint64_t membyte_per8 = 1;  // memset/memcpy marginal cost per 8 bytes
 };
 
+// How Vm::Run dispatches guest instructions.
+//
+//   * kStep  — the reference interpreter: per-instruction fetch through an
+//              address-keyed decode cache (an unordered_map lookup each
+//              instruction).
+//   * kBlock — the superblock engine: straight-line decoded runs (terminated
+//              at any control transfer, hostcall or trap) stored contiguously
+//              in a direct-mapped, entry-address-keyed code cache, so the
+//              steady state executes Exec[] arrays with zero map lookups and
+//              per-block (not per-instruction) trampoline-range
+//              classification.
+//
+// The two engines are bit-identical by contract: instructions, cycles,
+// explicit reads/writes, telemetry counters, trace slices, mem-error reports
+// and prof counts all match exactly for any program (asserted by
+// tests/vm_engine_test.cc). kStep stays selectable for differential testing.
+enum class VmEngine { kStep, kBlock };
+
 enum class HaltReason {
   kExit,          // guest called exit()
   kHlt,           // executed hlt
@@ -142,6 +160,19 @@ class Vm {
   }
   void set_rng_seed(uint64_t seed) { rng_ = Rng(seed); }
   void set_instruction_limit(uint64_t limit) { instruction_limit_ = limit; }
+  void set_engine(VmEngine e) { engine_ = e; }
+  VmEngine engine() const { return engine_; }
+
+  // Fires `hook` every `every` executed guest instructions (at the exact
+  // instruction boundary, identically under both engines), e.g. to cut
+  // periodic telemetry snapshots. The hook runs on the VM thread between
+  // instructions; it must not mutate guest state and charges no cycles.
+  // every == 0 disables.
+  void set_epoch_hook(uint64_t every, std::function<void()> hook) {
+    epoch_every_ = every;
+    epoch_hook_ = std::move(hook);
+    epoch_next_ = instructions_ + every;
+  }
 
   // Optional observability sinks; null (the default) disables the
   // corresponding tracking entirely. Neither affects modeled cycles — an
@@ -187,8 +218,27 @@ class Vm {
     unsigned length = 0;
   };
 
+  // A superblock: decoded straight-line instruction run starting at `entry`.
+  // Blocks end at the first control transfer / hostcall / trap / hlt (that
+  // terminator is the block's last instruction), at a decode failure (the
+  // undecodable instruction is NOT part of the block — re-dispatching at its
+  // address reproduces the step engine's fault), at kMaxBlockInsns, and at
+  // any trampoline/inline-region boundary, so one range classification holds
+  // for the whole block.
+  struct Block {
+    uint64_t entry = ~uint64_t{0};  // tag; ~0 = empty slot
+    std::vector<Exec> execs;
+  };
+  static constexpr size_t kBlockCacheSize = 4096;  // direct-mapped entries
+  static constexpr size_t kMaxBlockInsns = 128;
+
   struct TrampRange;
   const Exec* FetchDecode(uint64_t addr, std::string* fault);
+  // Returns the (possibly rebuilt) superblock entered at `addr`, or null on
+  // an immediate decode fault (same message as FetchDecode's).
+  const Block* FetchBlock(uint64_t addr, std::string* fault);
+  void RunStepLoop(RunResult* res);
+  void RunBlockLoop(RunResult* res);
   bool InTrampoline(uint64_t addr) const;
   // Ordinal of the image whose trampoline section contains `addr`, or -1.
   int TrampImageAt(uint64_t addr) const;
@@ -224,7 +274,13 @@ class Vm {
   std::vector<MemErrorReport> mem_errors_;
   std::unordered_map<uint32_t, uint64_t> counters_;
   std::unordered_map<uint32_t, ProfCounts> prof_counts_;
-  std::unordered_map<uint64_t, Exec> icache_;
+  std::unordered_map<uint64_t, Exec> icache_;     // step engine decode cache
+  std::vector<Block> block_cache_;                // block engine, lazily sized
+
+  VmEngine engine_ = VmEngine::kBlock;
+  uint64_t epoch_every_ = 0;
+  uint64_t epoch_next_ = 0;
+  std::function<void()> epoch_hook_;
 
   uint64_t instruction_limit_ = 200'000'000'000ULL;
   uint64_t instructions_ = 0;

@@ -521,10 +521,151 @@ BinaryImage SynthBuilder::Build() {
   return pb_.Finish();
 }
 
+// Server workload register roles (hostcalls clobber rax, read rdi/rsi/rdx):
+//   r8  requests remaining        r12 queue head index
+//   r15 checksum                  r13 queue tail index
+//   rbx LCG state                 r14 live request count
+//   r9  queue base address        rbp/r10/r11/rcx scratch
+class ServerBuilder {
+ public:
+  explicit ServerBuilder(const ServerParams& p) : p_(p) {}
+
+  BinaryImage Build() {
+    REDFAT_CHECK(p_.queue_slots >= 2);
+    REDFAT_CHECK(p_.consume_threshold >= 1 && p_.consume_threshold <= p_.queue_slots);
+    REDFAT_CHECK(p_.min_request_bytes >= 16 && p_.min_request_bytes % 8 == 0);
+
+    // Ring queue: queue_slots slots of {ptr, len_bytes}.
+    queue_addr_ = pb_.AddZeroData(16 * p_.queue_slots);
+
+    Assembler& a = pb_.text();
+    auto main_l = a.NewLabel();
+    consume_l_ = a.NewLabel();
+    a.Jmp(main_l);
+    EmitConsumeHelper();
+
+    a.Bind(main_l);
+    a.HostCall(HostFn::kInputU64);  // inputs[0]: number of requests
+    a.MovRR(Reg::kR8, Reg::kRax);
+    a.MovRI(Reg::kRbx, p_.seed | 1);
+    a.MovRI(Reg::kR12, 0);
+    a.MovRI(Reg::kR13, 0);
+    a.MovRI(Reg::kR14, 0);
+    a.MovRI(Reg::kR15, 0);
+    a.MovRI(Reg::kR9, queue_addr_);
+
+    auto loop_head = a.NewLabel();
+    auto drain = a.NewLabel();
+    a.Bind(loop_head);
+    a.CmpI(Reg::kR8, 0);
+    a.Jcc(Cond::kEq, drain);
+
+    // Produce one request. LCG step (Knuth MMIX constants), sized from the
+    // generator's high bits so consecutive requests differ.
+    a.MovRI(Reg::kRcx, 6364136223846793005ULL);
+    a.Imul(Reg::kRbx, Reg::kRcx);
+    a.MovRI(Reg::kRcx, 1442695040888963407ULL);
+    a.Add(Reg::kRbx, Reg::kRcx);
+    a.MovRR(Reg::kR10, Reg::kRbx);
+    a.ShrI(Reg::kR10, 33);
+    a.AndI(Reg::kR10, static_cast<int32_t>(p_.size_mask));
+    a.ShlI(Reg::kR10, 3);
+    a.AddI(Reg::kR10, static_cast<int32_t>(p_.min_request_bytes));  // bytes
+    a.MovRR(Reg::kR11, Reg::kR10);
+    a.MovRR(Reg::kRdi, Reg::kR10);
+    a.HostCall(HostFn::kMalloc);
+    a.MovRR(Reg::kRbp, Reg::kRax);  // request pointer survives the memset
+    // slot[tail] = {ptr, bytes}
+    a.MovRR(Reg::kRcx, Reg::kR13);
+    a.ShlI(Reg::kRcx, 4);
+    a.Store(Reg::kRbp, MemBIS(Reg::kR9, Reg::kRcx, 0, 0));
+    a.Store(Reg::kR11, MemBIS(Reg::kR9, Reg::kRcx, 0, 8));
+    // Deterministic payload: memset pattern keyed to the request counter,
+    // then two header words (id + generator tag) the consumer checksums.
+    a.MovRR(Reg::kRdi, Reg::kRbp);
+    a.MovRR(Reg::kRsi, Reg::kR8);
+    a.AndI(Reg::kRsi, 0xff);
+    a.MovRR(Reg::kRdx, Reg::kR11);
+    a.HostCall(HostFn::kMemset);
+    a.Store(Reg::kR8, MemAt(Reg::kRbp, 0));
+    a.MovRR(Reg::kRcx, Reg::kRbx);
+    a.ShrI(Reg::kRcx, 17);
+    a.Store(Reg::kRcx, MemAt(Reg::kRbp, 8));
+    // tail = (tail + 1) % slots; ++live; --requests
+    auto no_wrap = a.NewLabel();
+    a.AddI(Reg::kR13, 1);
+    a.CmpI(Reg::kR13, static_cast<int32_t>(p_.queue_slots));
+    a.Jcc(Cond::kUlt, no_wrap);
+    a.MovRI(Reg::kR13, 0);
+    a.Bind(no_wrap);
+    a.AddI(Reg::kR14, 1);
+    a.SubI(Reg::kR8, 1);
+    // Consume one response once the queue is loaded past the threshold.
+    a.CmpI(Reg::kR14, static_cast<int32_t>(p_.consume_threshold));
+    a.Jcc(Cond::kUlt, loop_head);
+    a.Call(consume_l_);
+    a.Jmp(loop_head);
+
+    // No more requests: drain everything still queued.
+    a.Bind(drain);
+    auto done = a.NewLabel();
+    a.CmpI(Reg::kR14, 0);
+    a.Jcc(Cond::kEq, done);
+    a.Call(consume_l_);
+    a.Jmp(drain);
+    a.Bind(done);
+    a.MovRR(Reg::kRdi, Reg::kR15);
+    a.HostCall(HostFn::kOutputU64);
+    pb_.EmitExit(0);
+    return pb_.Finish();
+  }
+
+ private:
+  // Consume the request at head: checksum every payload word, free it,
+  // advance head.
+  void EmitConsumeHelper() {
+    Assembler& a = pb_.text();
+    a.Bind(consume_l_);
+    a.MovRR(Reg::kRcx, Reg::kR12);
+    a.ShlI(Reg::kRcx, 4);
+    a.Load(Reg::kRbp, MemBIS(Reg::kR9, Reg::kRcx, 0, 0));  // ptr
+    a.Load(Reg::kR10, MemBIS(Reg::kR9, Reg::kRcx, 0, 8));  // bytes
+    a.ShrI(Reg::kR10, 3);                                  // words
+    a.MovRI(Reg::kRcx, 0);
+    auto walk = a.NewLabel();
+    a.Bind(walk);
+    a.Load(Reg::kR11, MemBIS(Reg::kRbp, Reg::kRcx, 3, 0));
+    a.Add(Reg::kR15, Reg::kR11);
+    a.AddI(Reg::kRcx, 1);
+    a.Cmp(Reg::kRcx, Reg::kR10);
+    a.Jcc(Cond::kUlt, walk);
+    a.MovRR(Reg::kRdi, Reg::kRbp);
+    a.HostCall(HostFn::kFree);
+    auto no_wrap = a.NewLabel();
+    a.AddI(Reg::kR12, 1);
+    a.CmpI(Reg::kR12, static_cast<int32_t>(p_.queue_slots));
+    a.Jcc(Cond::kUlt, no_wrap);
+    a.MovRI(Reg::kR12, 0);
+    a.Bind(no_wrap);
+    a.SubI(Reg::kR14, 1);
+    a.Ret();
+  }
+
+  const ServerParams& p_;
+  ProgramBuilder pb_;
+  uint64_t queue_addr_ = 0;
+  Assembler::Label consume_l_ = 0;
+};
+
 }  // namespace
 
 BinaryImage GenerateSynthProgram(const SynthParams& params) {
   SynthBuilder builder(params);
+  return builder.Build();
+}
+
+BinaryImage GenerateServerProgram(const ServerParams& params) {
+  ServerBuilder builder(params);
   return builder.Build();
 }
 

@@ -85,6 +85,28 @@ struct SynthParams {
 
 BinaryImage GenerateSynthProgram(const SynthParams& params);
 
+// Server-style request/response workload: sustained-traffic heap behaviour
+// that the loop-centric synth program does not model. A producer allocates
+// variable-size "requests" (LCG-sized, deterministically filled) into a
+// fixed-capacity ring queue; a consumer drains one whenever the queue
+// reaches `consume_threshold`, walking the payload into the checksum and
+// freeing it; leftovers drain at the end. Every allocation has a different
+// lifetime than its neighbours (allocation churn with overlapping live
+// ranges), exactly the malloc/free interleaving a server under steady
+// traffic produces. inputs[0] = number of requests. The checksum is
+// allocator-independent: payload bytes are deterministically written and
+// pointer values never flow into it, so baseline and hardened runs must
+// produce identical outputs (same property as GenerateSynthProgram).
+struct ServerParams {
+  uint64_t seed = 1;
+  unsigned queue_slots = 16;        // ring capacity (>= 2)
+  unsigned consume_threshold = 8;   // drain one when live >= this (1..slots)
+  uint64_t min_request_bytes = 32;  // multiple of 8, >= 16 (two header words)
+  unsigned size_mask = 63;          // extra payload words: lcg_bits & mask
+};
+
+BinaryImage GenerateServerProgram(const ServerParams& params);
+
 // Canonical inputs for the two-phase workflow.
 std::vector<uint64_t> TrainInputs(uint64_t iters);  // mode bit 0 clear
 std::vector<uint64_t> RefInputs(uint64_t iters);    // mode bit 0 set

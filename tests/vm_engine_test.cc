@@ -1,0 +1,430 @@
+// Differential step-vs-block equivalence (ISSUE 5 contract): the superblock
+// engine must reproduce the stepper bit-for-bit — instructions, cycles,
+// explicit reads/writes, outputs, mem-error reports, prof counts, telemetry
+// snapshots and trace slices — for every golden config × workload, for
+// randomized programs, and for every edge the block boundary logic has:
+// instruction limits landing mid-block, mem-error aborts mid-block,
+// hostcall/trap termination, one-instruction self-loops, direct-mapped code
+// cache collisions, and TLB invalidation across LoadImage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/dbi/memcheck.h"
+#include "src/heap/legacy_heap.h"
+#include "src/support/rng.h"
+#include "src/support/str.h"
+#include "src/support/telemetry.h"
+#include "src/support/trace.h"
+#include "src/workloads/builder.h"
+#include "src/workloads/kraken.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+namespace {
+
+// Everything a guest run can externally produce, flattened to comparable
+// strings so a mismatch names the diverging field directly.
+struct RunFingerprint {
+  std::string result;
+  std::vector<uint64_t> outputs;
+  std::vector<std::string> errors;
+  std::vector<std::string> prof_counts;
+  std::string counters;
+  uint64_t touched_pages = 0;
+  std::string metrics;  // telemetry snapshot JSON ("" when not attached)
+  std::string trace;    // trace-event JSON ("" when not attached)
+};
+
+std::string FormatResult(const RunResult& r) {
+  return StrFormat("reason=%d exit=%llu insns=%llu cycles=%llu reads=%llu writes=%llu "
+                   "fault='%s'",
+                   static_cast<int>(r.reason),
+                   static_cast<unsigned long long>(r.exit_status),
+                   static_cast<unsigned long long>(r.instructions),
+                   static_cast<unsigned long long>(r.cycles),
+                   static_cast<unsigned long long>(r.explicit_reads),
+                   static_cast<unsigned long long>(r.explicit_writes),
+                   r.fault_message.c_str());
+}
+
+RunFingerprint Fingerprint(const RunOutcome& out, const std::string& metrics,
+                           const std::string& trace) {
+  RunFingerprint fp;
+  fp.result = FormatResult(out.result);
+  fp.outputs = out.outputs;
+  for (const MemErrorReport& e : out.errors) {
+    fp.errors.push_back(StrFormat("site=%u kind=%d rip=0x%llx idx=%llu", e.site,
+                                  static_cast<int>(e.kind),
+                                  static_cast<unsigned long long>(e.rip),
+                                  static_cast<unsigned long long>(e.instruction_index)));
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> counters(out.counters.begin(),
+                                                      out.counters.end());
+  std::sort(counters.begin(), counters.end());
+  for (const auto& [site, n] : counters) {
+    fp.counters += StrFormat("%u=%llu;", site, static_cast<unsigned long long>(n));
+  }
+  std::vector<std::pair<uint32_t, Vm::ProfCounts>> prof(out.prof_counts.begin(),
+                                                        out.prof_counts.end());
+  std::sort(prof.begin(), prof.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [site, pc] : prof) {
+    fp.prof_counts.push_back(StrFormat("%u:%llu/%llu", site,
+                                       static_cast<unsigned long long>(pc.passes),
+                                       static_cast<unsigned long long>(pc.fails)));
+  }
+  fp.touched_pages = out.touched_pages;
+  fp.metrics = metrics;
+  fp.trace = trace;
+  return fp;
+}
+
+// Runs `img` under both engines with identical config (telemetry + trace
+// attached when `observe`) and asserts every produced artifact matches.
+void ExpectEnginesAgree(const BinaryImage& img, RuntimeKind kind, RunConfig cfg,
+                        bool observe, const std::string& what) {
+  RunFingerprint fps[2];
+  const VmEngine engines[2] = {VmEngine::kStep, VmEngine::kBlock};
+  for (int i = 0; i < 2; ++i) {
+    TelemetryRegistry telemetry;
+    TraceWriter trace;
+    RunConfig c = cfg;
+    c.engine = engines[i];
+    if (observe) {
+      c.telemetry = &telemetry;
+      c.trace = &trace;
+    }
+    const RunOutcome out = RunImage(img, kind, c);
+    fps[i] = Fingerprint(out, observe ? telemetry.Snapshot().ToJson() : "",
+                         observe ? trace.ToJson() : "");
+  }
+  EXPECT_EQ(fps[0].result, fps[1].result) << what;
+  EXPECT_EQ(fps[0].outputs, fps[1].outputs) << what;
+  EXPECT_EQ(fps[0].errors, fps[1].errors) << what;
+  EXPECT_EQ(fps[0].prof_counts, fps[1].prof_counts) << what;
+  EXPECT_EQ(fps[0].counters, fps[1].counters) << what;
+  EXPECT_EQ(fps[0].touched_pages, fps[1].touched_pages) << what;
+  EXPECT_EQ(fps[0].metrics, fps[1].metrics) << what;
+  EXPECT_EQ(fps[0].trace, fps[1].trace) << what;
+}
+
+struct GoldenConfig {
+  const char* name;
+  RedFatOptions opts;
+  RuntimeKind runtime;
+};
+
+std::vector<GoldenConfig> GoldenConfigs() {
+  RedFatOptions shadow;
+  shadow.redzone_impl = RedzoneImpl::kShadow;
+  return {
+      {"unoptimized", RedFatOptions::Unoptimized(), RuntimeKind::kRedFat},
+      {"elim", RedFatOptions::Elim(), RuntimeKind::kRedFat},
+      {"batch", RedFatOptions::Batch(), RuntimeKind::kRedFat},
+      {"merge", RedFatOptions::Merge(), RuntimeKind::kRedFat},
+      {"no-size", RedFatOptions::NoSize(), RuntimeKind::kRedFat},
+      {"no-reads", RedFatOptions::NoReads(), RuntimeKind::kRedFat},
+      {"profile", RedFatOptions::Profile(), RuntimeKind::kRedFat},
+      {"shadow", shadow, RuntimeKind::kRedFatShadow},
+  };
+}
+
+// (a) Every golden config × the determinism-stress workloads, with the full
+// observability surface attached (telemetry + trace), under the matching
+// hardened runtime.
+TEST(VmEngine, GoldenConfigsAgreeOnSynth) {
+  SynthParams p;
+  p.seed = 0xd57e55;
+  p.mem_pct = 35;
+  p.stream_pct = 6;
+  p.churn_pct = 4;
+  p.max_accesses_per_ptr = 4;
+  const BinaryImage img = GenerateSynthProgram(p);
+  for (const GoldenConfig& cfg : GoldenConfigs()) {
+    RedFatTool tool(cfg.opts);
+    Result<InstrumentResult> ir = tool.Instrument(img);
+    ASSERT_TRUE(ir.ok()) << cfg.name << ": " << ir.error();
+    RunConfig rc;
+    rc.inputs = RefInputs(15);
+    ExpectEnginesAgree(ir.value().image, cfg.runtime, rc, /*observe=*/true,
+                       std::string("synth-mid/") + cfg.name);
+  }
+}
+
+TEST(VmEngine, GoldenConfigsAgreeOnKraken) {
+  const KrakenBenchmark& bench = KrakenSuite().front();
+  const BinaryImage img = BuildKrakenBenchmark(bench);
+  for (const GoldenConfig& cfg : GoldenConfigs()) {
+    RedFatTool tool(cfg.opts);
+    Result<InstrumentResult> ir = tool.Instrument(img);
+    ASSERT_TRUE(ir.ok()) << cfg.name << ": " << ir.error();
+    RunConfig rc;
+    rc.inputs = RefInputs(40);
+    ExpectEnginesAgree(ir.value().image, cfg.runtime, rc, /*observe=*/true,
+                       bench.name + "/" + cfg.name);
+  }
+}
+
+// Memcheck attaches a per-instruction ExecObserver; it must fire at the same
+// points (and charge the same cycles) inside a block as under the stepper.
+TEST(VmEngine, MemcheckObserverAgrees) {
+  SynthParams p;
+  p.seed = 77;
+  p.churn_pct = 4;
+  const BinaryImage img = GenerateSynthProgram(p);
+  RunConfig base;
+  base.inputs = RefInputs(15);
+  RunFingerprint fps[2];
+  const VmEngine engines[2] = {VmEngine::kStep, VmEngine::kBlock};
+  for (int i = 0; i < 2; ++i) {
+    RunConfig c = base;
+    c.engine = engines[i];
+    fps[i] = Fingerprint(RunMemcheck(img, c), "", "");
+  }
+  EXPECT_EQ(fps[0].result, fps[1].result);
+  EXPECT_EQ(fps[0].outputs, fps[1].outputs);
+  EXPECT_EQ(fps[0].errors, fps[1].errors);
+  EXPECT_EQ(fps[0].touched_pages, fps[1].touched_pages);
+}
+
+// (b) Randomized programs from the fuzz generator: arbitrary byte soup must
+// fault/halt/limit at the identical instruction with identical state.
+TEST(VmEngine, RandomProgramsAgree) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinaryImage img;
+    img.entry = kCodeBase;
+    Section text;
+    text.kind = Section::Kind::kText;
+    text.vaddr = kCodeBase;
+    for (int i = 0; i < 256; ++i) {
+      text.bytes.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    img.sections.push_back(std::move(text));
+    RunConfig cfg;
+    cfg.instruction_limit = 5000;
+    cfg.policy = Policy::kLog;
+    ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false,
+                       StrFormat("random trial %d", trial));
+  }
+}
+
+// (c) The instruction limit must halt at the exact same instruction even
+// when it lands in the middle of a long straight-line block.
+TEST(VmEngine, InstructionLimitMidBlock) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  for (int i = 0; i < 60; ++i) {
+    a.AddI(Reg::kRax, 1);  // one long straight-line run
+  }
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  for (uint64_t limit = 1; limit <= 64; ++limit) {
+    RunConfig cfg;
+    cfg.instruction_limit = limit;
+    ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false,
+                       StrFormat("limit=%llu", static_cast<unsigned long long>(limit)));
+  }
+}
+
+// A mem-error abort raised by the observer (memcheck) in the middle of a
+// block must stop at the same instruction with the same report.
+TEST(VmEngine, MemErrorAbortMidBlock) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  a.MovRI(Reg::kRdi, 64);
+  a.HostCall(HostFn::kMalloc);
+  a.MovRR(Reg::kR12, Reg::kRax);
+  // Straight-line run: valid, valid, REDZONE, valid — the abort lands two
+  // instructions into a four-load block.
+  a.Load(Reg::kR14, MemAt(Reg::kR12, 0));
+  a.Load(Reg::kR14, MemAt(Reg::kR12, 8));
+  a.Load(Reg::kR14, MemAt(Reg::kR12, -8));
+  a.Load(Reg::kR14, MemAt(Reg::kR12, 16));
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  for (const Policy policy : {Policy::kHarden, Policy::kLog}) {
+    RunConfig cfg;
+    cfg.policy = policy;
+    RunFingerprint fps[2];
+    const VmEngine engines[2] = {VmEngine::kStep, VmEngine::kBlock};
+    for (int i = 0; i < 2; ++i) {
+      RunConfig c = cfg;
+      c.engine = engines[i];
+      fps[i] = Fingerprint(RunMemcheck(img, c), "", "");
+    }
+    EXPECT_EQ(fps[0].result, fps[1].result) << "policy=" << static_cast<int>(policy);
+    EXPECT_EQ(fps[0].errors, fps[1].errors) << "policy=" << static_cast<int>(policy);
+    ASSERT_FALSE(fps[0].errors.empty());
+  }
+}
+
+// Hostcalls and traps terminate blocks; a trap mid-stream under kLog resumes
+// with the next block, under kHarden aborts — identically in both engines.
+TEST(VmEngine, HostcallAndTrapTermination) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  a.MovRI(Reg::kRax, 5);
+  a.Trap(TrapCode::kMemError, PackErrorArg(9, ErrorKind::kBounds));
+  a.AddI(Reg::kRax, 2);
+  a.MovRR(Reg::kRdi, Reg::kRax);
+  a.HostCall(HostFn::kOutputU64);
+  a.Trap(TrapCode::kProfPass, 3);
+  a.Trap(TrapCode::kProfFail, 3);
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  for (const Policy policy : {Policy::kHarden, Policy::kLog}) {
+    RunConfig cfg;
+    cfg.policy = policy;
+    ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false,
+                       StrFormat("policy=%d", static_cast<int>(policy)));
+  }
+}
+
+// A one-instruction self-branching loop is the smallest possible block; the
+// cache must hit it every iteration and the limit must still be exact.
+TEST(VmEngine, SelfBranchingOneInstructionLoop) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  auto spin = a.NewLabel();
+  a.Bind(spin);
+  a.Jmp(spin);
+  const BinaryImage img = pb.Finish();
+  RunConfig cfg;
+  cfg.instruction_limit = 12345;
+  ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false, "self-loop");
+}
+
+// Two hot blocks whose entry addresses are exactly 4096 bytes apart map to
+// the same direct-mapped slot (kBlockCacheSize = 4096, indexed by address
+// bits): every iteration evicts and rebuilds — correctness must not depend
+// on residency.
+TEST(VmEngine, CodeCacheCollisions) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  auto f1 = a.NewLabel();
+  auto f2 = a.NewLabel();
+  auto main_l = a.NewLabel();
+  a.Jmp(main_l);
+  const uint64_t f1_addr = a.Here();
+  a.Bind(f1);
+  a.AddI(Reg::kR15, 1);
+  a.Ret();
+  while (a.Here() < f1_addr + 4096) {
+    a.Nop();
+  }
+  ASSERT_EQ(a.Here(), f1_addr + 4096);
+  a.Bind(f2);
+  a.AddI(Reg::kR15, 3);
+  a.Ret();
+  a.Bind(main_l);
+  a.MovRI(Reg::kR15, 0);
+  a.MovRI(Reg::kR8, 500);
+  auto loop = a.NewLabel();
+  a.Bind(loop);
+  a.Call(f1);
+  a.Call(f2);
+  a.SubI(Reg::kR8, 1);
+  a.CmpI(Reg::kR8, 0);
+  a.Jcc(Cond::kNe, loop);
+  a.MovRR(Reg::kRdi, Reg::kR15);
+  a.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  RunConfig cfg;
+  ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false, "collisions");
+  // And the computed value is right, not merely engine-consistent.
+  RunConfig block_cfg;
+  block_cfg.engine = VmEngine::kBlock;
+  const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, block_cfg);
+  ASSERT_EQ(out.outputs.size(), 1u);
+  EXPECT_EQ(out.outputs[0], 2000u);
+}
+
+// LoadImage must invalidate both the block cache and the memory TLB: a
+// second image at overlapping addresses must not execute (or read) stale
+// state from the first.
+TEST(VmEngine, TlbAndBlockCacheInvalidationAcrossLoadImage) {
+  auto build = [](uint64_t value) {
+    ProgramBuilder pb;
+    Assembler& a = pb.text();
+    const uint64_t g = pb.AddDataU64({value});
+    a.Load(Reg::kRdi, MemAbs(static_cast<int32_t>(g)));
+    a.HostCall(HostFn::kOutputU64);
+    pb.EmitExit(static_cast<int32_t>(value & 0xff));
+    return pb.Finish();
+  };
+  const BinaryImage first = build(41);
+  const BinaryImage second = build(77);
+  for (const VmEngine engine : {VmEngine::kStep, VmEngine::kBlock}) {
+    Vm vm;
+    GlibcLikeAllocator alloc;
+    vm.set_allocator(&alloc);
+    vm.set_engine(engine);
+    vm.LoadImage(first);
+    const RunResult r1 = vm.Run();
+    EXPECT_EQ(r1.exit_status, 41u);
+    // Reload at the same addresses: decoded blocks and cached page
+    // translations for the old image must not leak into this run.
+    vm.LoadImage(second);
+    const RunResult r2 = vm.Run();
+    EXPECT_EQ(r2.exit_status, 77u);
+    ASSERT_EQ(vm.outputs().size(), 2u);
+    EXPECT_EQ(vm.outputs()[0], 41u);
+    EXPECT_EQ(vm.outputs()[1], 77u);
+  }
+}
+
+// The streaming-epoch hook fires at the same instruction boundaries under
+// both engines, and chained deltas merge back to the one-shot snapshot.
+TEST(VmEngine, EpochDeltasMergeToOneShot) {
+  SynthParams p;
+  p.seed = 99;
+  p.churn_pct = 3;
+  const BinaryImage img = GenerateSynthProgram(p);
+  RedFatTool tool(RedFatOptions::Merge());
+  Result<InstrumentResult> ir = tool.Instrument(img);
+  ASSERT_TRUE(ir.ok()) << ir.error();
+
+  std::vector<size_t> epoch_counts;
+  std::vector<std::string> one_shots;
+  for (const VmEngine engine : {VmEngine::kStep, VmEngine::kBlock}) {
+    TelemetryRegistry telemetry;
+    std::vector<TelemetrySnapshot> deltas;
+    TelemetrySnapshot prev;
+    RunConfig cfg;
+    cfg.engine = engine;
+    cfg.inputs = RefInputs(10);
+    cfg.telemetry = &telemetry;
+    cfg.metrics_epoch = 5000;
+    cfg.on_epoch = [&]() {
+      const TelemetrySnapshot cur = telemetry.Snapshot();
+      deltas.push_back(DeltaTelemetrySnapshot(cur, prev));
+      prev = cur;
+    };
+    const RunOutcome out = RunImage(ir.value().image, RuntimeKind::kRedFat, cfg);
+    ASSERT_EQ(out.result.reason, HaltReason::kExit);
+    ASSERT_FALSE(deltas.empty()) << "run too short to cross an epoch";
+    // Closing epoch: everything after the last boundary, including the
+    // harness's post-run counters.
+    const TelemetrySnapshot final_snap = telemetry.Snapshot();
+    deltas.push_back(DeltaTelemetrySnapshot(final_snap, prev));
+    EXPECT_EQ(MergeTelemetrySnapshots(deltas).ToJson(), final_snap.ToJson())
+        << "engine=" << static_cast<int>(engine);
+    epoch_counts.push_back(deltas.size());
+    one_shots.push_back(final_snap.ToJson());
+  }
+  // The hook fired at the same instruction boundaries in both engines and
+  // observed identical state at each.
+  EXPECT_EQ(epoch_counts[0], epoch_counts[1]);
+  EXPECT_EQ(one_shots[0], one_shots[1]);
+}
+
+}  // namespace
+}  // namespace redfat

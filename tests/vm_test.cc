@@ -54,6 +54,26 @@ TEST(VmMemory, BytesAndFill) {
   EXPECT_EQ(mem.Read(0x2000 + 100, 1), 0u);
 }
 
+TEST(VmMemory, ZeroFillDoesNotMaterializePages) {
+  // memset(p, 0, n) over an untouched region must stay lazily unmapped:
+  // untouched memory already reads as 0, so materializing every swept page
+  // would inflate the touched_pages footprint proxy for no semantic gain.
+  Memory mem;
+  mem.Fill(0x40000, 0, 64 * Memory::kPageSize);
+  EXPECT_EQ(mem.TouchedPages(), 0u);
+  EXPECT_EQ(mem.Read(0x40000, 8), 0u);
+  // Zero-filling a *present* page still clears it.
+  mem.Write(0x40000, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(mem.TouchedPages(), 1u);
+  mem.Fill(0x40000, 0, 64 * Memory::kPageSize);
+  EXPECT_EQ(mem.TouchedPages(), 1u);
+  EXPECT_EQ(mem.Read(0x40000, 8), 0u);
+  // Nonzero fills materialize as before.
+  mem.Fill(0x80000, 0x5a, 3 * Memory::kPageSize);
+  EXPECT_EQ(mem.TouchedPages(), 4u);
+  EXPECT_EQ(mem.Read(0x80000 + 2 * Memory::kPageSize, 1), 0x5au);
+}
+
 TEST(VmExec, ArithmeticAndExit) {
   ProgramBuilder pb;
   Assembler& as = pb.text();

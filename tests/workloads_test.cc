@@ -143,6 +143,65 @@ TEST(Synth, RefOnlyBlocksLowerCoverage) {
   EXPECT_GT(cov.FullFraction(), 0.10);
 }
 
+TEST(Server, DeterministicPerSeed) {
+  ServerParams p;
+  p.seed = 21;
+  const BinaryImage a = GenerateServerProgram(p);
+  const BinaryImage b = GenerateServerProgram(p);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST(Server, RunsCleanWithSustainedChurn) {
+  ServerParams p;
+  p.seed = 3;
+  const BinaryImage img = GenerateServerProgram(p);
+  RunConfig cfg;
+  cfg.inputs = {400};  // requests
+  const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+  ASSERT_EQ(out.result.reason, HaltReason::kExit) << out.result.fault_message;
+  EXPECT_EQ(out.result.exit_status, 0u);
+  ASSERT_EQ(out.outputs.size(), 1u);
+  // 400 producer mallocs and 400 consumer frees actually happened: the
+  // live set stays bounded by the ring, so the footprint is far below the
+  // sum of all request sizes.
+  EXPECT_GT(out.result.explicit_reads, 400u);
+  // Same seed, same request count, same checksum on a rerun.
+  const RunOutcome again = RunImage(img, RuntimeKind::kBaseline, cfg);
+  EXPECT_EQ(out.outputs, again.outputs);
+  // More requests, different checksum.
+  RunConfig more;
+  more.inputs = {401};
+  EXPECT_NE(RunImage(img, RuntimeKind::kBaseline, more).outputs, out.outputs);
+}
+
+TEST(Server, HardenedEqualsBaselineAcrossRuntimes) {
+  // The server checksum is allocator-independent and the workload has no
+  // real memory errors: hardened and DBI runs must match baseline exactly
+  // and report nothing, despite heavy malloc/free interleaving.
+  ServerParams p;
+  p.seed = 13;
+  const BinaryImage img = GenerateServerProgram(p);
+  RunConfig cfg;
+  cfg.inputs = {300};
+  const RunOutcome base = RunImage(img, RuntimeKind::kBaseline, cfg);
+  ASSERT_EQ(base.result.reason, HaltReason::kExit) << base.result.fault_message;
+
+  for (const RedFatOptions& opts :
+       {RedFatOptions::Unoptimized(), RedFatOptions::Merge()}) {
+    RedFatTool tool(opts);
+    Result<InstrumentResult> ir = tool.Instrument(img);
+    ASSERT_TRUE(ir.ok()) << ir.error();
+    const RunOutcome hard = RunImage(ir.value().image, RuntimeKind::kRedFat, cfg);
+    ASSERT_EQ(hard.result.reason, HaltReason::kExit) << hard.result.fault_message;
+    EXPECT_EQ(hard.outputs, base.outputs);
+    EXPECT_TRUE(hard.errors.empty());
+  }
+  const RunOutcome memcheck = RunMemcheck(img, cfg);
+  ASSERT_EQ(memcheck.result.reason, HaltReason::kExit);
+  EXPECT_EQ(memcheck.outputs, base.outputs);
+  EXPECT_TRUE(memcheck.errors.empty());
+}
+
 TEST(Spec, SuiteHas29UniqueBenchmarks) {
   const auto& suite = SpecSuite();
   ASSERT_EQ(suite.size(), 29u);
