@@ -1,5 +1,6 @@
 #include "src/core/harness.h"
 
+#include "src/heap/debug_allocator.h"
 #include "src/heap/legacy_heap.h"
 #include "src/heap/lowfat.h"
 #include "src/heap/redfat_allocator.h"
@@ -19,6 +20,9 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   GlibcLikeAllocator glibc;
   RedFatAllocator libredfat;
   ShadowRedFatAllocator libredfat_shadow;
+  DebugRedFatAllocator libredfat_debug;
+  // The allocator whose low-fat heap stats feed the telemetry gauges.
+  RedFatAllocator* gauged = nullptr;
   switch (runtime) {
     case RuntimeKind::kBaseline:
       vm.set_allocator(&glibc);
@@ -26,11 +30,20 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
     case RuntimeKind::kRedFat:
       WriteLowFatTables(&vm.memory());
       vm.set_allocator(&libredfat);
+      gauged = &libredfat;
       break;
     case RuntimeKind::kRedFatShadow:
       WriteLowFatTables(&vm.memory());
       vm.set_allocator(&libredfat_shadow);
       break;
+    case RuntimeKind::kRedFatDebug:
+      WriteLowFatTables(&vm.memory());
+      vm.set_allocator(&libredfat_debug);
+      gauged = &libredfat_debug;
+      break;
+  }
+  if (config.observer != nullptr) {
+    vm.set_observer(config.observer);
   }
   vm.set_policy(config.policy);
   vm.set_inputs(config.inputs);
@@ -93,14 +106,14 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
     reg->AddCounter("vm.explicit_writes", out.result.explicit_writes);
     reg->AddCounter("vm.mem_errors", out.errors.size());
     reg->SetGauge("vm.touched_pages", static_cast<double>(out.touched_pages));
-    if (runtime == RuntimeKind::kRedFat) {
-      const LowFatHeapStats& hs = libredfat.lowfat_stats();
+    if (gauged != nullptr) {
+      const LowFatHeapStats& hs = gauged->lowfat_stats();
       reg->SetGauge("lowfat.allocs", static_cast<double>(hs.allocs));
       reg->SetGauge("lowfat.frees", static_cast<double>(hs.frees));
       reg->SetGauge("lowfat.live_slots", static_cast<double>(hs.live_slots));
       reg->SetGauge("lowfat.bump_bytes", static_cast<double>(hs.bump_bytes));
       reg->SetGauge("lowfat.fallback_allocs",
-                    static_cast<double>(libredfat.fallback_allocs()));
+                    static_cast<double>(gauged->fallback_allocs()));
       reg->SetGauge("redzone.live_bytes",
                     static_cast<double>(hs.live_slots * kRedzoneSize));
     }

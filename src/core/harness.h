@@ -21,7 +21,12 @@ namespace redfat {
 
 // kRedFatShadow binds the ASAN-style shadow runtime; only meaningful for
 // binaries instrumented with RedzoneImpl::kShadow (and vice versa).
-enum class RuntimeKind { kBaseline, kRedFat, kRedFatShadow };
+// kRedFatDebug is the debug hardening tier's binding (core/policy.h): the
+// libredfat allocator semantics (in-redzone metadata, so lowfat-metadata
+// binaries run unchanged) PLUS guest shadow-map maintenance, so a DBI
+// shadow-check observer (src/dbi/shadow_check.h) can classify every
+// uninstrumented access.
+enum class RuntimeKind { kBaseline, kRedFat, kRedFatShadow, kRedFatDebug };
 
 struct RunConfig {
   Policy policy = Policy::kHarden;
@@ -45,6 +50,10 @@ struct RunConfig {
   // identical to an unobserved run.
   TelemetryRegistry* telemetry = nullptr;
   TraceWriter* trace = nullptr;
+  // Optional per-instruction observer (not owned), e.g. the debug tier's
+  // shadow-check observer. Wired into the VM before the run; null (the
+  // default) keeps the VM's observer hook on its fast path.
+  ExecObserver* observer = nullptr;
   // Optional site tables parallel to the `images` argument of RunImages
   // (missing/null entries are fine). When set alongside `trace`, the harness
   // builds a keyed-site-id -> instruction-address map so trampoline and

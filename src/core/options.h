@@ -38,6 +38,11 @@ struct RedFatOptions {
   // Check contents (Fig. 4).
   bool lowfat = true;          // allow the (LowFat) component at all
   bool size_hardening = true;  // metadata validation (lines 23-24)
+  // Instrument ambiguous-pointer sites with a (Redzone)-only check. Off is
+  // the fast hardening tier (core/policy.h): only unambiguous sites — the
+  // population eligible for the full (Redzone)+(LowFat) check — are
+  // instrumented, and ambiguous sites are left bare.
+  bool redzone_only_sites = true;
   // Use the branchless merged lower/upper-bound check via u32 underflow
   // (§4.2 "Mergeable code"). Off = separate UAF/LB/UB compare+branch chain.
   bool merged_ub = true;
@@ -75,33 +80,15 @@ struct RedFatOptions {
   const TierProfile* tier_profile = nullptr;
   double hot_threshold = 0.9;
 
-  static RedFatOptions Unoptimized() {
-    RedFatOptions o;
-    o.elim = o.batch = o.merge = false;
-    return o;
-  }
-  static RedFatOptions Elim() {
-    RedFatOptions o;
-    o.batch = o.merge = false;
-    return o;
-  }
-  static RedFatOptions Batch() {
-    RedFatOptions o;
-    o.merge = false;
-    return o;
-  }
-  static RedFatOptions Merge() { return RedFatOptions{}; }
-  static RedFatOptions NoSize() {
-    RedFatOptions o;
-    o.size_hardening = false;
-    return o;
-  }
-  static RedFatOptions NoReads() {
-    RedFatOptions o;
-    o.size_hardening = false;
-    o.check_reads = false;
-    return o;
-  }
+  // The Table-1 ablation columns. Defined in core/policy.cc through the
+  // policy layer (AblationPolicy presets) so the option combinations are
+  // not encoded by hand here.
+  static RedFatOptions Unoptimized();
+  static RedFatOptions Elim();
+  static RedFatOptions Batch();
+  static RedFatOptions Merge();
+  static RedFatOptions NoSize();
+  static RedFatOptions NoReads();
   static RedFatOptions Profile() {
     RedFatOptions o;
     o.mode = Mode::kProfile;

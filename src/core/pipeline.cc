@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/core/codegen.h"
+#include "src/core/policy.h"
 #include "src/support/check.h"
 #include "src/support/parallel.h"
 #include "src/support/str.h"
@@ -675,6 +676,10 @@ Pipeline Pipeline::Hardening(const RedFatOptions& opts) {
   // conflate its member sites.
   p.SetEnabled("merge", opts.merge && opts.mode != RedFatOptions::Mode::kProfile);
   return p;
+}
+
+Pipeline Pipeline::Hardening(const ResolvedPolicy& policy) {
+  return Hardening(policy.rewrite);
 }
 
 Pipeline& Pipeline::Add(std::unique_ptr<Pass> pass) {

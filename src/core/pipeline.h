@@ -44,6 +44,8 @@
 
 namespace redfat {
 
+struct ResolvedPolicy;  // core/policy.h
+
 // --- observability ---------------------------------------------------------
 
 struct PassStats {
@@ -201,6 +203,10 @@ class Pipeline {
   // merge always disabled in profiling mode, which needs per-site
   // attribution).
   static Pipeline Hardening(const RedFatOptions& opts);
+  // Policy form: pass configuration derived from a resolved hardening
+  // policy's rewrite knobs (core/policy.h) — the subsystems never
+  // re-decide what the policy already settled.
+  static Pipeline Hardening(const ResolvedPolicy& policy);
 
   Pipeline& Add(std::unique_ptr<Pass> pass);
 

@@ -216,6 +216,7 @@ namespace {
 struct RangeSelection {
   std::vector<SiteCandidate> candidates;
   size_t eliminated = 0;
+  size_t redzone_dropped = 0;
 };
 
 void SelectSitesInRange(const Disassembly& dis, const std::vector<OperandClass>& classes,
@@ -249,6 +250,12 @@ void SelectSitesInRange(const Disassembly& dis, const std::vector<OperandClass>&
       if (allowed) {
         kind = CheckKind::kFull;
       }
+    }
+    // The fast hardening tier (core/policy.h) leaves ambiguous sites bare:
+    // only the (LowFat)-checkable population is instrumented.
+    if (kind == CheckKind::kRedzoneOnly && !opts.redzone_only_sites) {
+      ++out->redzone_dropped;
+      continue;
     }
     SiteCandidate cand;
     cand.insn_index = i;
@@ -295,6 +302,7 @@ std::vector<SiteCandidate> SelectSites(const Disassembly& dis,
   sites->reserve(sites->size() + total);
   for (RangeSelection& sel : selected) {
     stats->eliminated += sel.eliminated;
+    stats->redzone_dropped += sel.redzone_dropped;
     for (SiteCandidate& cand : sel.candidates) {
       const uint32_t site_id = static_cast<uint32_t>(sites->size());
       sites->push_back(SiteRecord{site_id, dis.insns[cand.insn_index].addr,

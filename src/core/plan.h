@@ -122,6 +122,7 @@ struct PlanStats {
   size_t mem_operands = 0;       // all explicit memory operands in the binary
   size_t considered = 0;         // after the read/write filter
   size_t eliminated = 0;         // dropped by check elimination
+  size_t redzone_dropped = 0;    // (Redzone)-only sites left bare (fast tier)
   size_t full_sites = 0;
   size_t redzone_sites = 0;
   size_t trampolines = 0;        // after batching

@@ -12,6 +12,12 @@ RedFatTool::RedFatTool(RedFatOptions opts) : opts_(opts) {
     // merge pass in this mode; the flag keeps options() self-describing).
     opts_.merge = false;
   }
+  harden_ = ResolvedPolicy::FromOptions(opts_).tier;
+}
+
+RedFatTool::RedFatTool(const ResolvedPolicy& policy) : RedFatTool(policy.rewrite) {
+  harden_ = policy.tier;
+  harden_explicit_ = policy.explicit_tier;
 }
 
 Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
@@ -30,6 +36,8 @@ Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
   out.plan_stats = ctx.plan.stats;
   out.rewrite_stats = ctx.rewrite_stats;
   out.pipeline_stats = pipeline.stats();
+  out.harden = harden_;
+  out.harden_explicit = harden_explicit_;
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "src/core/options.h"
 #include "src/core/pipeline.h"
 #include "src/core/plan.h"
+#include "src/core/policy.h"
 #include "src/rw/rewriter.h"
 #include "src/support/result.h"
 #include "src/vm/vm.h"
@@ -33,11 +34,20 @@ struct InstrumentResult {
   PlanStats plan_stats;
   RewriteStats rewrite_stats;
   PipelineStats pipeline_stats;   // per-pass items/changed/timings
+  // The hardening tier this image was built under (core/policy.h).
+  // harden_explicit is true only when the tool was configured through a
+  // resolved policy (e.g. --harden=TIER): artifacts like the sitemap record
+  // the tier only then, so legacy invocations stay byte-identical.
+  HardenTier harden = HardenTier::kExtensive;
+  bool harden_explicit = false;
 };
 
 class RedFatTool {
  public:
   explicit RedFatTool(RedFatOptions opts);
+  // Policy form: the rewrite knobs come from a resolved hardening policy
+  // and the result records the tier (--harden=TIER flows through here).
+  explicit RedFatTool(const ResolvedPolicy& policy);
 
   // Instruments `input`. With an allow-list, only listed sites receive the
   // full (Redzone)+(LowFat) check; without one, every eligible site does
@@ -49,9 +59,12 @@ class RedFatTool {
                                       ThreadPool* pool = nullptr) const;
 
   const RedFatOptions& options() const { return opts_; }
+  HardenTier harden() const { return harden_; }
 
  private:
   RedFatOptions opts_;
+  HardenTier harden_ = HardenTier::kExtensive;
+  bool harden_explicit_ = false;
 };
 
 // Fig. 5 step 1 output -> allow-list: full-check sites that were observed

@@ -3,12 +3,14 @@
 #include <cstdio>
 
 #include "src/core/pipeline.h"
+#include "src/core/policy.h"
 #include "src/support/str.h"
 #include "src/support/telemetry.h"
 
 namespace redfat {
 
-std::string SerializeSiteMap(const std::vector<SiteRecord>& sites) {
+std::string SerializeSiteMap(const std::vector<SiteRecord>& sites,
+                             const HardenTier* harden) {
   // The tier column only appears when the tier pass actually ran (some site
   // is non-warm), so untiered site maps stay byte-identical to older builds.
   bool tiered = false;
@@ -18,8 +20,12 @@ std::string SerializeSiteMap(const std::vector<SiteRecord>& sites) {
       break;
     }
   }
-  std::string out = tiered ? "# redfat site map: id addr rw kind tier\n"
-                           : "# redfat site map: id addr rw kind\n";
+  std::string out;
+  if (harden != nullptr) {
+    out += StrFormat("# harden: %s\n", HardenTierName(*harden));
+  }
+  out += tiered ? "# redfat site map: id addr rw kind tier\n"
+                : "# redfat site map: id addr rw kind\n";
   for (const SiteRecord& s : sites) {
     out += StrFormat("%u 0x%llx %c %s", s.id, static_cast<unsigned long long>(s.addr),
                      s.is_write ? 'w' : 'r',
@@ -32,10 +38,24 @@ std::string SerializeSiteMap(const std::vector<SiteRecord>& sites) {
   return out;
 }
 
-Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines) {
+Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines,
+                                             std::optional<HardenTier>* harden) {
   std::vector<SiteRecord> sites;
+  if (harden != nullptr) {
+    harden->reset();
+  }
   for (const std::string& line : lines) {
     if (line.empty() || line[0] == '#') {
+      // The policy header ("# harden: <tier>") is the one comment that
+      // carries data; any other comment line is skipped as before.
+      const std::string prefix = "# harden: ";
+      if (harden != nullptr && line.rfind(prefix, 0) == 0) {
+        Result<HardenTier> t = ParseHardenTier(line.substr(prefix.size()));
+        if (!t.ok()) {
+          return Error(StrFormat("sitemap: %s", t.error().c_str()));
+        }
+        *harden = t.value();
+      }
       continue;
     }
     unsigned id = 0;
@@ -106,6 +126,15 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
                                   const PipelineStats* pipeline,
                                   uint64_t total_cycles) {
   const bool multi = images.size() > 1;
+  // The harden column appears only when some image's sitemap carried a
+  // policy header, so reports over legacy artifacts are unchanged.
+  bool any_harden = false;
+  for (const ImageSiteTable& t : images) {
+    if (!t.harden.empty()) {
+      any_harden = true;
+      break;
+    }
+  }
   std::string out;
   out += "=== per-site runtime telemetry ===\n";
   if (snapshot.sites.empty()) {
@@ -113,6 +142,9 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
   } else {
     if (multi) {
       out += StrFormat("%12s ", "img");
+    }
+    if (any_harden) {
+      out += StrFormat("%9s ", "harden");
     }
     out += StrFormat("%6s %10s %2s %7s %4s  %12s %8s %9s %9s %12s %12s %7s\n",
                      "site", "addr", "rw", "kind", "tier", "checks", "rz-hits",
@@ -147,6 +179,10 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
                 ? images[img].name
                 : StrFormat("#%u", img);
         out += StrFormat("%12s ", img_name.c_str());
+      }
+      if (any_harden) {
+        const bool known = img < images.size() && !images[img].harden.empty();
+        out += StrFormat("%9s ", known ? images[img].harden.c_str() : "?");
       }
       out += StrFormat(
           "%6u %10s %2s %7s %4s  %12llu %8llu %9llu %9llu %12llu %12llu %7s\n",

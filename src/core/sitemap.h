@@ -6,9 +6,14 @@
 // Text format, one line per site:  <id> <hex addr> <r|w> <full|redzone>
 // plus an optional trailing <warm|hot|cold> tier column, emitted only when
 // the rewrite was profile-tiered (so untiered maps match older builds).
+// A map written under an explicit hardening policy (--harden=TIER) starts
+// with a policy header line, "# harden: <tier>", which round-trips through
+// ParseSiteMap; maps from legacy invocations carry no header and stay
+// byte-identical to older builds.
 #ifndef REDFAT_SRC_CORE_SITEMAP_H_
 #define REDFAT_SRC_CORE_SITEMAP_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,8 +23,15 @@
 
 namespace redfat {
 
-std::string SerializeSiteMap(const std::vector<SiteRecord>& sites);
-Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines);
+enum class HardenTier : uint8_t;  // core/policy.h
+
+// `harden` non-null adds the "# harden: <tier>" policy header.
+std::string SerializeSiteMap(const std::vector<SiteRecord>& sites,
+                             const HardenTier* harden = nullptr);
+// `harden` non-null receives the policy header's tier when the map carries
+// one (reset to nullopt otherwise).
+Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines,
+                                             std::optional<HardenTier>* harden = nullptr);
 
 // Human-readable one-line report, e.g.
 //   "out-of-bounds write at 0x400123 (site 5, full check)"
@@ -42,9 +54,13 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
 
 // One image's site table, for multi-image reports (rfrun --lib). `name`
 // labels the img column; `sites` may be null for uninstrumented images.
+// `harden` is the image's resolved hardening tier from its sitemap's policy
+// header ("" = unknown); when any image carries one, the per-site table
+// grows a `harden` column (reports without policy data are unchanged).
 struct ImageSiteTable {
   std::string name;
   const std::vector<SiteRecord>* sites = nullptr;
+  std::string harden;
 };
 
 // Multi-image variant: telemetry site ids are decoded per telemetry.h

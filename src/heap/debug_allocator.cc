@@ -1,0 +1,43 @@
+#include "src/heap/debug_allocator.h"
+
+#include "src/support/check.h"
+
+namespace redfat {
+
+void DebugRedFatAllocator::MarkShadow(Memory& mem, uint64_t addr, uint64_t size,
+                                      GuestShadow state) {
+  if (size == 0) {
+    return;
+  }
+  const uint64_t first = addr >> 3;
+  const uint64_t last = (addr + size - 1) >> 3;
+  mem.Fill(kGuestShadowBase + first, static_cast<uint8_t>(state), last - first + 1);
+}
+
+AllocOutcome DebugRedFatAllocator::Malloc(Memory& mem, uint64_t size) {
+  AllocOutcome out = RedFatAllocator::Malloc(mem, size);
+  if (out.ptr == 0) {
+    return out;
+  }
+  const uint64_t slot = out.ptr - kRedzoneSize;
+  MarkShadow(mem, slot, kRedzoneSize, GuestShadow::kRedzone);            // leading redzone
+  MarkShadow(mem, out.ptr, size, GuestShadow::kOk);                      // payload (clear stale)
+  MarkShadow(mem, out.ptr + size, kRedzoneSize, GuestShadow::kRedzone);  // trailing guard
+  sizes_[out.ptr] = size;
+  out.cycles += 5 + (size + 2 * kRedzoneSize) / 64;  // O(size) shadow marking
+  return out;
+}
+
+uint64_t DebugRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
+  if (ptr == 0) {
+    return RedFatAllocator::Free(mem, ptr);
+  }
+  auto it = sizes_.find(ptr);
+  REDFAT_CHECK(it != sizes_.end());
+  const uint64_t size = it->second;
+  sizes_.erase(it);
+  MarkShadow(mem, ptr, size, GuestShadow::kFreed);
+  return RedFatAllocator::Free(mem, ptr) + 5 + size / 64;
+}
+
+}  // namespace redfat

@@ -17,6 +17,16 @@
 //   redfat --merge-metrics out.json a.json b.json ...
 //
 // Options:
+//   --harden=TIER          hardening policy tier: none|fast|extensive|debug
+//                          (core/policy.h). fast = lowfat-only inline
+//                          checks; extensive = redzone+lowfat, the default,
+//                          byte-identical to no --harden flag; debug =
+//                          extensive checks over the debug runtime (run the
+//                          output under `rfrun --harden=debug`). Legacy
+//                          flags below map onto policy overrides;
+//                          contradictory combinations (--harden=fast
+//                          --shadow, --harden=debug --no-lowfat, ...) are
+//                          rejected with a diagnostic.
 //   --profile              emit profiling instrumentation (Fig. 5, step 1)
 //   --profile=FILE         tier checks using a prior run's --metrics
 //                          snapshot: hot sites get inline checks, cold
@@ -53,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/policy.h"
 #include "src/core/redfat.h"
 #include "src/core/sitemap.h"
 #include "src/support/parallel.h"
@@ -66,7 +77,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: redfat [--profile] [--allowlist FILE | --profile-data FILE]\n"
+               "usage: redfat [--harden=none|fast|extensive|debug]\n"
+               "              [--profile] [--allowlist FILE | --profile-data FILE]\n"
                "              [--profile=METRICS.json] [--profile-sitemap FILE]\n"
                "              [--hot-threshold=F]\n"
                "              [--no-reads] [--no-size] [--no-lowfat] [--sitemap FILE]\n"
@@ -232,7 +244,9 @@ Status EmitArtifacts(const InstrumentResult& out, const std::string& sitemap_pat
                      const std::string& stats_path, const std::string& metrics_path,
                      const std::string& trace_path) {
   if (!sitemap_path.empty()) {
-    const std::string text = SerializeSiteMap(out.sites);
+    // The policy header appears only for explicit --harden builds.
+    const std::string text =
+        SerializeSiteMap(out.sites, out.harden_explicit ? &out.harden : nullptr);
     const Status s = WriteFileBytes(sitemap_path,
                                     std::vector<uint8_t>(text.begin(), text.end()));
     if (!s.ok()) {
@@ -293,7 +307,13 @@ void PrintVerboseStats(const std::string& label, const InstrumentResult& out) {
 }
 
 int Main(int argc, char** argv) {
-  RedFatOptions opts;
+  // Everything check-selection-related goes through the policy layer: the
+  // legacy flags set overrides, --harden sets the tier, and one Resolve()
+  // call produces the concrete knobs (or a conflict diagnostic). Mechanical
+  // knobs (mode, jobs, profiles, paths) stay plain locals.
+  HardeningPolicy policy;
+  RedFatOptions::Mode mode = RedFatOptions::Mode::kProduction;
+  unsigned jobs = 1;
   std::string allow_path;
   std::string profile_data_path;
   std::string tier_profile_path;
@@ -303,6 +323,7 @@ int Main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string output_dir;
+  bool harden_given = false;
   bool merge_metrics = false;
   bool time_passes = false;
   bool verbose = false;
@@ -314,7 +335,15 @@ int Main(int argc, char** argv) {
     if (arg.rfind("--profile=", 0) == 0) {
       tier_profile_path = arg.substr(10);
     } else if (arg == "--profile") {
-      opts.mode = RedFatOptions::Mode::kProfile;
+      mode = RedFatOptions::Mode::kProfile;
+    } else if (arg.rfind("--harden=", 0) == 0) {
+      Result<HardenTier> tier = ParseHardenTier(arg.substr(9));
+      if (!tier.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", tier.error().c_str());
+        return 2;
+      }
+      policy.tier = tier.value();
+      harden_given = true;
     } else if (arg == "--profile-sitemap" && i + 1 < argc) {
       profile_sitemap_path = argv[++i];
     } else if (arg.rfind("--profile-sitemap=", 0) == 0) {
@@ -325,34 +354,34 @@ int Main(int argc, char** argv) {
       if (end == arg.c_str() + 16 || *end != '\0' || f < 0.0 || f > 1.0) {
         return Usage();
       }
-      opts.hot_threshold = f;
+      policy.hot_threshold = f;
     } else if (arg == "--hot-threshold" && i + 1 < argc) {
-      opts.hot_threshold = std::strtod(argv[++i], nullptr);
+      policy.hot_threshold = std::strtod(argv[++i], nullptr);
     } else if (arg == "--merge-metrics") {
       merge_metrics = true;
     } else if (arg == "--no-reads") {
-      opts.check_reads = false;
+      policy.check_reads = false;
     } else if (arg == "--no-size") {
-      opts.size_hardening = false;
+      policy.size_hardening = false;
     } else if (arg == "--no-lowfat") {
-      opts.lowfat = false;
+      policy.lowfat = false;
     } else if (arg == "--no-elim") {
-      opts.elim = false;
+      policy.elim = false;
     } else if (arg == "--no-batch") {
-      opts.batch = false;
+      policy.batch = false;
     } else if (arg == "--no-merge") {
-      opts.merge = false;
+      policy.merge = false;
     } else if (arg == "--shadow") {
-      opts.redzone_impl = RedzoneImpl::kShadow;
+      policy.shadow_impl = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       char* end = nullptr;
       const unsigned long n = std::strtoul(arg.c_str() + 7, &end, 10);
       if (end == arg.c_str() + 7 || *end != '\0') {
         return Usage();  // empty or non-numeric value
       }
-      opts.jobs = static_cast<unsigned>(n);
+      jobs = static_cast<unsigned>(n);
     } else if (arg == "--jobs" && i + 1 < argc) {
-      opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--time-passes") {
       time_passes = true;
     } else if (arg == "--stats" && i + 1 < argc) {
@@ -386,6 +415,23 @@ int Main(int argc, char** argv) {
   if (merge_metrics) {
     return MergeMetricsMain(positional);
   }
+
+  // One Resolve() call settles every check-selection knob; a contradictory
+  // flag combination dies here with a diagnostic naming both sides.
+  Result<ResolvedPolicy> resolved_r = policy.Resolve();
+  if (!resolved_r.ok()) {
+    std::fprintf(stderr, "redfat: %s\n", resolved_r.error().c_str());
+    return 2;
+  }
+  ResolvedPolicy resolved = std::move(resolved_r).value();
+  // Artifacts record the tier only when the user picked one: legacy
+  // invocations keep byte-identical outputs.
+  resolved.explicit_tier = harden_given;
+  // Mechanical knobs ride on the resolved rewrite options.
+  resolved.rewrite.mode = mode;
+  resolved.rewrite.jobs = jobs;
+  RedFatOptions& opts = resolved.rewrite;
+
   if (!output_dir.empty()) {
     // Batch mode: every positional is an input; outputs land in output_dir.
     if (positional.empty()) {
@@ -420,11 +466,11 @@ int Main(int argc, char** argv) {
     std::vector<std::optional<InstrumentResult>> results(n);
     std::vector<std::string> errors(n);
     pool.ParallelFor(n, [&](size_t i) {
-      RedFatOptions image_opts = opts;
+      ResolvedPolicy image_policy = resolved;
       if (specs[i].trampoline_base != 0) {
-        image_opts.trampoline_base = specs[i].trampoline_base;
+        image_policy.rewrite.trampoline_base = specs[i].trampoline_base;
       }
-      RedFatTool tool(image_opts);
+      RedFatTool tool(image_policy);
       Result<InstrumentResult> r = tool.Instrument(inputs[i], nullptr, &pool);
       if (r.ok()) {
         results[i] = std::move(r).value();
@@ -534,7 +580,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  RedFatTool tool(opts);
+  RedFatTool tool(resolved);
   Result<InstrumentResult> out = tool.Instrument(input.value(), allow_ptr);
   if (!out.ok()) {
     std::fprintf(stderr, "redfat: %s\n", out.error().c_str());

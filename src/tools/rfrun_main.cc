@@ -3,7 +3,17 @@
 //   rfrun [options] prog.rfbin [input-word ...]
 //
 // Options:
-//   --runtime=baseline|redfat|redfat-shadow|memcheck   (default: baseline)
+//   --runtime=baseline|redfat|redfat-shadow|redfat-debug|memcheck
+//                          runtime binding (default: baseline).
+//                          redfat-debug = libredfat semantics plus guest
+//                          shadow-map maintenance (the debug tier's
+//                          allocator)
+//   --harden=TIER          select the runtime binding from a hardening
+//                          policy tier (core/policy.h): none -> baseline,
+//                          fast/extensive -> redfat, debug -> redfat-debug
+//                          plus the DBI shadow-check observer classifying
+//                          every uninstrumented access. Mutually exclusive
+//                          with --runtime
 //   --policy=harden|log                                (default: harden)
 //   --profile-dump FILE    write "<site> <passes> <fails>" lines (feed into
 //                          `redfat --profile-data`)
@@ -47,8 +57,10 @@
 
 #include "src/core/harness.h"
 #include "src/core/pipeline.h"
+#include "src/core/policy.h"
 #include "src/core/sitemap.h"
 #include "src/dbi/memcheck.h"
+#include "src/dbi/shadow_check.h"
 #include "src/support/str.h"
 #include "src/support/telemetry.h"
 #include "src/support/trace.h"
@@ -59,7 +71,9 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: rfrun [--runtime=baseline|redfat|redfat-shadow|memcheck]\n"
+               "usage: rfrun [--runtime=baseline|redfat|redfat-shadow|redfat-debug|"
+               "memcheck]\n"
+               "             [--harden=none|fast|extensive|debug]\n"
                "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
                "             [--seed N] [--limit N] [--stats] [--metrics FILE]\n"
                "             [--metrics-epoch=N] [--engine=step|block]\n"
@@ -93,16 +107,20 @@ std::string BaseName(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-Result<std::vector<SiteRecord>> LoadSiteMapFile(const std::string& path) {
+Result<std::vector<SiteRecord>> LoadSiteMapFile(const std::string& path,
+                                                std::optional<HardenTier>* harden = nullptr) {
   Result<std::vector<std::string>> lines = ReadLines(path);
   if (!lines.ok()) {
     return Error(lines.error());
   }
-  return ParseSiteMap(lines.value());
+  return ParseSiteMap(lines.value(), harden);
 }
 
 int Main(int argc, char** argv) {
   std::string runtime = "baseline";
+  bool runtime_given = false;
+  bool harden_given = false;
+  HardenTier harden = HardenTier::kExtensive;
   std::string policy = "harden";
   std::string profile_dump;
   std::string sitemap_path;
@@ -118,6 +136,15 @@ int Main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--runtime=", 0) == 0) {
       runtime = arg.substr(10);
+      runtime_given = true;
+    } else if (arg.rfind("--harden=", 0) == 0) {
+      Result<HardenTier> tier = ParseHardenTier(arg.substr(9));
+      if (!tier.ok()) {
+        std::fprintf(stderr, "rfrun: %s\n", tier.error().c_str());
+        return 2;
+      }
+      harden = tier.value();
+      harden_given = true;
     } else if (arg.rfind("--policy=", 0) == 0) {
       policy = arg.substr(9);
     } else if (arg == "--profile-dump" && i + 1 < argc) {
@@ -168,6 +195,12 @@ int Main(int argc, char** argv) {
   if (positional.empty()) {
     return Usage();
   }
+  if (harden_given && runtime_given) {
+    std::fprintf(stderr,
+                 "rfrun: --harden and --runtime both select the runtime binding; "
+                 "pass one or the other\n");
+    return 2;
+  }
   cfg.policy = policy == "log" ? Policy::kLog : Policy::kHarden;
   for (size_t i = 1; i < positional.size(); ++i) {
     cfg.inputs.push_back(std::strtoull(positional[i].c_str(), nullptr, 0));
@@ -194,11 +227,15 @@ int Main(int argc, char** argv) {
   // program's (mirroring image load order, which fixes telemetry ordinals).
   std::vector<std::vector<SiteRecord>> image_sites(libs.size() + 1);
   std::vector<bool> have_image_sites(libs.size() + 1, false);
+  // Resolved hardening tier per image, from the sitemap policy header
+  // ("# harden: <tier>"); feeds --report's harden column.
+  std::vector<std::optional<HardenTier>> image_harden(libs.size() + 1);
   for (size_t i = 0; i < libs.size(); ++i) {
     if (libs[i].sitemap.empty()) {
       continue;
     }
-    Result<std::vector<SiteRecord>> parsed = LoadSiteMapFile(libs[i].sitemap);
+    Result<std::vector<SiteRecord>> parsed =
+        LoadSiteMapFile(libs[i].sitemap, &image_harden[i]);
     if (!parsed.ok()) {
       std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
       return 1;
@@ -207,13 +244,18 @@ int Main(int argc, char** argv) {
     have_image_sites[i] = true;
   }
   if (!sitemap_path.empty()) {
-    Result<std::vector<SiteRecord>> parsed = LoadSiteMapFile(sitemap_path);
+    Result<std::vector<SiteRecord>> parsed =
+        LoadSiteMapFile(sitemap_path, &image_harden[libs.size()]);
     if (!parsed.ok()) {
       std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
       return 1;
     }
     image_sites[libs.size()] = std::move(parsed).value();
     have_image_sites[libs.size()] = true;
+  }
+  // The main image's tier may also come from an explicit --harden flag.
+  if (!image_harden[libs.size()].has_value() && harden_given) {
+    image_harden[libs.size()] = harden;
   }
   const std::vector<SiteRecord>& sites = image_sites[libs.size()];
   const bool have_sites = have_image_sites[libs.size()];
@@ -267,8 +309,16 @@ int Main(int argc, char** argv) {
     };
   }
 
+  // The debug tier layers the DBI shadow-check observer over the hardened
+  // run: every explicit access outside trampoline code is classified
+  // against the guest shadow map the debug allocator maintains.
+  ShadowCheckObserver debug_observer;
+  if (harden_given && harden == HardenTier::kDebug) {
+    cfg.observer = &debug_observer;
+  }
+
   RunOutcome out;
-  if (runtime == "memcheck") {
+  if (runtime == "memcheck" && !harden_given) {
     if (!libs.empty()) {
       std::fprintf(stderr, "rfrun: --lib is not supported under memcheck\n");
       return 2;
@@ -276,10 +326,14 @@ int Main(int argc, char** argv) {
     out = RunMemcheck(image.value(), cfg);
   } else {
     RuntimeKind kind;
-    if (runtime == "redfat") {
+    if (harden_given) {
+      kind = RuntimeForTier(harden);
+    } else if (runtime == "redfat") {
       kind = RuntimeKind::kRedFat;
     } else if (runtime == "redfat-shadow") {
       kind = RuntimeKind::kRedFatShadow;
+    } else if (runtime == "redfat-debug") {
+      kind = RuntimeKind::kRedFatDebug;
     } else if (runtime == "baseline") {
       kind = RuntimeKind::kBaseline;
     } else {
@@ -373,25 +427,25 @@ int Main(int argc, char** argv) {
       pipeline = std::move(parsed).value();
       have_pipeline = true;
     }
-    std::string text;
-    if (libs.empty()) {
-      text = FormatTelemetryReport(telemetry.Snapshot(), have_sites ? &sites : nullptr,
-                                   have_pipeline ? &pipeline : nullptr,
-                                   out.result.cycles);
-    } else {
-      // Per-image tables: telemetry keys decode to (image ordinal, site id);
-      // ordinals follow load order — libraries first, the program last.
-      std::vector<ImageSiteTable> tables;
-      for (size_t i = 0; i < libs.size(); ++i) {
-        tables.push_back(ImageSiteTable{
-            BaseName(libs[i].path), have_image_sites[i] ? &image_sites[i] : nullptr});
-      }
-      tables.push_back(
-          ImageSiteTable{BaseName(positional[0]), have_sites ? &sites : nullptr});
-      text = FormatTelemetryReport(telemetry.Snapshot(), tables,
-                                   have_pipeline ? &pipeline : nullptr,
-                                   out.result.cycles);
+    // Per-image tables: telemetry keys decode to (image ordinal, site id);
+    // ordinals follow load order — libraries first, the program last. Each
+    // table carries its image's resolved hardening tier (sitemap policy
+    // header or the --harden flag) for the report's harden column; a
+    // single-image report without policy data is byte-identical to before.
+    std::vector<ImageSiteTable> tables;
+    for (size_t i = 0; i < libs.size(); ++i) {
+      tables.push_back(ImageSiteTable{
+          BaseName(libs[i].path), have_image_sites[i] ? &image_sites[i] : nullptr,
+          image_harden[i].has_value() ? HardenTierName(*image_harden[i]) : ""});
     }
+    tables.push_back(ImageSiteTable{
+        BaseName(positional[0]), have_sites ? &sites : nullptr,
+        image_harden[libs.size()].has_value()
+            ? HardenTierName(*image_harden[libs.size()])
+            : ""});
+    const std::string text =
+        FormatTelemetryReport(telemetry.Snapshot(), tables,
+                              have_pipeline ? &pipeline : nullptr, out.result.cycles);
     std::fputs(text.c_str(), stdout);
   }
 

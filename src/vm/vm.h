@@ -212,6 +212,11 @@ class Vm {
   // Charged by observers/allocators for modeled work.
   void AddCycles(uint64_t c) { cycles_ += c; }
 
+  // Is `addr` inside any loaded image's trampoline/inline-check section?
+  // Public so DBI observers can skip instrumentation code (whose metadata
+  // loads legitimately touch redzone-state memory).
+  bool InTrampoline(uint64_t addr) const;
+
  private:
   struct Exec {
     Instruction insn;
@@ -239,7 +244,6 @@ class Vm {
   const Block* FetchBlock(uint64_t addr, std::string* fault);
   void RunStepLoop(RunResult* res);
   void RunBlockLoop(RunResult* res);
-  bool InTrampoline(uint64_t addr) const;
   // Ordinal of the image whose trampoline section contains `addr`, or -1.
   int TrampImageAt(uint64_t addr) const;
   // The trampoline/inline-check range containing `addr`, or null.

@@ -94,4 +94,53 @@ cmp base_out.txt tiered_out.txt || fail "tiered output differs from baseline"
 "$TOOLS/rfobjdump" mcf.tiered.rfbin > tiered_dis.txt || fail "rfobjdump tiered"
 grep -q ".redfat.inline" tiered_dis.txt || fail "no inline-check section in dump"
 
+# Hardening tiers (policy layer). extensive is byte-identical to the
+# default flags; fast runs clean; contradictory flag combos are rejected.
+"$TOOLS/redfat" --harden=extensive mcf.rfbin mcf.ext.rfbin
+cmp mcf.hard.rfbin mcf.ext.rfbin 2> /dev/null || {
+  "$TOOLS/redfat" mcf.rfbin mcf.def.rfbin
+  cmp mcf.def.rfbin mcf.ext.rfbin || fail "--harden=extensive not byte-identical"
+}
+"$TOOLS/redfat" --harden=fast --sitemap fast.map mcf.rfbin mcf.fast.rfbin
+grep -q "^# harden: fast$" fast.map || fail "sitemap missing policy header"
+"$TOOLS/rfrun" --harden=fast mcf.fast.rfbin 50 0x3f > fast_out.txt \
+    || fail "fast-tier run aborted on a clean program"
+cmp base_out.txt fast_out.txt || fail "fast-tier output differs from baseline"
+"$TOOLS/redfat" --harden=fast --shadow mcf.rfbin /dev/null 2> /dev/null \
+    && fail "fast+shadow conflict not rejected"
+"$TOOLS/redfat" --harden=debug --no-lowfat mcf.rfbin /dev/null 2> /dev/null \
+    && fail "debug+no-lowfat conflict not rejected"
+"$TOOLS/rfrun" --harden=fast --runtime=redfat mcf.fast.rfbin 5 0x3f 2> /dev/null \
+    && fail "rfrun --harden/--runtime conflict not rejected"
+
+# The fast tier drops sites that only rate a (Redzone)-only check: with a
+# truncated allow-list profile, unobserved sites demote to redzone-only and
+# fast leaves them bare.
+head -20 prof.txt > prof_part.txt
+"$TOOLS/redfat" --profile-data prof_part.txt --sitemap part.map \
+    mcf.rfbin mcf.part.rfbin
+"$TOOLS/redfat" --profile-data prof_part.txt --harden=fast --sitemap partf.map \
+    mcf.rfbin mcf.partf.rfbin
+grep -q "redzone" part.map || fail "partial allow-list produced no redzone sites"
+grep -q "redzone" partf.map && fail "fast tier kept redzone-only sites"
+
+# The debug tier still detects the CVE attack, and its resolved tier flows
+# from the sitemap header into the runtime and the report's harden column.
+"$TOOLS/redfat" --harden=debug --sitemap cve.dbg.map cve.rfbin cve.dbg.rfbin
+grep -q "^# harden: debug$" cve.dbg.map || fail "debug sitemap missing header"
+if "$TOOLS/rfrun" --harden=debug --sitemap cve.dbg.map cve.dbg.rfbin "$ATTACK" \
+    > /dev/null 2> dbg_err.txt; then
+  fail "debug tier missed the attack"
+else
+  [ $? -eq 134 ] || fail "unexpected debug-tier attack exit code"
+fi
+grep -q "out-of-bounds write at 0x" dbg_err.txt || fail "debug report unsymbolized"
+"$TOOLS/rfrun" --harden=debug --sitemap cve.dbg.map cve.dbg.rfbin "$BENIGN" \
+    > /dev/null || fail "debug tier rejected the benign input"
+"$TOOLS/rfrun" --harden=debug --report --sitemap cve.dbg.map --policy=log \
+    cve.dbg.rfbin "$ATTACK" > dbg_report.txt 2> /dev/null \
+    || fail "debug-tier report run failed"
+grep -q "harden" dbg_report.txt || fail "report missing harden column"
+grep -q "debug" dbg_report.txt || fail "report harden column missing tier value"
+
 echo "cli_roundtrip: OK"
