@@ -98,10 +98,14 @@ void EmitShadowCheckBody(Assembler& as, const PlannedCheck& check, const Scratch
     as.Jcc(Cond::kUgt, err_bounds);
   }
   as.Jmp(end);
+  // t0 still holds LB (never clobbered after STEP 1), so the error stubs
+  // can hand the faulting address to the VM for forensics.
   as.Bind(err_uaf);
+  as.Trap(TrapCode::kErrAddr, static_cast<uint32_t>(t0));
   as.Trap(TrapCode::kMemError, PackErrorArg(site, ErrorKind::kUaf));
   as.Jmp(end);
   as.Bind(err_bounds);
+  as.Trap(TrapCode::kErrAddr, static_cast<uint32_t>(t0));
   as.Trap(TrapCode::kMemError, PackErrorArg(site, ErrorKind::kBounds));
   as.Bind(done);
   as.Bind(end);
@@ -224,13 +228,18 @@ void EmitCheckBody(Assembler& as, const PlannedCheck& check, const Scratch& s,
     as.Bind(end);
   } else {
     as.Jmp(end);
+    // t0 still holds LB (never clobbered after STEP 1), so the error stubs
+    // can hand the faulting address to the VM for forensics.
     as.Bind(err_meta);
+    as.Trap(TrapCode::kErrAddr, static_cast<uint32_t>(t0));
     as.Trap(TrapCode::kMemError, PackErrorArg(site, ErrorKind::kMeta));
     as.Jmp(end);
     as.Bind(err_uaf);
+    as.Trap(TrapCode::kErrAddr, static_cast<uint32_t>(t0));
     as.Trap(TrapCode::kMemError, PackErrorArg(site, ErrorKind::kUaf));
     as.Jmp(end);
     as.Bind(err_bounds);
+    as.Trap(TrapCode::kErrAddr, static_cast<uint32_t>(t0));
     as.Trap(TrapCode::kMemError, PackErrorArg(site, ErrorKind::kBounds));
     as.Bind(done);
     as.Bind(end);

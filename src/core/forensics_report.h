@@ -1,0 +1,65 @@
+// Provenance-rich memory-error reports: the join of a detected error
+// (MemErrorReport) with the forensic allocation ring, the guest memory image
+// and the active hardening policy, rendered as triage text for stderr and as
+// structured JSON for `rfrun --error-report=FILE.json`.
+//
+// Reports must be built while the run's guest Memory is still mapped (the
+// harness does this inside RunImages) — the redzone-neighborhood hex dump
+// reads guest bytes around the faulting address.
+#ifndef REDFAT_SRC_CORE_FORENSICS_REPORT_H_
+#define REDFAT_SRC_CORE_FORENSICS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/heap/forensics.h"
+#include "src/vm/memory.h"
+#include "src/vm/vm.h"
+
+namespace redfat {
+
+// The error kind as a stable lowercase token ("oob", "uaf", "meta",
+// "double-free") for JSON; DescribeError renders the human phrasing.
+const char* ErrorKindToken(ErrorKind kind);
+
+struct ForensicReport {
+  MemErrorReport error;
+  std::string description;  // DescribeError() one-liner
+  std::string tier;         // active hardening tier name ("" = unknown)
+
+  // Provenance join: the heap object the fault is attributed to. For a UAF
+  // this is the freed object the address still points into; for an OOB the
+  // containing or nearest tracked object.
+  bool have_provenance = false;
+  AllocProvenance provenance;
+  bool provenance_freed = false;  // the join hit the freed ring, not the live table
+  uint64_t distance = 0;          // bytes from the payload edge (0 = inside)
+  bool past_end = false;          // the miss was above the object (off-by-N)
+
+  // Redzone-neighborhood dump: 64 guest bytes bracketing the faulting
+  // address (one 16-byte row before its row, two after). Absent when the
+  // report carries no address (trap payloads hold only site + kind).
+  bool have_dump = false;
+  uint64_t dump_base = 0;
+  std::vector<uint8_t> dump_bytes;
+};
+
+ForensicReport BuildForensicReport(const MemErrorReport& error,
+                                   const ForensicRing& ring, const Memory& memory,
+                                   const std::vector<SiteRecord>* sites,
+                                   const std::string& tier);
+
+// Multi-line human-readable rendering (rfrun prints this to stderr).
+std::string FormatForensicReport(const ForensicReport& report);
+
+// {"errors":[...],"ring":{...}} on a single line. `ring` records the
+// tracker's occupancy and eviction count so "no provenance" is
+// distinguishable from "provenance aged out".
+std::string ForensicReportsToJson(const std::vector<ForensicReport>& reports,
+                                  const ForensicRing& ring);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_CORE_FORENSICS_REPORT_H_

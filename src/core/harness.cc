@@ -55,6 +55,8 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   }
   vm.set_telemetry(config.telemetry);
   vm.set_trace(config.trace);
+  vm.set_sampler(config.sampler);
+  vm.set_heap_observer(config.forensics);
   if (config.trace != nullptr) {
     config.trace->SetProcessName(1, "guest");
     config.trace->SetThreadName(1, 1, "vm");
@@ -91,6 +93,17 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   out.prof_counts = vm.prof_counts();
   out.touched_pages = vm.memory().TouchedPages();
 
+  if (config.forensics != nullptr) {
+    // Reports symbolize against the entry image's site table (the last one,
+    // mirroring load order); library sites stay keyed and unjoined.
+    const std::vector<SiteRecord>* sites =
+        config.image_sites.empty() ? nullptr : config.image_sites.back();
+    for (const MemErrorReport& e : out.errors) {
+      out.forensic_reports.push_back(BuildForensicReport(
+          e, *config.forensics, vm.memory(), sites, config.forensic_tier));
+    }
+  }
+
   if (config.trace != nullptr) {
     config.trace->Complete("vm.run", "run", 1, 1, 0.0,
                            static_cast<double>(out.result.cycles),
@@ -106,6 +119,9 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
     reg->AddCounter("vm.explicit_writes", out.result.explicit_writes);
     reg->AddCounter("vm.mem_errors", out.errors.size());
     reg->SetGauge("vm.touched_pages", static_cast<double>(out.touched_pages));
+    if (vm.live_bytes_peak() != 0) {
+      reg->SetGauge("heap.live_bytes_peak", static_cast<double>(vm.live_bytes_peak()));
+    }
     if (gauged != nullptr) {
       const LowFatHeapStats& hs = gauged->lowfat_stats();
       reg->SetGauge("lowfat.allocs", static_cast<double>(hs.allocs));

@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "src/bin/image.h"
+#include "src/core/forensics_report.h"
 #include "src/core/plan.h"
 #include "src/vm/vm.h"
 
 namespace redfat {
+
+class SampleProfiler;
 
 // kRedFatShadow binds the ASAN-style shadow runtime; only meaningful for
 // binaries instrumented with RedzoneImpl::kShadow (and vice versa).
@@ -50,6 +53,17 @@ struct RunConfig {
   // identical to an unobserved run.
   TelemetryRegistry* telemetry = nullptr;
   TraceWriter* trace = nullptr;
+  // Interval-sampling guest profiler (not owned): one sample every
+  // sampler->period() executed instructions. Like the sinks above, attaching
+  // one never changes guest-visible results or modeled cycles.
+  SampleProfiler* sampler = nullptr;
+  // Allocation-provenance ring (not owned). When set, the harness wires it
+  // into the VM's malloc/free host calls and — while guest memory is still
+  // mapped — joins every detected memory error against it into
+  // RunOutcome::forensic_reports.
+  ForensicRing* forensics = nullptr;
+  // Tier label stamped into forensic reports ("" = unknown).
+  std::string forensic_tier;
   // Optional per-instruction observer (not owned), e.g. the debug tier's
   // shadow-check observer. Wired into the VM before the run; null (the
   // default) keeps the VM's observer hook on its fast path.
@@ -70,6 +84,9 @@ struct RunOutcome {
   std::unordered_map<uint32_t, uint64_t> counters;
   std::unordered_map<uint32_t, Vm::ProfCounts> prof_counts;
   uint64_t touched_pages = 0;  // guest memory footprint proxy
+  // One per entry of `errors`, built against RunConfig::forensics while the
+  // run's memory was mapped. Empty when no ring was attached.
+  std::vector<ForensicReport> forensic_reports;
 };
 
 RunOutcome RunImage(const BinaryImage& image, RuntimeKind runtime, const RunConfig& config);

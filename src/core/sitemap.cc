@@ -101,6 +101,15 @@ std::string DescribeError(const MemErrorReport& error, const std::vector<SiteRec
     case ErrorKind::kMeta:
       what = "corrupted size metadata";
       break;
+    case ErrorKind::kDoubleFree:
+      what = "double free";
+      break;
+  }
+  // Double frees are raised by the VM with a placeholder site id, so a site
+  // join would point at an unrelated instruction.
+  if (error.kind == ErrorKind::kDoubleFree) {
+    return StrFormat("double free (rip=0x%llx)",
+                     static_cast<unsigned long long>(error.rip));
   }
   if (sites != nullptr && error.site < sites->size()) {
     const SiteRecord& s = (*sites)[error.site];
@@ -208,6 +217,18 @@ std::string FormatTelemetryReport(const TelemetrySnapshot& snapshot,
     out += "=== gauges ===\n";
     for (const auto& [name, value] : snapshot.gauges) {
       out += StrFormat("%-32s %g\n", name.c_str(), value);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "=== histograms ===\n";
+    out += StrFormat("%-32s %12s %12s %12s %12s %12s\n", "name", "count", "mean",
+                     "p50", "p90", "p99");
+    for (const auto& [name, h] : snapshot.histograms) {
+      out += StrFormat("%-32s %12llu %12.1f %12llu %12llu %12llu\n", name.c_str(),
+                       static_cast<unsigned long long>(h.Count()), h.Mean(),
+                       static_cast<unsigned long long>(h.Percentile(50)),
+                       static_cast<unsigned long long>(h.Percentile(90)),
+                       static_cast<unsigned long long>(h.Percentile(99)));
     }
   }
   if (pipeline != nullptr) {

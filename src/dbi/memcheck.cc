@@ -43,9 +43,9 @@ uint64_t Memcheck::OnInstruction(Vm& vm, uint64_t addr, const Instruction& insn)
         ComputeEffectiveAddress(vm.cpu(), insn.mem, addr + EncodedLength(insn.op));
     const ShadowState state = shadow_.QueryRange(ea, insn.mem.access_size());
     if (state == ShadowState::kRedzone) {
-      vm.ReportMemError(0, ErrorKind::kBounds);
+      vm.ReportMemError(0, ErrorKind::kBounds, ea);
     } else if (state == ShadowState::kFree) {
-      vm.ReportMemError(0, ErrorKind::kUaf);
+      vm.ReportMemError(0, ErrorKind::kUaf, ea);
     }
     cycles += costs_.shadow_check;
   }
@@ -68,6 +68,8 @@ RunOutcome RunMemcheck(const BinaryImage& image, const RunConfig& config,
   }
   vm.set_telemetry(config.telemetry);
   vm.set_trace(config.trace);
+  vm.set_sampler(config.sampler);
+  vm.set_heap_observer(config.forensics);
   vm.LoadImage(image);
 
   RunOutcome out;
@@ -77,6 +79,12 @@ RunOutcome RunMemcheck(const BinaryImage& image, const RunConfig& config,
   out.counters = vm.counters();
   out.prof_counts = vm.prof_counts();
   out.touched_pages = vm.memory().TouchedPages();
+  if (config.forensics != nullptr) {
+    for (const MemErrorReport& e : out.errors) {
+      out.forensic_reports.push_back(BuildForensicReport(
+          e, *config.forensics, vm.memory(), nullptr, config.forensic_tier));
+    }
+  }
   return out;
 }
 

@@ -32,10 +32,10 @@ uint64_t ShadowCheckObserver::OnInstruction(Vm& vm, uint64_t addr,
     }
     if (state == GuestShadow::kRedzone) {
       ++errors_;
-      vm.ReportMemError(0, ErrorKind::kBounds);
+      vm.ReportMemError(0, ErrorKind::kBounds, ea);
     } else if (state == GuestShadow::kFreed) {
       ++errors_;
-      vm.ReportMemError(0, ErrorKind::kUaf);
+      vm.ReportMemError(0, ErrorKind::kUaf, ea);
     }
     ++checks_;
     cycles += costs_.shadow_check;

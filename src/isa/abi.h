@@ -45,12 +45,23 @@ enum class TrapCode : uint8_t {
   kProfFail = 3,
   // A workload self-check failed (guest assertion). Always fatal.
   kAssertFail = 4,
+  // Forensics prologue to kMemError: arg names the guest register (Reg
+  // cast to its ordinal) holding the faulting effective address. Emitted by
+  // the check generator immediately before the kMemError trap on error
+  // paths only, so passing checks cost nothing extra. The VM latches the
+  // register's value and attaches it to the next kMemError report; a VM
+  // that ignores the code would still see the same guest-visible run.
+  kErrAddr = 5,
 };
 
 enum class ErrorKind : uint8_t {
   kBounds = 0,  // out-of-bounds (lower/upper, includes redzone access)
   kUaf = 1,     // use-after-free (separate only when checks are not merged)
   kMeta = 2,    // corrupted size metadata (size-hardening check, Fig. 4 l.23)
+  // Free of an already-freed base pointer. Raised by the VM's forensics
+  // interception, never by generated check code (the allocators treat a
+  // double free as a hard host abort, not a reportable guest error).
+  kDoubleFree = 3,
 };
 
 inline uint32_t PackErrorArg(uint32_t site_id, ErrorKind kind) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 
 #include "src/support/check.h"
 #include "src/support/str.h"
@@ -46,6 +47,52 @@ void TelemetryShard::AddSite(uint32_t site, SiteEvent ev, uint64_t delta) {
   block->v[slot].fetch_add(delta, std::memory_order_relaxed);
 }
 
+// --- HistogramData ---------------------------------------------------------
+
+uint64_t HistogramData::Count() const {
+  uint64_t n = 0;
+  for (const auto& [index, count] : buckets) {
+    n += count;
+  }
+  return n;
+}
+
+uint64_t HistogramData::Percentile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 100) {
+    q = 100;
+  }
+  // The q-th percentile is the rank-ceil(q/100*n) sample (1-based), never
+  // below rank 1: a pure function of the bucket counts, so two snapshots
+  // with equal buckets always report equal percentiles.
+  uint64_t rank = static_cast<uint64_t>(q / 100.0 * static_cast<double>(n));
+  if (static_cast<double>(rank) * 100.0 < q * static_cast<double>(n)) {
+    ++rank;
+  }
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cum = 0;
+  for (const auto& [index, count] : buckets) {
+    cum += count;
+    if (cum >= rank) {
+      return HistogramBucketLowerBound(index);
+    }
+  }
+  return HistogramBucketLowerBound(buckets.rbegin()->first);
+}
+
+double HistogramData::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
 // --- TelemetrySnapshot -----------------------------------------------------
 
 const SiteTelemetry* TelemetrySnapshot::FindSite(uint32_t id) const {
@@ -63,6 +110,11 @@ uint64_t TelemetrySnapshot::TotalSiteEvents(SiteEvent ev) const {
   return total;
 }
 
+const HistogramData* TelemetrySnapshot::FindHistogram(const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it != histograms.end() ? &it->second : nullptr;
+}
+
 std::string TelemetrySnapshot::ToJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -77,7 +129,37 @@ std::string TelemetrySnapshot::ToJson() const {
     out += StrFormat("%s\"%s\":%.17g", first ? "" : ",", name.c_str(), value);
     first = false;
   }
-  out += "},\"sites\":[";
+  out += "}";
+  // The two newer sections appear only when non-empty, so snapshots that
+  // predate them serialize byte-identically to older builds.
+  if (!gauge_seq.empty()) {
+    out += ",\"gauge_seq\":{";
+    first = true;
+    for (const auto& [name, seq] : gauge_seq) {
+      out += StrFormat("%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+                       static_cast<unsigned long long>(seq));
+      first = false;
+    }
+    out += "}";
+  }
+  if (!histograms.empty()) {
+    out += ",\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+      out += StrFormat("%s\"%s\":{\"sum\":%llu,\"buckets\":{", first ? "" : ",",
+                       name.c_str(), static_cast<unsigned long long>(h.sum));
+      bool bfirst = true;
+      for (const auto& [index, count] : h.buckets) {
+        out += StrFormat("%s\"%u\":%llu", bfirst ? "" : ",", index,
+                         static_cast<unsigned long long>(count));
+        bfirst = false;
+      }
+      out += "}}";
+      first = false;
+    }
+    out += "}";
+  }
+  out += ",\"sites\":[";
   for (size_t i = 0; i < sites.size(); ++i) {
     const SiteTelemetry& s = sites[i];
     out += StrFormat("%s{\"id\":%u", i == 0 ? "" : ",", s.site);
@@ -235,6 +317,63 @@ Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json) {
       if (!ParseNumberMap(c, &snap.gauges)) {
         return Error("metrics json: bad gauges object");
       }
+    } else if (key == "gauge_seq") {
+      if (!ParseNumberMap(c, &snap.gauge_seq)) {
+        return Error("metrics json: bad gauge_seq object");
+      }
+    } else if (key == "histograms") {
+      if (!c.Eat('{')) {
+        return Error("metrics json: expected histograms object");
+      }
+      bool hfirst = true;
+      while (!c.Peek('}')) {
+        if (!hfirst && !c.Eat(',')) {
+          return Error("metrics json: expected ',' in histograms");
+        }
+        hfirst = false;
+        std::string name;
+        if (!ParseString(c, &name) || !c.Eat(':') || !c.Eat('{')) {
+          return Error("metrics json: bad histogram entry");
+        }
+        HistogramData h;
+        bool ffirst = true;
+        while (!c.Peek('}')) {
+          if (!ffirst && !c.Eat(',')) {
+            return Error("metrics json: expected ',' in histogram");
+          }
+          ffirst = false;
+          std::string field;
+          if (!ParseString(c, &field) || !c.Eat(':')) {
+            return Error("metrics json: bad histogram field");
+          }
+          if (field == "sum") {
+            double num = 0;
+            if (!ParseNumber(c, &num)) {
+              return Error("metrics json: bad histogram sum");
+            }
+            h.sum = static_cast<uint64_t>(num);
+          } else if (field == "buckets") {
+            std::map<std::string, uint64_t> raw;
+            if (!ParseNumberMap(c, &raw)) {
+              return Error("metrics json: bad histogram buckets");
+            }
+            for (const auto& [index_str, count] : raw) {
+              h.buckets[static_cast<uint32_t>(
+                  std::strtoul(index_str.c_str(), nullptr, 10))] = count;
+            }
+          } else {
+            return Error(
+                StrFormat("metrics json: unknown histogram field '%s'", field.c_str()));
+          }
+        }
+        if (!c.Eat('}')) {
+          return Error("metrics json: unterminated histogram");
+        }
+        snap.histograms[name] = std::move(h);
+      }
+      if (!c.Eat('}')) {
+        return Error("metrics json: unterminated histograms object");
+      }
     } else if (key == "sites") {
       if (!c.Eat('[')) {
         return Error("metrics json: expected sites array");
@@ -282,7 +421,29 @@ TelemetrySnapshot MergeTelemetrySnapshots(const std::vector<TelemetrySnapshot>& 
       out.counters[name] += value;
     }
     for (const auto& [name, value] : snap.gauges) {
-      out.gauges[name] = value;  // last writer wins, in input order
+      // Highest sequence stamp wins; an absent stamp reads as 0, so merging
+      // unstamped legacy snapshots degrades to last-writer-wins (>=) exactly
+      // as before. Out-of-order epoch shards now merge correctly: the final
+      // sample carries the highest stamp no matter the input order.
+      const auto sit = snap.gauge_seq.find(name);
+      const uint64_t seq = sit != snap.gauge_seq.end() ? sit->second : 0;
+      const auto oit = out.gauge_seq.find(name);
+      const uint64_t best = oit != out.gauge_seq.end() ? oit->second : 0;
+      if (out.gauges.find(name) == out.gauges.end() || seq >= best) {
+        out.gauges[name] = value;
+        if (sit != snap.gauge_seq.end()) {
+          out.gauge_seq[name] = seq;
+        } else if (oit != out.gauge_seq.end()) {
+          out.gauge_seq.erase(name);  // an unstamped later writer wins the tie
+        }
+      }
+    }
+    for (const auto& [name, h] : snap.histograms) {
+      HistogramData& dst = out.histograms[name];
+      dst.sum += h.sum;
+      for (const auto& [index, count] : h.buckets) {
+        dst.buckets[index] += count;
+      }
     }
   }
   out.sites.reserve(merged.size());
@@ -319,8 +480,33 @@ TelemetrySnapshot DeltaTelemetrySnapshot(const TelemetrySnapshot& cur,
     }
   }
   // Gauges are point samples, not accumulators: the epoch reports cur's
-  // values as-is, and merge's last-writer-wins keeps the final sample.
+  // values (and stamps) as-is, and merge keeps the highest-stamped sample.
   out.gauges = cur.gauges;
+  out.gauge_seq = cur.gauge_seq;
+  for (const auto& [name, h] : cur.histograms) {
+    const HistogramData* p = nullptr;
+    const auto pit = prev.histograms.find(name);
+    if (pit != prev.histograms.end()) {
+      p = &pit->second;
+    }
+    HistogramData d;
+    d.sum = h.sum - (p != nullptr ? p->sum : 0);
+    for (const auto& [index, count] : h.buckets) {
+      uint64_t prev_count = 0;
+      if (p != nullptr) {
+        const auto bit = p->buckets.find(index);
+        if (bit != p->buckets.end()) {
+          prev_count = bit->second;
+        }
+      }
+      if (count != prev_count) {
+        d.buckets[index] = count - prev_count;
+      }
+    }
+    if (d.sum != 0 || !d.buckets.empty()) {
+      out.histograms[name] = std::move(d);
+    }
+  }
   return out;
 }
 
@@ -363,6 +549,28 @@ void TelemetryRegistry::AddCounter(const std::string& name, uint64_t delta) {
 void TelemetryRegistry::SetGauge(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
+  gauge_seqs_[name] = ++gauge_seq_next_;
+}
+
+HistogramCell* TelemetryRegistry::histogram(const std::string& name) {
+  struct CacheEntry {
+    const TelemetryRegistry* registry;
+    uint64_t id;
+    std::string name;
+    HistogramCell* cell;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.registry == this && e.id == id_ && e.name == name) {
+      return e.cell;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<HistogramCell>>& cells = histograms_[name];
+  cells.push_back(std::make_unique<HistogramCell>());
+  HistogramCell* cell = cells.back().get();
+  cache.push_back(CacheEntry{this, id_, name, cell});
+  return cell;
 }
 
 TelemetrySnapshot TelemetryRegistry::Snapshot() const {
@@ -370,6 +578,24 @@ TelemetrySnapshot TelemetryRegistry::Snapshot() const {
   TelemetrySnapshot snap;
   snap.counters = counters_;
   snap.gauges = gauges_;
+  snap.gauge_seq = gauge_seqs_;
+  for (const auto& [name, cells] : histograms_) {
+    HistogramData merged_h;
+    for (const std::unique_ptr<HistogramCell>& cell : cells) {
+      merged_h.sum += cell->sum_.load(std::memory_order_relaxed);
+      for (uint32_t b = 0; b < kNumHistogramBuckets; ++b) {
+        const uint64_t v = cell->buckets_[b].load(std::memory_order_relaxed);
+        if (v != 0) {
+          merged_h.buckets[b] += v;
+        }
+      }
+    }
+    // A registered-but-never-recorded histogram stays out of the snapshot,
+    // mirroring the all-zero-site rule.
+    if (merged_h.sum != 0 || !merged_h.buckets.empty()) {
+      snap.histograms[name] = std::move(merged_h);
+    }
+  }
 
   // Merge the shards' blocks into a dense, sorted site list.
   std::map<uint32_t, SiteTelemetry> merged;

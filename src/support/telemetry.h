@@ -17,6 +17,13 @@
 //
 // When no registry is attached (the default everywhere), producers hold a
 // null pointer and skip all of this: disabled telemetry costs one branch.
+//
+// Histograms follow the counter contract: a producer obtains a per-thread
+// HistogramCell once (TelemetryRegistry::histogram(), mutex-guarded
+// registration) and then records into relaxed atomics it exclusively
+// writes. The bucket layout is fixed (log-linear, two sub-exponent bits),
+// so Merge/Delta/JSON round-trips stay bit-exact — a histogram is just 252
+// monotonic counters plus a monotonic sum.
 #ifndef REDFAT_SRC_SUPPORT_TELEMETRY_H_
 #define REDFAT_SRC_SUPPORT_TELEMETRY_H_
 
@@ -93,6 +100,69 @@ class TelemetryShard {
   std::atomic<uint64_t> overflow_{0};
 };
 
+// --- histograms ------------------------------------------------------------
+
+// Fixed log-linear bucket layout: values 0..3 get their own bucket; above
+// that each power-of-two octave splits into 4 sub-buckets keyed by the two
+// bits below the leading bit (~19% relative error at the bucket boundary).
+// The layout is part of the snapshot format — changing it would break
+// merge/delta telescoping across versions — so it is frozen here:
+//   v < 4            -> index v
+//   else e = 63 - clz(v), m = (v >> (e - 2)) & 3
+//                    -> index ((e - 1) << 2) + m
+// e in [2, 63], m in [0, 3] => max index (62 << 2) + 3 = 251.
+inline constexpr uint32_t kNumHistogramBuckets = 252;
+
+inline uint32_t HistogramBucketIndex(uint64_t v) {
+  if (v < 4) {
+    return static_cast<uint32_t>(v);
+  }
+  const unsigned e = 63u - static_cast<unsigned>(__builtin_clzll(v));
+  const unsigned m = static_cast<unsigned>((v >> (e - 2)) & 3);
+  return ((e - 1) << 2) + m;
+}
+
+// Smallest value that lands in bucket `index` (the value percentile queries
+// report, so percentiles are deterministic and never overstate).
+inline uint64_t HistogramBucketLowerBound(uint32_t index) {
+  if (index < 4) {
+    return index;
+  }
+  const unsigned e = (index >> 2) + 1;
+  const unsigned m = index & 3;
+  return (uint64_t{1} << e) + (static_cast<uint64_t>(m) << (e - 2));
+}
+
+// A merged histogram in a snapshot: monotonic sum + sparse bucket counts.
+// No min/max — those would not telescope through DeltaTelemetrySnapshot.
+struct HistogramData {
+  uint64_t sum = 0;
+  std::map<uint32_t, uint64_t> buckets;  // bucket index -> count, non-zero only
+
+  uint64_t Count() const;
+  // Lower bound of the bucket containing the q-th percentile (q in [0,100]);
+  // 0 when empty. Deterministic: a pure function of the bucket counts.
+  uint64_t Percentile(double q) const;
+  double Mean() const;
+};
+
+// One thread's private recording buffer for one named histogram. Obtained
+// from TelemetryRegistry::histogram(); Record must only be called by the
+// owning thread. Snapshot() reads the atomics with relaxed loads (same
+// staleness contract as TelemetryShard).
+class HistogramCell {
+ public:
+  void Record(uint64_t value) {
+    buckets_[HistogramBucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TelemetryRegistry;
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> buckets_[kNumHistogramBuckets] = {};
+};
+
 // --- snapshots -------------------------------------------------------------
 
 struct SiteTelemetry {
@@ -114,23 +184,37 @@ struct TelemetrySnapshot {
   std::vector<SiteTelemetry> sites;                // sorted by id, non-zero only
   std::map<std::string, uint64_t> counters;        // monotonic named counts
   std::map<std::string, double> gauges;            // sampled absolute values
+  // Per-gauge sequence stamp: the registry-wide SetGauge ordinal of the
+  // sample in `gauges`. Merge keeps the highest-stamped sample per gauge, so
+  // merging per-epoch shards out of order no longer silently replaces the
+  // final sample with an earlier one. Absent entries read as stamp 0, which
+  // preserves the legacy last-writer-wins behaviour for old snapshots.
+  std::map<std::string, uint64_t> gauge_seq;
+  // Named log-linear distributions (see HistogramData). Monotonic like
+  // counters: merge adds bucket counts, delta subtracts them.
+  std::map<std::string, HistogramData> histograms;
 
   const SiteTelemetry* FindSite(uint32_t id) const;
   uint64_t TotalSiteEvents(SiteEvent ev) const;
+  const HistogramData* FindHistogram(const std::string& name) const;
   std::string ToJson() const;
 };
 
 Result<TelemetrySnapshot> TelemetrySnapshotFromJson(const std::string& json);
 
 // Sums snapshots from several runs/processes into one profile: per-site
-// counts are added per (keyed) site id, named counters are added, gauges
-// take the last writer (per input order). The aggregation step of the
-// profile -> re-rewrite loop (`redfat --merge-metrics`).
+// counts are added per (keyed) site id, named counters and histogram
+// buckets are added, and each gauge keeps the sample with the highest
+// sequence stamp (ties — including unstamped legacy snapshots, which read
+// as stamp 0 — resolve to the later input, i.e. last-writer-wins). The
+// aggregation step of the profile -> re-rewrite loop
+// (`redfat --merge-metrics`).
 TelemetrySnapshot MergeTelemetrySnapshots(const std::vector<TelemetrySnapshot>& snapshots);
 
-// cur - prev for the monotonic parts (per-site counts and named counters;
-// entries that delta to all-zero are dropped), while gauges keep cur's
-// absolute values (they are samples, not accumulators). Streaming epochs
+// cur - prev for the monotonic parts (per-site counts, named counters and
+// histogram buckets; entries that delta to all-zero are dropped), while
+// gauges keep cur's absolute values and sequence stamps (they are samples,
+// not accumulators). Streaming epochs
 // (`rfrun --metrics-epoch`) chain these so that merging every epoch file
 // with MergeTelemetrySnapshots reproduces the one-shot snapshot exactly:
 // counts telescope, and last-writer-wins leaves the final gauge sample.
@@ -150,9 +234,17 @@ class TelemetryRegistry {
   // lifetime and must only be used from the calling thread).
   TelemetryShard* shard();
 
-  // Cold-path named counters (accumulating) and gauges (last write wins).
+  // Cold-path named counters (accumulating) and gauges (each write also
+  // advances the gauge's registry-wide sequence stamp, see
+  // TelemetrySnapshot::gauge_seq).
   void AddCounter(const std::string& name, uint64_t delta);
   void SetGauge(const std::string& name, double value);
+
+  // The calling thread's recording cell for the named histogram (registered
+  // on first use, then cached thread-locally; same ownership and lifetime
+  // rules as shard()). Hot-path producers fetch the cell once and Record
+  // into it lock-free.
+  HistogramCell* histogram(const std::string& name);
 
   TelemetrySnapshot Snapshot() const;
 
@@ -162,6 +254,9 @@ class TelemetryRegistry {
   std::vector<std::unique_ptr<TelemetryShard>> shards_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, uint64_t> gauge_seqs_;
+  uint64_t gauge_seq_next_ = 0;
+  std::map<std::string, std::vector<std::unique_ptr<HistogramCell>>> histograms_;
 };
 
 }  // namespace redfat

@@ -6,6 +6,7 @@
 //   rfgen cve NAME out.rfbin          # prints attack/benign inputs
 //   rfgen synth SEED out.rfbin        # generic synthetic program
 //   rfgen server SEED out.rfbin       # request/response heap-churn server
+//   rfgen uaf SEED out.rfbin          # forensics workload (mode-gated bug)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,8 +29,10 @@ int Usage() {
                "       rfgen cve NAME out.rfbin\n"
                "       rfgen synth SEED out.rfbin\n"
                "       rfgen server SEED out.rfbin\n"
+               "       rfgen uaf SEED out.rfbin\n"
                "Programs read inputs[0]=iterations, inputs[1]=mode (SPEC/Kraken/synth);\n"
-               "the server program reads inputs[0]=requests.\n");
+               "the server program reads inputs[0]=requests; the uaf program reads\n"
+               "inputs[0]=mode (0 benign, 1 use-after-free, 2 double free).\n");
   return 2;
 }
 
@@ -114,6 +117,13 @@ int Main(int argc, char** argv) {
     ServerParams p;
     p.seed = std::strtoull(name.c_str(), nullptr, 0);
     return Save(GenerateServerProgram(p), out);
+  }
+  if (cmd == "uaf") {
+    UafParams p;
+    p.seed = std::strtoull(name.c_str(), nullptr, 0);
+    std::fprintf(stderr,
+                 "rfgen: inputs[0]=0 benign, =1 use-after-free, =2 double free\n");
+    return Save(GenerateUafProgram(p), out);
   }
   return Usage();
 }

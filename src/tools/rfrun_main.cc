@@ -46,6 +46,22 @@
 //                          image, so --report stays unambiguous when both
 //                          a library and the program are instrumented; the
 //                          optional :SITEMAP joins that image's sites.
+//   --sample-period=N      guest sampling profiler: take one sample every N
+//                          executed instructions (deterministic, identical
+//                          under either engine). Attribution uses the t_*
+//                          trampoline state, so samples resolve to check
+//                          sites without full counter telemetry
+//   --profile-folded FILE  with --sample-period: collapsed-stack text
+//                          ("image;region;frame count" lines; flamegraph
+//                          compatible)
+//   --profile-metrics FILE with --sample-period: telemetry-snapshot JSON
+//                          synthesized from the samples alone — a cheap
+//                          `redfat --profile=` input
+//   --error-report FILE    memory-error forensics: track allocation/free
+//                          provenance in a bounded ring, print a triage
+//                          report (birth/death provenance, neighborhood hex
+//                          dump, tier) for every detected error, and write
+//                          the structured reports as JSON to FILE
 //
 // Guest outputs are printed one per line. Exit status: the guest's exit
 // code; 134 if the run aborted on a detected memory error (like SIGABRT).
@@ -55,16 +71,19 @@
 #include <string>
 #include <vector>
 
+#include "src/core/forensics_report.h"
 #include "src/core/harness.h"
 #include "src/core/pipeline.h"
 #include "src/core/policy.h"
 #include "src/core/sitemap.h"
 #include "src/dbi/memcheck.h"
 #include "src/dbi/shadow_check.h"
+#include "src/heap/forensics.h"
 #include "src/support/str.h"
 #include "src/support/telemetry.h"
 #include "src/support/trace.h"
 #include "src/tools/tool_io.h"
+#include "src/vm/profiler.h"
 
 namespace redfat {
 namespace {
@@ -79,6 +98,8 @@ int Usage() {
                "             [--metrics-epoch=N] [--engine=step|block]\n"
                "             [--trace FILE] [--report] [--pipeline-stats FILE]\n"
                "             [--lib FILE[:SITEMAP]]...\n"
+               "             [--sample-period=N] [--profile-folded FILE]\n"
+               "             [--profile-metrics FILE] [--error-report FILE]\n"
                "             prog.rfbin [input...]\n");
   return 2;
 }
@@ -127,6 +148,10 @@ int Main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string pipeline_stats_path;
+  std::string profile_folded_path;
+  std::string profile_metrics_path;
+  std::string error_report_path;
+  uint64_t sample_period = 0;
   RunConfig cfg;
   bool stats = false;
   bool report = false;
@@ -186,6 +211,22 @@ int Main(int argc, char** argv) {
       libs.push_back(ParseLibSpec(argv[++i]));
     } else if (arg.rfind("--lib=", 0) == 0) {
       libs.push_back(ParseLibSpec(arg.substr(6)));
+    } else if (arg.rfind("--sample-period=", 0) == 0) {
+      sample_period = std::strtoull(arg.substr(16).c_str(), nullptr, 0);
+    } else if (arg == "--sample-period" && i + 1 < argc) {
+      sample_period = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--profile-folded" && i + 1 < argc) {
+      profile_folded_path = argv[++i];
+    } else if (arg.rfind("--profile-folded=", 0) == 0) {
+      profile_folded_path = arg.substr(17);
+    } else if (arg == "--profile-metrics" && i + 1 < argc) {
+      profile_metrics_path = argv[++i];
+    } else if (arg.rfind("--profile-metrics=", 0) == 0) {
+      profile_metrics_path = arg.substr(18);
+    } else if (arg == "--error-report" && i + 1 < argc) {
+      error_report_path = argv[++i];
+    } else if (arg.rfind("--error-report=", 0) == 0) {
+      error_report_path = arg.substr(15);
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -260,15 +301,39 @@ int Main(int argc, char** argv) {
   const std::vector<SiteRecord>& sites = image_sites[libs.size()];
   const bool have_sites = have_image_sites[libs.size()];
 
+  if ((!profile_folded_path.empty() || !profile_metrics_path.empty()) &&
+      sample_period == 0) {
+    std::fprintf(stderr,
+                 "rfrun: --profile-folded/--profile-metrics need --sample-period=N\n");
+    return 2;
+  }
+
   // Attach the observability sinks only when requested: a plain run keeps
   // the VM's telemetry hooks on their null fast path.
   TelemetryRegistry telemetry;
   TraceWriter trace;
+  SampleProfiler sampler(sample_period == 0 ? 1 : sample_period);
+  ForensicRing forensics;
   if (!metrics_path.empty() || report) {
     cfg.telemetry = &telemetry;
   }
-  if (!trace_path.empty()) {
-    cfg.trace = &trace;
+  if (sample_period != 0) {
+    cfg.sampler = &sampler;
+    for (size_t i = 0; i < libs.size(); ++i) {
+      sampler.SetImageName(static_cast<uint32_t>(i), BaseName(libs[i].path));
+    }
+    sampler.SetImageName(static_cast<uint32_t>(libs.size()), BaseName(positional[0]));
+  }
+  if (!error_report_path.empty()) {
+    cfg.forensics = &forensics;
+    cfg.forensic_tier = image_harden[libs.size()].has_value()
+                            ? HardenTierName(*image_harden[libs.size()])
+                            : "";
+  }
+  if (!trace_path.empty() || cfg.forensics != nullptr) {
+    if (!trace_path.empty()) {
+      cfg.trace = &trace;
+    }
     for (size_t i = 0; i < image_sites.size(); ++i) {
       cfg.image_sites.push_back(have_image_sites[i] ? &image_sites[i] : nullptr);
     }
@@ -350,9 +415,40 @@ int Main(int argc, char** argv) {
   for (uint64_t w : out.outputs) {
     std::printf("%llu\n", static_cast<unsigned long long>(w));
   }
-  for (const MemErrorReport& e : out.errors) {
-    std::fprintf(stderr, "rfrun: MEMORY ERROR: %s\n",
-                 DescribeError(e, have_sites ? &sites : nullptr).c_str());
+  if (!out.forensic_reports.empty()) {
+    // Forensics attached: the provenance-rich multi-line report replaces the
+    // one-line description (its first line carries the same text).
+    for (const ForensicReport& fr : out.forensic_reports) {
+      std::fprintf(stderr, "rfrun: MEMORY ERROR:\n%s", FormatForensicReport(fr).c_str());
+    }
+  } else {
+    for (const MemErrorReport& e : out.errors) {
+      std::fprintf(stderr, "rfrun: MEMORY ERROR: %s\n",
+                   DescribeError(e, have_sites ? &sites : nullptr).c_str());
+    }
+  }
+  if (!error_report_path.empty()) {
+    const Status s = WriteTextFile(
+        error_report_path, ForensicReportsToJson(out.forensic_reports, forensics) + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (!profile_folded_path.empty()) {
+    const Status s = WriteTextFile(profile_folded_path, sampler.ToFolded());
+    if (!s.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      return 1;
+    }
+  }
+  if (!profile_metrics_path.empty()) {
+    const Status s =
+        WriteTextFile(profile_metrics_path, sampler.SynthesizeMetrics().ToJson() + "\n");
+    if (!s.ok()) {
+      std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());
+      return 1;
+    }
   }
   if (!profile_dump.empty()) {
     std::string text;
@@ -399,6 +495,9 @@ int Main(int argc, char** argv) {
     }
   }
   if (!trace_path.empty()) {
+    if (cfg.sampler != nullptr) {
+      sampler.AppendTrace(trace);  // sample instants over the run's slices
+    }
     const Status s = WriteTextFile(trace_path, trace.ToJson() + "\n");
     if (!s.ok()) {
       std::fprintf(stderr, "rfrun: %s\n", s.error().c_str());

@@ -1,0 +1,118 @@
+#include "src/vm/profiler.h"
+
+#include <tuple>
+
+#include "src/support/str.h"
+#include "src/support/trace.h"
+
+namespace redfat {
+
+const char* ProfileRegionName(SampleProfiler::Region r) {
+  switch (r) {
+    case SampleProfiler::Region::kUser: return "user";
+    case SampleProfiler::Region::kTramp: return "tramp";
+    case SampleProfiler::Region::kInline: return "inline";
+  }
+  return "?";
+}
+
+bool SampleProfiler::Key::operator<(const Key& o) const {
+  return std::tie(image, region, have_site, site, pc_bucket) <
+         std::tie(o.image, o.region, o.have_site, o.site, o.pc_bucket);
+}
+
+void SampleProfiler::TakeSample(uint64_t pc, uint64_t instructions, uint64_t cycles,
+                                uint32_t image, Region region, bool have_site,
+                                uint32_t site) {
+  Key key;
+  key.image = image;
+  key.region = region;
+  key.have_site = have_site;
+  if (have_site) {
+    key.site = site;
+  } else {
+    key.pc_bucket = pc & ~(kUserPcBucket - 1);
+  }
+  ++counts_[key];
+  ++samples_;
+  if (trace_samples_.size() < kMaxTraceSamples) {
+    trace_samples_.push_back(Sample{pc, instructions, cycles, key});
+  }
+}
+
+void SampleProfiler::SetImageName(uint32_t image, const std::string& name) {
+  if (!name.empty()) {
+    image_names_[image] = name;
+  }
+}
+
+std::string SampleProfiler::ImageLabel(uint32_t image) const {
+  const auto it = image_names_.find(image);
+  return it != image_names_.end() ? it->second
+                                  : StrFormat("img#%u", image);
+}
+
+std::string SampleProfiler::ToFolded() const {
+  std::string out;
+  for (const auto& [key, count] : counts_) {
+    const std::string frame =
+        key.have_site
+            ? StrFormat("site#%u", key.site)
+            : StrFormat("0x%llx", static_cast<unsigned long long>(key.pc_bucket));
+    out += StrFormat("%s;%s;%s %llu\n", ImageLabel(key.image).c_str(),
+                     ProfileRegionName(key.region), frame.c_str(),
+                     static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+void SampleProfiler::AppendTrace(TraceWriter& trace) const {
+  for (const Sample& s : trace_samples_) {
+    std::vector<TraceArg> args;
+    args.push_back(TraceArg{"pc", s.pc});
+    args.push_back(TraceArg{"instructions", s.instructions});
+    if (s.key.have_site) {
+      args.push_back(TraceArg{"site", s.key.site});
+    }
+    if (s.key.image != 0) {
+      args.push_back(TraceArg{"image", s.key.image});
+    }
+    trace.Instant(StrFormat("sample.%s", ProfileRegionName(s.key.region)), "sample",
+                  1, 1, static_cast<double>(s.cycles), args);
+  }
+}
+
+TelemetrySnapshot SampleProfiler::SynthesizeMetrics() const {
+  TelemetrySnapshot snap;
+  std::map<uint32_t, SiteTelemetry> sites;
+  uint64_t unattributed = 0;
+  for (const auto& [key, count] : counts_) {
+    if (!key.have_site) {
+      unattributed += count;
+      continue;
+    }
+    // Mirror Vm::SiteKeyFor so the synthesized profile joins the same way a
+    // counted one would in multi-image runs.
+    const bool keyed = key.image != 0 && key.image < kMaxKeyedImages &&
+                       key.site <= kMaxKeyedSite;
+    const uint32_t id = keyed ? ImageSiteKey(key.image, key.site) : key.site;
+    SiteTelemetry& st = sites[id];
+    st.site = id;
+    st.counts[static_cast<size_t>(SiteEvent::kChecks)] += count;
+    const SiteEvent cyc = key.region == Region::kInline ? SiteEvent::kInlineCycles
+                                                        : SiteEvent::kTrampCycles;
+    st.counts[static_cast<size_t>(cyc)] += count * period_;
+  }
+  snap.sites.reserve(sites.size());
+  for (auto& [id, st] : sites) {
+    snap.sites.push_back(st);
+  }
+  snap.counters["profile.period"] = period_;
+  snap.counters["profile.samples"] = samples_;
+  if (unattributed != 0) {
+    snap.counters["profile.samples_unattributed"] = unattributed;
+  }
+  return snap;
+}
+
+}  // namespace redfat

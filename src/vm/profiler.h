@@ -1,0 +1,102 @@
+// Interval-sampled guest-PC profiler: the cheap alternative to full counter
+// telemetry for finding where guest time goes (and the profile source for
+// `redfat --profile=` re-tiering when counting every check is too costly).
+//
+// The VM takes one sample every `period` executed guest instructions, at the
+// exact instruction boundary — under either engine, via the same budget-cap
+// mechanism the epoch hook uses — so a run's sample sequence is fully
+// deterministic: same program + inputs + period => bit-identical samples,
+// step or block engine. Sampling charges no guest cycles and never touches
+// guest state; a VM with no sampler attached (the default) pays nothing.
+//
+// Each sample attributes the resumption PC to (image, region, frame):
+// region is user code, a trampoline section or an inline-check region, and
+// the frame is the active check site for instrumentation regions (the site
+// last Counted in the current trampoline visit) or a 64-byte PC bucket for
+// user code. Outputs:
+//   * collapsed-stack "folded" text (flamegraph.pl-compatible),
+//   * trace instants for the first kMaxTraceSamples samples,
+//   * a synthesized TelemetrySnapshot whose per-site check/cycle estimates
+//     feed the existing `redfat --profile=` tiering join.
+#ifndef REDFAT_SRC_VM_PROFILER_H_
+#define REDFAT_SRC_VM_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/telemetry.h"
+
+namespace redfat {
+
+class TraceWriter;
+
+class SampleProfiler {
+ public:
+  enum class Region : uint8_t { kUser = 0, kTramp = 1, kInline = 2 };
+  static constexpr size_t kMaxTraceSamples = 4096;
+  // User-code PCs fold into buckets of this many bytes: fine enough to
+  // separate loops, coarse enough to keep the key space bounded.
+  static constexpr uint64_t kUserPcBucket = 64;
+
+  explicit SampleProfiler(uint64_t period) : period_(period == 0 ? 1 : period) {}
+
+  uint64_t period() const { return period_; }
+
+  // Called by the VM at each sample boundary (never by anyone else).
+  void TakeSample(uint64_t pc, uint64_t instructions, uint64_t cycles,
+                  uint32_t image, Region region, bool have_site, uint32_t site);
+
+  // Optional display name for an image ordinal (folded-output labels).
+  void SetImageName(uint32_t image, const std::string& name);
+
+  uint64_t samples() const { return samples_; }
+  uint64_t dropped_trace_samples() const {
+    return samples_ > kMaxTraceSamples ? samples_ - kMaxTraceSamples : 0;
+  }
+
+  // "image;region;frame count" lines, deterministically ordered.
+  std::string ToFolded() const;
+
+  // Instant events ("sample" category) for the retained sample prefix.
+  void AppendTrace(TraceWriter& trace) const;
+
+  // A TelemetrySnapshot estimated from the samples alone: per-site checks =
+  // sample count, tramp/inline cycles = samples * period. Absolute values
+  // are estimates (samples are spaced in instructions, not cycles) but the
+  // per-site ranking — all the `redfat --profile=` hot-prefix join consumes
+  // — matches the sampled distribution. Includes profile.* counters
+  // describing the sampling configuration.
+  TelemetrySnapshot SynthesizeMetrics() const;
+
+ private:
+  struct Key {
+    uint32_t image = 0;
+    Region region = Region::kUser;
+    bool have_site = false;
+    uint32_t site = 0;      // valid when have_site
+    uint64_t pc_bucket = 0; // valid when !have_site
+    bool operator<(const Key& o) const;
+  };
+  struct Sample {
+    uint64_t pc = 0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    Key key;
+  };
+
+  std::string ImageLabel(uint32_t image) const;
+
+  uint64_t period_;
+  uint64_t samples_ = 0;
+  std::map<Key, uint64_t> counts_;
+  std::vector<Sample> trace_samples_;  // first kMaxTraceSamples only
+  std::map<uint32_t, std::string> image_names_;
+};
+
+const char* ProfileRegionName(SampleProfiler::Region r);
+
+}  // namespace redfat
+
+#endif  // REDFAT_SRC_VM_PROFILER_H_

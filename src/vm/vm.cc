@@ -6,6 +6,7 @@
 #include "src/support/str.h"
 #include "src/support/telemetry.h"
 #include "src/support/trace.h"
+#include "src/vm/profiler.h"
 
 namespace redfat {
 
@@ -38,6 +39,30 @@ void Vm::LoadImage(const BinaryImage& image) {
 void Vm::set_telemetry(TelemetryRegistry* t) {
   telemetry_ = t;
   tshard_ = t != nullptr ? t->shard() : nullptr;
+  h_tramp_visit_ = t != nullptr ? t->histogram("vm.tramp_visit_cycles") : nullptr;
+  h_superblock_len_ = t != nullptr ? t->histogram("vm.superblock_len") : nullptr;
+  h_malloc_bytes_ = t != nullptr ? t->histogram("heap.malloc_bytes") : nullptr;
+  h_live_bytes_ = t != nullptr ? t->histogram("heap.live_bytes") : nullptr;
+  h_live_objects_ = t != nullptr ? t->histogram("heap.live_objects") : nullptr;
+  h_alloc_lifetime_ = t != nullptr ? t->histogram("heap.alloc_lifetime_cycles") : nullptr;
+  h_error_distance_ = t != nullptr ? t->histogram("vm.error_distance") : nullptr;
+}
+
+void Vm::set_sampler(SampleProfiler* s) {
+  sampler_ = s;
+  sampler_next_ = s != nullptr ? instructions_ + s->period() : 0;
+}
+
+void Vm::TakeSampleNow() {
+  SampleProfiler::Region region = SampleProfiler::Region::kUser;
+  if (t_in_tramp_) {
+    region = t_inline_ ? SampleProfiler::Region::kInline
+                       : SampleProfiler::Region::kTramp;
+  }
+  sampler_->TakeSample(cpu_.rip, instructions_, cycles_,
+                       t_in_tramp_ ? t_image_ : 0, region,
+                       t_in_tramp_ && t_have_site_, t_site_);
+  sampler_next_ += sampler_->period();
 }
 
 bool Vm::InTrampoline(uint64_t addr) const { return TrampImageAt(addr) >= 0; }
@@ -82,6 +107,9 @@ void Vm::FlushTrampolineVisit() {
   const uint64_t dur = cycles_ - t_entry_cycles_;
   t_in_tramp_ = false;
   (t_inline_ ? t_inline_cycles_ : t_tramp_cycles_) += dur;
+  if (h_tramp_visit_ != nullptr && !t_inline_) {
+    h_tramp_visit_->Record(dur);
+  }
   if (tshard_ != nullptr && t_have_site_) {
     tshard_->AddSite(SiteKeyFor(t_site_),
                      t_inline_ ? SiteEvent::kInlineCycles : SiteEvent::kTrampCycles, dur);
@@ -202,7 +230,25 @@ bool Vm::EvalCond(Cond c) const {
 }
 
 bool Vm::ReportMemError(uint32_t site, ErrorKind kind) {
-  mem_errors_.push_back(MemErrorReport{site, kind, cpu_.rip, instructions_});
+  return ReportMemErrorImpl(site, kind, 0, false);
+}
+
+bool Vm::ReportMemError(uint32_t site, ErrorKind kind, uint64_t addr) {
+  return ReportMemErrorImpl(site, kind, addr, true);
+}
+
+bool Vm::ReportMemErrorImpl(uint32_t site, ErrorKind kind, uint64_t addr,
+                            bool has_addr) {
+  MemErrorReport report{site, kind, cpu_.rip, instructions_};
+  report.addr = addr;
+  report.has_addr = has_addr;
+  mem_errors_.push_back(report);
+  if (has_addr && h_error_distance_ != nullptr && heap_obs_ != nullptr) {
+    uint64_t distance = 0;
+    if (heap_obs_->DistanceTo(addr, &distance)) {
+      h_error_distance_->Record(distance);
+    }
+  }
   if (tshard_ != nullptr) {
     tshard_->AddSite(SiteKeyFor(site), SiteEvent::kRedzoneHits);
   }
@@ -210,6 +256,9 @@ bool Vm::ReportMemError(uint32_t site, ErrorKind kind) {
     std::vector<TraceArg> args;
     args.push_back(TraceArg{"site", site});
     args.push_back(TraceArg{"kind", static_cast<uint64_t>(kind)});
+    if (has_addr) {
+      args.push_back(TraceArg{"addr", addr});
+    }
     if (t_image_ != 0) {
       args.push_back(TraceArg{"image", t_image_});
     }
@@ -250,6 +299,22 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
       const AllocOutcome out = allocator_->Malloc(memory_, a0);
       cpu_.Set(Reg::kRax, out.ptr);
       cycles_ += out.cycles;
+      if ((heap_obs_ != nullptr || h_malloc_bytes_ != nullptr) && out.ptr != 0) {
+        live_allocs_[out.ptr] = LiveAlloc{a0, cycles_};
+        live_bytes_ += a0;
+        if (live_bytes_ > live_bytes_peak_) {
+          live_bytes_peak_ = live_bytes_;
+        }
+        if (h_malloc_bytes_ != nullptr) {
+          h_malloc_bytes_->Record(a0);
+          h_live_bytes_->Record(live_bytes_);
+          h_live_objects_->Record(live_allocs_.size());
+        }
+        if (heap_obs_ != nullptr) {
+          heap_obs_->OnAlloc(out.ptr, a0, cpu_.rip, instructions_, cycles_,
+                             CurrentEpoch());
+        }
+      }
       if (trace_ != nullptr) {
         if (out.ptr != 0) {
           ++t_live_allocs_;
@@ -268,7 +333,34 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
         *fault = "hostcall free with no allocator bound";
         return false;
       }
+      if (heap_obs_ != nullptr && a0 != 0 &&
+          live_allocs_.find(a0) == live_allocs_.end() && heap_obs_->WasFreed(a0)) {
+        // Double free: the ring still remembers this exact base as freed and
+        // it was never reallocated. Report before touching the allocator —
+        // whose own double-free handling is a hard host abort, not a
+        // diagnosable guest error — and skip it, so under Policy::kLog the
+        // second free becomes a diagnosed no-op.
+        ReportMemError(0, ErrorKind::kDoubleFree, a0);
+        return true;
+      }
       cycles_ += allocator_->Free(memory_, a0);
+      if ((heap_obs_ != nullptr || h_malloc_bytes_ != nullptr) && a0 != 0) {
+        const auto it = live_allocs_.find(a0);
+        if (it != live_allocs_.end()) {
+          if (h_alloc_lifetime_ != nullptr) {
+            h_alloc_lifetime_->Record(cycles_ - it->second.cycles);
+          }
+          live_bytes_ -= it->second.size < live_bytes_ ? it->second.size : live_bytes_;
+          live_allocs_.erase(it);
+          if (h_live_bytes_ != nullptr) {
+            h_live_bytes_->Record(live_bytes_);
+            h_live_objects_->Record(live_allocs_.size());
+          }
+        }
+        if (heap_obs_ != nullptr) {
+          heap_obs_->OnFree(a0, cpu_.rip, instructions_, cycles_, CurrentEpoch());
+        }
+      }
       if (trace_ != nullptr) {
         if (a0 != 0 && t_live_allocs_ > 0) {
           --t_live_allocs_;
@@ -553,10 +645,21 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
       const uint8_t code = static_cast<uint8_t>(in.imm & 0xff);
       const uint32_t arg = static_cast<uint32_t>(static_cast<uint64_t>(in.imm) >> 8);
       switch (static_cast<TrapCode>(code)) {
-        case TrapCode::kMemError:
-          if (ReportMemError(ErrorArgSite(arg), ErrorArgKind(arg))) {
+        case TrapCode::kMemError: {
+          const bool has_addr = pending_err_has_addr_;
+          const uint64_t addr = pending_err_addr_;
+          pending_err_has_addr_ = false;
+          const bool abort =
+              has_addr ? ReportMemError(ErrorArgSite(arg), ErrorArgKind(arg), addr)
+                       : ReportMemError(ErrorArgSite(arg), ErrorArgKind(arg));
+          if (abort) {
             return true;
           }
+          break;
+        }
+        case TrapCode::kErrAddr:
+          pending_err_addr_ = cpu_.Get(static_cast<Reg>(arg));
+          pending_err_has_addr_ = true;
           break;
         case TrapCode::kProfPass:
           ++prof_counts_[arg].passes;
@@ -583,7 +686,7 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
     }
     case Op::kCount:
       ++counters_[static_cast<uint32_t>(in.imm)];
-      if (tshard_ != nullptr || trace_ != nullptr) {
+      if (tshard_ != nullptr || trace_ != nullptr || sampler_ != nullptr) {
         OnCountSite(static_cast<uint32_t>(in.imm));
       }
       break;  // zero cycles: measurement only
@@ -599,9 +702,12 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
 void Vm::RunStepLoop(RunResult* res) {
   std::string fault;
   // Trampoline-visit tracking is only worth per-instruction work when a sink
-  // is attached AND the loaded image actually has trampoline code.
+  // is attached AND the loaded image actually has trampoline code. The
+  // sampler counts as a sink: sample attribution reads the t_* visit state.
   const bool track_tramp =
-      (tshard_ != nullptr || trace_ != nullptr) && !tramp_ranges_.empty();
+      (tshard_ != nullptr || trace_ != nullptr || sampler_ != nullptr) &&
+      !tramp_ranges_.empty();
+  const bool track_sb = h_superblock_len_ != nullptr;
   while (!halt_) {
     if (instructions_ >= instruction_limit_) {
       halt_reason_ = HaltReason::kInstrLimit;
@@ -645,6 +751,16 @@ void Vm::RunStepLoop(RunResult* res) {
       res->fault_message = fault;
       break;
     }
+    if (track_sb) {
+      ++sb_run_len_;
+      if (IsControlFlow(ex->insn.op)) {
+        h_superblock_len_->Record(sb_run_len_);
+        sb_run_len_ = 0;
+      }
+    }
+    if (sampler_ != nullptr && instructions_ == sampler_next_) {
+      TakeSampleNow();
+    }
     if (epoch_every_ != 0 && instructions_ == epoch_next_) {
       epoch_hook_();
       epoch_next_ += epoch_every_;
@@ -655,7 +771,9 @@ void Vm::RunStepLoop(RunResult* res) {
 void Vm::RunBlockLoop(RunResult* res) {
   std::string fault;
   const bool track_tramp =
-      (tshard_ != nullptr || trace_ != nullptr) && !tramp_ranges_.empty();
+      (tshard_ != nullptr || trace_ != nullptr || sampler_ != nullptr) &&
+      !tramp_ranges_.empty();
+  const bool track_sb = h_superblock_len_ != nullptr;
   while (!halt_) {
     if (instructions_ >= instruction_limit_) {
       halt_reason_ = HaltReason::kInstrLimit;
@@ -688,18 +806,22 @@ void Vm::RunBlockLoop(RunResult* res) {
       res->fault_message = fault;
       break;
     }
-    // Cap the dispatch count so the instruction limit and any epoch boundary
-    // halt at the exact same instruction as under the step engine; the
-    // block's tail re-enters through FetchBlock (as a fresh tail block) on
-    // the next iteration.
+    // Cap the dispatch count so the instruction limit and any epoch or
+    // sample boundary halt at the exact same instruction as under the step
+    // engine; the block's tail re-enters through FetchBlock (as a fresh tail
+    // block) on the next iteration.
     uint64_t stop_at = instruction_limit_;
     if (epoch_every_ != 0 && epoch_next_ < stop_at) {
       stop_at = epoch_next_;
+    }
+    if (sampler_ != nullptr && sampler_next_ < stop_at) {
+      stop_at = sampler_next_;
     }
     const uint64_t budget = stop_at - instructions_;
     const size_t n = budget < block->execs.size() ? static_cast<size_t>(budget)
                                                   : block->execs.size();
     bool faulted = false;
+    size_t executed = 0;
     if (observer_ == nullptr) {
       // Hot path: dispatch the decoded run back to back.
       for (size_t i = 0; i < n; ++i) {
@@ -708,6 +830,7 @@ void Vm::RunBlockLoop(RunResult* res) {
           faulted = true;
           break;
         }
+        ++executed;
         if (halt_) {
           break;
         }
@@ -723,15 +846,29 @@ void Vm::RunBlockLoop(RunResult* res) {
           faulted = true;
           break;
         }
+        ++executed;
         if (halt_) {
           break;
         }
+      }
+    }
+    if (track_sb && executed > 0) {
+      // Control flow only ever terminates a block, so the executed prefix is
+      // straight-line except possibly its last instruction: one length check
+      // here is exactly equivalent to the step engine's per-insn check.
+      sb_run_len_ += executed;
+      if (IsControlFlow(block->execs[executed - 1].insn.op)) {
+        h_superblock_len_->Record(sb_run_len_);
+        sb_run_len_ = 0;
       }
     }
     if (faulted) {
       halt_reason_ = HaltReason::kFault;
       res->fault_message = fault;
       break;
+    }
+    if (sampler_ != nullptr && instructions_ == sampler_next_) {
+      TakeSampleNow();
     }
     if (epoch_every_ != 0 && instructions_ == epoch_next_) {
       epoch_hook_();

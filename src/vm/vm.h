@@ -24,6 +24,8 @@
 
 namespace redfat {
 
+class HistogramCell;
+class SampleProfiler;
 class TelemetryRegistry;
 class TelemetryShard;
 class TraceWriter;
@@ -118,6 +120,11 @@ struct MemErrorReport {
   ErrorKind kind = ErrorKind::kBounds;
   uint64_t rip = 0;
   uint64_t instruction_index = 0;
+  // Faulting effective address, when the reporter could compute one. Trap
+  // payloads carry only (site, kind), so trap-raised reports have no address;
+  // DBI observers and the VM's own double-free interception do.
+  uint64_t addr = 0;
+  bool has_addr = false;
 };
 
 struct RunResult {
@@ -141,6 +148,27 @@ class ExecObserver {
  public:
   virtual ~ExecObserver() = default;
   virtual uint64_t OnInstruction(Vm& vm, uint64_t addr, const Instruction& insn) = 0;
+};
+
+// Hook for allocation-provenance tracking (implemented by ForensicRing in
+// src/heap/forensics.h): the VM reports every guest malloc/free when an
+// observer is attached, and consults it to classify double frees and to
+// measure how far a faulting address landed from tracked heap objects.
+// Attaching one never changes guest-visible behaviour or modeled cycles on
+// error-free runs.
+class HeapObserver {
+ public:
+  virtual ~HeapObserver() = default;
+  virtual void OnAlloc(uint64_t ptr, uint64_t size, uint64_t pc,
+                       uint64_t instruction, uint64_t cycles, uint64_t epoch) = 0;
+  virtual void OnFree(uint64_t ptr, uint64_t pc, uint64_t instruction,
+                      uint64_t cycles, uint64_t epoch) = 0;
+  // True when `ptr` is the exact base of an object that was freed and not
+  // since reallocated — the double-free witness.
+  virtual bool WasFreed(uint64_t ptr) const = 0;
+  // Distance in bytes from `addr` to the nearest tracked payload (0 = inside
+  // one). Returns false when nothing is tracked yet.
+  virtual bool DistanceTo(uint64_t addr, uint64_t* distance) const = 0;
 };
 
 class Vm {
@@ -180,6 +208,12 @@ class Vm {
   // telemetry attached.
   void set_telemetry(TelemetryRegistry* t);
   void set_trace(TraceWriter* t) { trace_ = t; }
+  // Interval sampling: one TakeSample call every sampler->period() executed
+  // guest instructions, at the exact boundary under either engine. Charges
+  // no cycles; null detaches.
+  void set_sampler(SampleProfiler* s);
+  // Allocation provenance sink + double-free detector; null detaches.
+  void set_heap_observer(HeapObserver* o) { heap_obs_ = o; }
   // Optional keyed-site-id -> original-instruction-address map (see
   // telemetry.h ImageSiteKey). When set, trampoline/mem_error trace events
   // carry a `site_addr` arg linking the slice back to the disassembly.
@@ -204,10 +238,16 @@ class Vm {
   };
   const std::unordered_map<uint32_t, ProfCounts>& prof_counts() const { return prof_counts_; }
   const CycleModel& cycle_model() const { return model_; }
+  // High-water mark of tracked live heap bytes (0 unless a heap histogram
+  // sink or HeapObserver was attached for the whole run).
+  uint64_t live_bytes_peak() const { return live_bytes_peak_; }
 
   // Reports a memory error on behalf of instrumentation (used both by kTrap
   // handling and by DBI observers). Returns true if the run must abort.
+  // The three-argument form attaches the faulting effective address when the
+  // caller could compute it (DBI observers can; trap payloads cannot).
   bool ReportMemError(uint32_t site, ErrorKind kind);
+  bool ReportMemError(uint32_t site, ErrorKind kind, uint64_t addr);
 
   // Charged by observers/allocators for modeled work.
   void AddCycles(uint64_t c) { cycles_ += c; }
@@ -254,6 +294,13 @@ class Vm {
   uint32_t SiteKeyFor(uint32_t site) const;
   void OnCountSite(uint32_t site);       // telemetry bookkeeping for Op::kCount
   void FlushTrampolineVisit();           // close the current trampoline slice
+  void TakeSampleNow();                  // sampler_ fires at this boundary
+  // --metrics-epoch ordinal of the current instant (0 when epochs are off).
+  uint64_t CurrentEpoch() const {
+    return epoch_every_ != 0 ? instructions_ / epoch_every_ : 0;
+  }
+  bool ReportMemErrorImpl(uint32_t site, ErrorKind kind, uint64_t addr,
+                          bool has_addr);
   uint64_t EffectiveAddress(const MemOperand& mem, uint64_t next_rip) const;
   void SetFlagsLogic(uint64_t result);
   bool EvalCond(Cond c) const;
@@ -276,6 +323,10 @@ class Vm {
   size_t input_pos_ = 0;
   std::vector<uint64_t> outputs_;
   std::vector<MemErrorReport> mem_errors_;
+  // Latched by a TrapCode::kErrAddr prologue trap; consumed (and cleared)
+  // by the kMemError trap that immediately follows it.
+  uint64_t pending_err_addr_ = 0;
+  bool pending_err_has_addr_ = false;
   std::unordered_map<uint32_t, uint64_t> counters_;
   std::unordered_map<uint32_t, ProfCounts> prof_counts_;
   std::unordered_map<uint64_t, Exec> icache_;     // step engine decode cache
@@ -285,6 +336,8 @@ class Vm {
   uint64_t epoch_every_ = 0;
   uint64_t epoch_next_ = 0;
   std::function<void()> epoch_hook_;
+  SampleProfiler* sampler_ = nullptr;
+  uint64_t sampler_next_ = 0;  // instruction index of the next sample
 
   uint64_t instruction_limit_ = 200'000'000'000ULL;
   uint64_t instructions_ = 0;
@@ -324,6 +377,33 @@ class Vm {
   uint64_t t_inline_cycles_ = 0;   // total inline-check cycles, all visits
   uint64_t t_inline_reported_ = 0;  // portion already pushed to the registry
   uint64_t t_live_allocs_ = 0;   // malloc minus free (trace counter track)
+
+  // Histogram cells (owned by telemetry_; fetched once in set_telemetry so
+  // the hot paths cost one null check each when telemetry is detached).
+  HistogramCell* h_tramp_visit_ = nullptr;     // vm.tramp_visit_cycles
+  HistogramCell* h_superblock_len_ = nullptr;  // vm.superblock_len
+  HistogramCell* h_malloc_bytes_ = nullptr;    // heap.malloc_bytes
+  HistogramCell* h_live_bytes_ = nullptr;      // heap.live_bytes
+  HistogramCell* h_live_objects_ = nullptr;    // heap.live_objects
+  HistogramCell* h_alloc_lifetime_ = nullptr;  // heap.alloc_lifetime_cycles
+  HistogramCell* h_error_distance_ = nullptr;  // vm.error_distance
+  // Length of the current dynamic straight-line run (instructions executed
+  // since the last control transfer) — the engine-invariant definition of
+  // "superblock length", identical whether runs dispatch per-insn or
+  // per-block.
+  uint64_t sb_run_len_ = 0;
+
+  // Heap bookkeeping for histograms + forensics: base -> {requested size,
+  // cycles at allocation}. Maintained only while a heap histogram sink or a
+  // HeapObserver is attached.
+  struct LiveAlloc {
+    uint64_t size = 0;
+    uint64_t cycles = 0;
+  };
+  HeapObserver* heap_obs_ = nullptr;
+  std::unordered_map<uint64_t, LiveAlloc> live_allocs_;
+  uint64_t live_bytes_ = 0;
+  uint64_t live_bytes_peak_ = 0;
 };
 
 }  // namespace redfat

@@ -669,6 +669,77 @@ BinaryImage GenerateServerProgram(const ServerParams& params) {
   return builder.Build();
 }
 
+// UAF workload register roles (hostcalls clobber rax, read rdi/rsi/rdx):
+//   r8 mode (inputs[0])   r15 checksum   rbp/rcx/rdx/rdi/rsi scratch
+BinaryImage GenerateUafProgram(const UafParams& params) {
+  REDFAT_CHECK(params.num_objects >= 2);
+  const unsigned n = params.num_objects;
+  const unsigned victim = n / 2;  // sits between still-live neighbours
+  const uint64_t bytes = (params.object_bytes + 7) & ~7ULL;
+
+  ProgramBuilder pb;
+  // Pointer table in the data section; the victim's slot is left stale
+  // after the free so the bug paths can reload it.
+  const uint64_t table = pb.AddZeroData(8 * n);
+  Assembler& a = pb.text();
+
+  a.HostCall(HostFn::kInputU64);  // inputs[0]: mode
+  a.MovRR(Reg::kR8, Reg::kRax);
+  a.MovRI(Reg::kR15, 0);
+
+  // Allocate and deterministically fill every object, checksumming the
+  // header word of each (all before the bug, so the checksum is identical
+  // across modes and runtimes).
+  for (unsigned i = 0; i < n; ++i) {
+    a.MovRI(Reg::kRdi, bytes);
+    a.HostCall(HostFn::kMalloc);
+    a.MovRR(Reg::kRbp, Reg::kRax);
+    a.Store(Reg::kRbp, MemAbs(static_cast<int32_t>(table + 8 * i)));
+    a.MovRR(Reg::kRdi, Reg::kRbp);
+    a.MovRI(Reg::kRsi, (params.seed + i) & 0xff);
+    a.MovRI(Reg::kRdx, bytes);
+    a.HostCall(HostFn::kMemset);
+    a.MovRI(Reg::kRcx, params.seed * 0x9e3779b97f4a7c15ULL + i);
+    a.Store(Reg::kRcx, MemAt(Reg::kRbp, 0));
+    a.Load(Reg::kRcx, MemAt(Reg::kRbp, 0));
+    a.Add(Reg::kR15, Reg::kRcx);
+  }
+
+  // Free the victim; its table slot goes stale on purpose.
+  a.Load(Reg::kRdi, MemAbs(static_cast<int32_t>(table + 8 * victim)));
+  a.HostCall(HostFn::kFree);
+
+  auto not_uaf = a.NewLabel();
+  auto epilogue = a.NewLabel();
+  a.CmpI(Reg::kR8, 1);
+  a.Jcc(Cond::kNe, not_uaf);
+  // mode 1: one store through the stale pointer (nothing reads it back).
+  a.Load(Reg::kRcx, MemAbs(static_cast<int32_t>(table + 8 * victim)));
+  a.MovRI(Reg::kRdx, 0xdead);
+  a.Store(Reg::kRdx, MemBIS(Reg::kNone, Reg::kRcx, 0, 0));  // stale, ambiguous
+  a.Jmp(epilogue);
+
+  a.Bind(not_uaf);
+  a.CmpI(Reg::kR8, 2);
+  a.Jcc(Cond::kNe, epilogue);
+  // mode 2: free the victim a second time.
+  a.Load(Reg::kRdi, MemAbs(static_cast<int32_t>(table + 8 * victim)));
+  a.HostCall(HostFn::kFree);
+
+  a.Bind(epilogue);
+  for (unsigned i = 0; i < n; ++i) {
+    if (i == victim) {
+      continue;
+    }
+    a.Load(Reg::kRdi, MemAbs(static_cast<int32_t>(table + 8 * i)));
+    a.HostCall(HostFn::kFree);
+  }
+  a.MovRR(Reg::kRdi, Reg::kR15);
+  a.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
 std::vector<uint64_t> TrainInputs(uint64_t iters) { return {iters, 0x3e}; }
 
 std::vector<uint64_t> RefInputs(uint64_t iters) { return {iters, 0x3f}; }

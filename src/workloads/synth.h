@@ -107,6 +107,27 @@ struct ServerParams {
 
 BinaryImage GenerateServerProgram(const ServerParams& params);
 
+// Forensics workload: a program with one deliberately-stale heap pointer,
+// used to exercise the error-report pipeline (rfrun --error-report) end to
+// end. It allocates `num_objects` same-size objects (deterministic payload,
+// checksummed), frees the middle one — leaving its table slot stale on
+// purpose — then branches on inputs[0]:
+//   mode 0  benign: no bug; frees the rest and exits cleanly;
+//   mode 1  use-after-free: one store through the stale pointer;
+//   mode 2  double free: frees the victim a second time (diagnosed and
+//           skipped by the VM when a forensic ring is attached; without one
+//           the allocator treats it as a fatal host error).
+// The checksum is computed before the bug fires and never depends on
+// pointer values, so mode 0 and mode 1 under Policy::kLog produce identical
+// output across runtimes.
+struct UafParams {
+  uint64_t seed = 1;
+  unsigned num_objects = 5;     // >= 2; victim = num_objects / 2
+  uint64_t object_bytes = 64;   // rounded up to a multiple of 8
+};
+
+BinaryImage GenerateUafProgram(const UafParams& params);
+
 // Canonical inputs for the two-phase workflow.
 std::vector<uint64_t> TrainInputs(uint64_t iters);  // mode bit 0 clear
 std::vector<uint64_t> RefInputs(uint64_t iters);    // mode bit 0 set

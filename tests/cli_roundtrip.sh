@@ -62,6 +62,9 @@ cmp cve.hard.rfbin cve.obs.rfbin || fail "telemetry flags changed the image"
 grep -q "per-site runtime telemetry" report.txt || fail "missing telemetry report"
 grep -q "rz-hits" report.txt || fail "missing report columns"
 grep -q "rewrite pipeline" report.txt || fail "report missing pipeline join"
+grep -q "=== histograms ===" report.txt || fail "report missing histograms"
+grep -q "p99" report.txt || fail "report missing percentile columns"
+grep -q "vm.tramp_visit_cycles" report.txt || fail "report missing tramp-cycle histogram"
 grep -q '"redzone_hits":[1-9]' cve.metrics.json || fail "metrics missing redzone hits"
 grep -q '"traceEvents":' cve.trace.json || fail "trace missing traceEvents"
 grep -q '"mem_error"' cve.trace.json || fail "trace missing mem_error instant"
@@ -142,5 +145,67 @@ grep -q "out-of-bounds write at 0x" dbg_err.txt || fail "debug report unsymboliz
     || fail "debug-tier report run failed"
 grep -q "harden" dbg_report.txt || fail "report missing harden column"
 grep -q "debug" dbg_report.txt || fail "report harden column missing tier value"
+
+# Forensics: the uaf workload's benign mode runs clean everywhere; the UAF
+# mode under the debug tier yields a provenance-rich report and JSON.
+"$TOOLS/rfgen" uaf 1 uaf.rfbin 2> /dev/null
+"$TOOLS/rfrun" uaf.rfbin 0 > uaf_base.txt || fail "benign uaf-workload run"
+"$TOOLS/redfat" --harden=debug --sitemap uaf.map uaf.rfbin uaf.dbg.rfbin
+if "$TOOLS/rfrun" --harden=debug --sitemap uaf.map --error-report uaf_err.json \
+    uaf.dbg.rfbin 1 > /dev/null 2> uaf_err.txt; then
+  fail "uaf not detected under the debug tier"
+else
+  [ $? -eq 134 ] || fail "unexpected uaf exit code"
+fi
+grep -q "allocated at pc 0x" uaf_err.txt || fail "uaf report missing alloc provenance"
+grep -q "freed at pc 0x" uaf_err.txt || fail "uaf report missing free provenance"
+grep -q "tier: debug" uaf_err.txt || fail "uaf report missing tier"
+grep -q "neighborhood of 0x" uaf_err.txt || fail "uaf report missing hex dump"
+grep -q '"alloc_pc"' uaf_err.json || fail "error-report JSON missing alloc_pc"
+grep -q '"free_pc"' uaf_err.json || fail "error-report JSON missing free_pc"
+grep -q '"neighborhood"' uaf_err.json || fail "error-report JSON missing neighborhood"
+grep -q '"tier":"debug"' uaf_err.json || fail "error-report JSON missing tier"
+# Double free (mode 2) is diagnosed under --policy=log and the run finishes
+# with the benign checksum.
+"$TOOLS/rfrun" --harden=debug --sitemap uaf.map --policy=log \
+    --error-report df_err.json uaf.dbg.rfbin 2 > df_out.txt 2> /dev/null \
+    || fail "double-free log run failed"
+cmp uaf_base.txt df_out.txt || fail "double-free log run changed the output"
+grep -q '"kind":"double-free"' df_err.json || fail "double free not diagnosed"
+
+# Server-latency histograms: request lifetimes land in
+# heap.alloc_lifetime_cycles with non-empty percentiles.
+"$TOOLS/rfgen" server 1 srv.rfbin 2> /dev/null
+"$TOOLS/rfrun" --report srv.rfbin 40 > srv_report.txt || fail "server report run"
+grep -q "heap.alloc_lifetime_cycles" srv_report.txt \
+    || fail "report missing server-latency histogram"
+grep -q "heap.live_objects" srv_report.txt || fail "report missing queue-depth histogram"
+
+# Sampling profiler: deterministic folded output, and attaching the sampler
+# (or the forensic ring) changes neither guest cycles nor outputs.
+"$TOOLS/rfrun" --runtime=redfat --metrics=obs_off.json mcf.hard.rfbin 50 0x3f \
+    > obs_off_out.txt || fail "observability-off run"
+"$TOOLS/rfrun" --runtime=redfat --metrics=obs_on.json --sample-period=97 \
+    --profile-folded=mcf.folded --error-report obs_err.json \
+    mcf.hard.rfbin 50 0x3f > obs_on_out.txt || fail "observability-on run"
+cmp obs_off_out.txt obs_on_out.txt || fail "observability changed guest output"
+CYC_OFF=$(sed -n 's/.*"vm.cycles":\([0-9]*\).*/\1/p' obs_off.json)
+CYC_ON=$(sed -n 's/.*"vm.cycles":\([0-9]*\).*/\1/p' obs_on.json)
+[ -n "$CYC_OFF" ] && [ "$CYC_OFF" = "$CYC_ON" ] \
+    || fail "observability changed guest cycles ($CYC_OFF vs $CYC_ON)"
+[ -s mcf.folded ] || fail "empty folded profile"
+grep -q ";tramp;" mcf.folded || fail "folded profile missing trampoline frames"
+"$TOOLS/rfrun" --runtime=redfat --sample-period=97 --profile-folded=mcf.folded2 \
+    mcf.hard.rfbin 50 0x3f > /dev/null || fail "second sampling run"
+cmp mcf.folded mcf.folded2 || fail "sampling is not deterministic"
+# A clean run still writes the report, with an affirmative empty error list.
+grep -q '"errors":\[\]' obs_err.json || fail "clean run error report not empty"
+# The sampler's synthesized metrics feed the --profile= re-tiering join.
+"$TOOLS/rfrun" --runtime=redfat --sample-period=97 --profile-metrics=mcf.pm.json \
+    mcf.hard.rfbin 50 0x3f > /dev/null || fail "profile-metrics run"
+grep -q '"profile.samples":[1-9]' mcf.pm.json || fail "profile metrics empty"
+"$TOOLS/redfat" --profile=mcf.pm.json --sitemap sampled.map \
+    mcf.rfbin mcf.sampled.rfbin || fail "sampled-profile rewrite"
+grep -qE " (hot|cold)$" sampled.map || fail "sampled profile produced no tiers"
 
 echo "cli_roundtrip: OK"

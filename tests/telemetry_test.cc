@@ -101,9 +101,18 @@ TEST(TelemetryTest, SnapshotToJsonGolden) {
   shard->AddSite(5, SiteEvent::kRedzoneHits, 2);
   EXPECT_EQ(reg.Snapshot().ToJson(),
             "{\"counters\":{\"vm.runs\":1},\"gauges\":{\"lowfat.allocs\":4},"
+            "\"gauge_seq\":{\"lowfat.allocs\":1},"
             "\"sites\":[{\"id\":5,\"checks\":9,\"redzone_hits\":2,"
             "\"lowfat_passes\":0,\"lowfat_fails\":0,\"tramp_cycles\":0,"
             "\"inline_check_cycles\":0}]}");
+}
+
+// Histograms and gauge sequence stamps are emitted only when present, so a
+// snapshot without them serializes exactly as it did before they existed.
+TEST(TelemetryTest, SnapshotToJsonOmitsEmptyOptionalSections) {
+  TelemetryRegistry reg;
+  reg.AddCounter("vm.runs", 1);
+  EXPECT_EQ(reg.Snapshot().ToJson(), "{\"counters\":{\"vm.runs\":1},\"gauges\":{},\"sites\":[]}");
 }
 
 TEST(TelemetryTest, SnapshotJsonRoundTrip) {
@@ -443,6 +452,147 @@ TEST(TelemetryMerge, EmptyInputsYieldEmptySnapshot) {
   const TelemetrySnapshot one = MergeTelemetrySnapshots({a});
   ASSERT_EQ(one.sites.size(), 1u);
   EXPECT_EQ(one.sites[0].checks(), 5u);
+}
+
+// Regression for the gauge last-writer-wins merge loss: a gauge sampled in
+// an early epoch must not replace a later sample just because its snapshot
+// file is merged last. The sequence stamp decides, not input order.
+TEST(TelemetryMerge, GaugeSeqWinsOverInputOrder) {
+  TelemetryRegistry reg;
+  reg.SetGauge("heap.live", 10.0);
+  const TelemetrySnapshot early = reg.Snapshot();
+  reg.SetGauge("heap.live", 99.0);
+  const TelemetrySnapshot late = reg.Snapshot();
+  ASSERT_LT(early.gauge_seq.at("heap.live"), late.gauge_seq.at("heap.live"));
+
+  // Out-of-order merge: the later sample still wins.
+  const TelemetrySnapshot m = MergeTelemetrySnapshots({late, early});
+  EXPECT_EQ(m.gauges.at("heap.live"), 99.0);
+  EXPECT_EQ(m.gauge_seq.at("heap.live"), late.gauge_seq.at("heap.live"));
+
+  // Unstamped legacy snapshots (seq reads 0) keep last-writer-wins among
+  // themselves and always lose to a stamped sample.
+  TelemetrySnapshot l1, l2;
+  l1.gauges["heap.live"] = 1.0;
+  l2.gauges["heap.live"] = 2.0;
+  EXPECT_EQ(MergeTelemetrySnapshots({l1, l2}).gauges.at("heap.live"), 2.0);
+  EXPECT_EQ(MergeTelemetrySnapshots({late, l2}).gauges.at("heap.live"), 99.0);
+}
+
+// --- histograms ------------------------------------------------------------
+
+TEST(TelemetryHistogram, BucketMathInvariants) {
+  // Values 0..3 get exact buckets.
+  for (uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(HistogramBucketIndex(v), v);
+    EXPECT_EQ(HistogramBucketLowerBound(static_cast<uint32_t>(v)), v);
+  }
+  // Every bucket's lower bound maps back to that bucket, lower bounds are
+  // strictly increasing, and any value lands in a bucket whose lower bound
+  // does not exceed it (percentiles never overstate).
+  for (uint32_t i = 1; i < kNumHistogramBuckets; ++i) {
+    EXPECT_EQ(HistogramBucketIndex(HistogramBucketLowerBound(i)), i);
+    EXPECT_GT(HistogramBucketLowerBound(i), HistogramBucketLowerBound(i - 1));
+  }
+  for (uint64_t v : {5ull, 63ull, 64ull, 65ull, 1000ull, 123456789ull,
+                     (1ull << 40) + 7, ~0ull}) {
+    const uint32_t idx = HistogramBucketIndex(v);
+    ASSERT_LT(idx, kNumHistogramBuckets);
+    EXPECT_LE(HistogramBucketLowerBound(idx), v);
+    if (idx + 1 < kNumHistogramBuckets) {
+      EXPECT_LT(v, HistogramBucketLowerBound(idx + 1));
+    }
+  }
+  // The max bucket index is exactly the frozen layout's 251.
+  EXPECT_EQ(HistogramBucketIndex(~0ull), kNumHistogramBuckets - 1);
+}
+
+TEST(TelemetryHistogram, CellRecordsIntoSnapshot) {
+  TelemetryRegistry reg;
+  HistogramCell* cell = reg.histogram("vm.tramp_visit_cycles");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(reg.histogram("vm.tramp_visit_cycles"), cell);  // cached per thread
+  for (uint64_t v : {1ull, 2ull, 2ull, 100ull, 100ull, 100ull, 10000ull}) {
+    cell->Record(v);
+  }
+  const TelemetrySnapshot snap = reg.Snapshot();
+  const HistogramData* h = snap.FindHistogram("vm.tramp_visit_cycles");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Count(), 7u);
+  EXPECT_EQ(h->sum, 10305u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 10305.0 / 7.0);
+  // Percentiles report the lower bound of the rank's bucket.
+  EXPECT_EQ(h->Percentile(50), HistogramBucketLowerBound(HistogramBucketIndex(100)));
+  EXPECT_EQ(h->Percentile(0), 1u);
+  EXPECT_EQ(h->Percentile(100),
+            HistogramBucketLowerBound(HistogramBucketIndex(10000)));
+  EXPECT_EQ(snap.FindHistogram("no.such"), nullptr);
+}
+
+TEST(TelemetryHistogram, JsonRoundTripIsBitExact) {
+  TelemetryRegistry reg;
+  HistogramCell* c = reg.histogram("heap.malloc_bytes");
+  c->Record(0);
+  c->Record(64);
+  c->Record(64);
+  c->Record(1ull << 33);
+  reg.AddCounter("vm.runs", 1);
+  const TelemetrySnapshot snap = reg.Snapshot();
+  const std::string json = snap.ToJson();
+  Result<TelemetrySnapshot> parsed = TelemetrySnapshotFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().histograms.size(), 1u);
+  const HistogramData& h = parsed.value().histograms.at("heap.malloc_bytes");
+  EXPECT_EQ(h.sum, snap.histograms.at("heap.malloc_bytes").sum);
+  EXPECT_EQ(h.buckets, snap.histograms.at("heap.malloc_bytes").buckets);
+  EXPECT_EQ(parsed.value().ToJson(), json);  // byte-exact re-serialization
+}
+
+TEST(TelemetryHistogram, MergeAddsAndDeltaSubtracts) {
+  TelemetrySnapshot a, b;
+  a.histograms["h"].sum = 100;
+  a.histograms["h"].buckets = {{4, 2}, {10, 1}};
+  b.histograms["h"].sum = 50;
+  b.histograms["h"].buckets = {{4, 1}, {20, 3}};
+  b.histograms["other"].sum = 7;
+  b.histograms["other"].buckets = {{0, 1}};
+
+  const TelemetrySnapshot m = MergeTelemetrySnapshots({a, b});
+  EXPECT_EQ(m.histograms.at("h").sum, 150u);
+  EXPECT_EQ(m.histograms.at("h").buckets,
+            (std::map<uint32_t, uint64_t>{{4, 3}, {10, 1}, {20, 3}}));
+  EXPECT_EQ(m.histograms.at("other").sum, 7u);
+
+  const TelemetrySnapshot d = DeltaTelemetrySnapshot(m, a);
+  EXPECT_EQ(d.histograms.at("h").sum, 50u);
+  EXPECT_EQ(d.histograms.at("h").buckets,
+            (std::map<uint32_t, uint64_t>{{4, 1}, {20, 3}}));
+  // A histogram that deltas to all-zero is dropped entirely.
+  const TelemetrySnapshot z = DeltaTelemetrySnapshot(m, m);
+  EXPECT_TRUE(z.histograms.empty());
+}
+
+// The --metrics-epoch contract, histogram edition: per-epoch delta files
+// merged back together must reproduce the one-shot snapshot bit for bit.
+TEST(TelemetryHistogram, EpochDeltasTelescopeBitForBit) {
+  TelemetryRegistry reg;
+  HistogramCell* h = reg.histogram("vm.superblock_len");
+  std::vector<TelemetrySnapshot> deltas;
+  TelemetrySnapshot prev;  // empty
+  uint64_t v = 1;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 20; ++i) {
+      h->Record(v);
+      v = v * 2862933555777941757ULL + 3037000493ULL;  // wide value spread
+    }
+    reg.AddCounter("vm.instructions", 20);
+    reg.SetGauge("heap.live", static_cast<double>(epoch));
+    const TelemetrySnapshot cur = reg.Snapshot();
+    deltas.push_back(DeltaTelemetrySnapshot(cur, prev));
+    prev = cur;
+  }
+  const TelemetrySnapshot merged = MergeTelemetrySnapshots(deltas);
+  EXPECT_EQ(merged.ToJson(), reg.Snapshot().ToJson());
 }
 
 }  // namespace
