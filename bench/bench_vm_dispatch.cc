@@ -1,13 +1,20 @@
 // VM dispatch-engine benchmark: host wall-clock throughput (guest MIPS) of
-// the superblock engine vs the reference stepper.
+// the superblock engine's dispatch modes vs the reference stepper.
 //
-// Runs one Kraken kernel — baseline and RedFat-instrumented — under
-// engine ∈ {step, block}, with and without telemetry attached, best-of-reps,
-// and writes BENCH_vm_dispatch.json. Guest-visible results are asserted
-// identical across engines on every cell (the bit-identity contract the
-// differential test proves exhaustively, re-checked on the bench workload);
-// only the host time may differ. CI gates on
-// speedup_instrumented ≥ 2x (block vs step, telemetry off).
+// Runs one Kraken kernel — baseline and RedFat-instrumented — under four
+// dispatch modes, with and without telemetry attached, best-of-reps, and
+// writes BENCH_vm_dispatch.json:
+//
+//   step    — reference per-instruction interpreter
+//   block   — superblock engine, chaining and specialization off
+//   spec    — superblock engine + specialized opcode handlers, no chaining
+//   chained — direct superblock chaining + specialization + traces (the
+//             production default)
+//
+// Guest-visible results are asserted identical across every mode on every
+// cell (the bit-identity contract the differential test proves exhaustively,
+// re-checked on the bench workload); only the host time may differ. CI gates
+// on speedup_instrumented ≥ 3x (chained vs step, telemetry off).
 //
 //   bench_vm_dispatch [--quick] [--out FILE]
 #include <chrono>
@@ -32,9 +39,23 @@ double NowMs() {
       .count();
 }
 
+struct Mode {
+  const char* name;
+  VmEngine engine;
+  bool chain;
+  bool specialize;
+};
+
+constexpr Mode kModes[] = {
+    {"step", VmEngine::kStep, false, false},
+    {"block", VmEngine::kBlock, false, false},
+    {"spec", VmEngine::kBlock, false, true},
+    {"chained", VmEngine::kBlock, true, true},
+};
+
 struct Cell {
   const char* image;      // "baseline" | "instrumented"
-  const char* engine;     // "step" | "block"
+  const char* mode;       // see kModes
   bool telemetry = false;
   uint64_t instructions = 0;
   double wall_ms = 0.0;  // best of reps
@@ -64,7 +85,7 @@ int Main(int argc, char** argv) {
   std::printf("vm-dispatch bench: kraken/%s, %llu iters, best of %d rep%s\n\n",
               bench.name.c_str(), static_cast<unsigned long long>(iters), reps,
               reps == 1 ? "" : "s");
-  std::printf("%14s %7s %10s %14s %12s %10s\n", "image", "engine", "telemetry",
+  std::printf("%14s %8s %10s %14s %12s %10s\n", "image", "mode", "telemetry",
               "instructions", "wall(ms)", "MIPS");
 
   struct ImageCase {
@@ -80,20 +101,22 @@ int Main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const ImageCase& ic : images) {
     for (const bool with_telemetry : {false, true}) {
-      // The step run doubles as the reference fingerprint for the block run.
+      // The step run doubles as the reference fingerprint for every other
+      // mode's cell.
       std::string ref_fingerprint;
-      for (const char* engine : {"step", "block"}) {
+      for (const Mode& mode : kModes) {
         Cell cell;
         cell.image = ic.name;
-        cell.engine = engine;
+        cell.mode = mode.name;
         cell.telemetry = with_telemetry;
         std::string fingerprint;
         for (int rep = 0; rep < reps; ++rep) {
           TelemetryRegistry telemetry;
           RunConfig cfg;
           cfg.inputs = RefInputs(iters);
-          cfg.engine =
-              std::strcmp(engine, "block") == 0 ? VmEngine::kBlock : VmEngine::kStep;
+          cfg.engine = mode.engine;
+          cfg.chain = mode.chain;
+          cfg.specialize = mode.specialize;
           if (with_telemetry) {
             cfg.telemetry = &telemetry;
           }
@@ -121,7 +144,7 @@ int Main(int argc, char** argv) {
         cell.mips = cell.wall_ms > 0.0
                         ? static_cast<double>(cell.instructions) / (cell.wall_ms * 1000.0)
                         : 0.0;
-        std::printf("%14s %7s %10s %14llu %12.2f %10.1f\n", cell.image, cell.engine,
+        std::printf("%14s %8s %10s %14llu %12.2f %10.1f\n", cell.image, cell.mode,
                     cell.telemetry ? "on" : "off",
                     static_cast<unsigned long long>(cell.instructions), cell.wall_ms,
                     cell.mips);
@@ -130,31 +153,30 @@ int Main(int argc, char** argv) {
     }
   }
 
-  auto find_mips = [&](const char* image, const char* engine, bool telemetry) {
+  auto find_mips = [&](const char* image, const char* mode, bool telemetry) {
     for (const Cell& c : cells) {
-      if (std::strcmp(c.image, image) == 0 && std::strcmp(c.engine, engine) == 0 &&
+      if (std::strcmp(c.image, image) == 0 && std::strcmp(c.mode, mode) == 0 &&
           c.telemetry == telemetry) {
         return c.mips;
       }
     }
     return 0.0;
   };
-  const double speedup_baseline = find_mips("baseline", "step", false) > 0.0
-                                      ? find_mips("baseline", "block", false) /
-                                            find_mips("baseline", "step", false)
-                                      : 0.0;
-  const double speedup_instrumented = find_mips("instrumented", "step", false) > 0.0
-                                          ? find_mips("instrumented", "block", false) /
-                                                find_mips("instrumented", "step", false)
-                                          : 0.0;
-  const double speedup_instrumented_telemetry =
-      find_mips("instrumented", "step", true) > 0.0
-          ? find_mips("instrumented", "block", true) /
-                find_mips("instrumented", "step", true)
-          : 0.0;
-  std::printf("\nblock/step speedup: baseline %.2fx, instrumented %.2fx, "
-              "instrumented+telemetry %.2fx\n",
-              speedup_baseline, speedup_instrumented, speedup_instrumented_telemetry);
+  auto speedup = [&](const char* image, const char* mode, bool telemetry) {
+    const double ref = find_mips(image, "step", telemetry);
+    return ref > 0.0 ? find_mips(image, mode, telemetry) / ref : 0.0;
+  };
+  // The CI-gated headline: production dispatch (chained) vs the stepper on
+  // the instrumented image, telemetry off.
+  const double speedup_baseline = speedup("baseline", "chained", false);
+  const double speedup_instrumented = speedup("instrumented", "chained", false);
+  const double speedup_instrumented_block = speedup("instrumented", "block", false);
+  const double speedup_instrumented_spec = speedup("instrumented", "spec", false);
+  const double speedup_instrumented_telemetry = speedup("instrumented", "chained", true);
+  std::printf("\ninstrumented speedup vs step: block %.2fx, spec %.2fx, chained %.2fx "
+              "(telemetry on: %.2fx); baseline chained %.2fx\n",
+              speedup_instrumented_block, speedup_instrumented_spec,
+              speedup_instrumented, speedup_instrumented_telemetry, speedup_baseline);
 
   std::string json = "{\"bench\":\"vm_dispatch\",";
   json += StrFormat("\"hw_threads\":%u,", HardwareJobs());
@@ -163,6 +185,8 @@ int Main(int argc, char** argv) {
   json += StrFormat("\"reps\":%d,\"quick\":%s,", reps, quick ? "true" : "false");
   json += StrFormat("\"speedup_baseline\":%.3f,", speedup_baseline);
   json += StrFormat("\"speedup_instrumented\":%.3f,", speedup_instrumented);
+  json += StrFormat("\"speedup_instrumented_block\":%.3f,", speedup_instrumented_block);
+  json += StrFormat("\"speedup_instrumented_spec\":%.3f,", speedup_instrumented_spec);
   json += StrFormat("\"speedup_instrumented_telemetry\":%.3f,\"runs\":[",
                     speedup_instrumented_telemetry);
   for (size_t i = 0; i < cells.size(); ++i) {
@@ -171,9 +195,9 @@ int Main(int argc, char** argv) {
       json += ",";
     }
     json += StrFormat(
-        "{\"image\":\"%s\",\"engine\":\"%s\",\"telemetry\":%s,"
+        "{\"image\":\"%s\",\"mode\":\"%s\",\"telemetry\":%s,"
         "\"instructions\":%llu,\"wall_ms\":%.3f,\"mips\":%.3f}",
-        c.image, c.engine, c.telemetry ? "true" : "false",
+        c.image, c.mode, c.telemetry ? "true" : "false",
         static_cast<unsigned long long>(c.instructions), c.wall_ms, c.mips);
   }
   json += "]}\n";

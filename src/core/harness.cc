@@ -50,6 +50,11 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   vm.set_rng_seed(config.rng_seed);
   vm.set_instruction_limit(config.instruction_limit);
   vm.set_engine(config.engine);
+  vm.set_chaining(config.chain);
+  vm.set_specialize(config.specialize);
+  if (config.code_cache_size != 0) {
+    vm.set_code_cache_size(config.code_cache_size);
+  }
   if (config.metrics_epoch != 0 && config.on_epoch) {
     vm.set_epoch_hook(config.metrics_epoch, config.on_epoch);
   }
@@ -92,6 +97,7 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
   out.counters = vm.counters();
   out.prof_counts = vm.prof_counts();
   out.touched_pages = vm.memory().TouchedPages();
+  out.dispatch = vm.dispatch_stats();
 
   if (config.forensics != nullptr) {
     // Reports symbolize against the entry image's site table (the last one,

@@ -41,6 +41,17 @@ struct RunConfig {
   // default; kStep remains for differential testing. Guest-visible results
   // are bit-identical either way.
   VmEngine engine = VmEngine::kBlock;
+  // Block-engine dispatch knobs (ignored under kStep). Direct superblock
+  // chaining and specialized opcode handlers are the production defaults;
+  // turning either off (rfrun --no-chain) bisects a suspected dispatch bug
+  // against plain block mode without rebuilding. Guest-visible results are
+  // bit-identical regardless.
+  bool chain = true;
+  bool specialize = true;
+  // Code-cache capacity in superblock entries; 0 keeps the engine default
+  // (4096). Must be a power of two otherwise (callers validate; the VM
+  // hard-checks).
+  size_t code_cache_size = 0;
   // When nonzero, `on_epoch` fires every `metrics_epoch` guest instructions
   // (exactly — never mid-instruction, and at the same points under either
   // engine). Used by rfrun --metrics-epoch to write delta snapshots.
@@ -87,6 +98,11 @@ struct RunOutcome {
   // One per entry of `errors`, built against RunConfig::forensics while the
   // run's memory was mapped. Empty when no ring was attached.
   std::vector<ForensicReport> forensic_reports;
+  // Host-side dispatch-engine statistics (chaining, trace formation, code
+  // cache, memory TLB). Deliberately not part of the bit-identity contract —
+  // the stepper has no chains to count — and never fed into
+  // RunConfig::telemetry; rfrun --report overlays them as vm.* entries.
+  Vm::DispatchStats dispatch;
 };
 
 RunOutcome RunImage(const BinaryImage& image, RuntimeKind runtime, const RunConfig& config);

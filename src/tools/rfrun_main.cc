@@ -33,6 +33,13 @@
 //   --engine=step|block    interpreter dispatch engine (default: block, the
 //                          superblock code cache; step is the reference
 //                          per-instruction loop — results are bit-identical)
+//   --no-chain             block engine only: disable direct superblock
+//                          chaining (and trace formation), forcing every
+//                          block exit back through the dispatcher. Bisects
+//                          chained against plain block mode without
+//                          rebuilding; results are bit-identical
+//   --code-cache-size=N    block engine code-cache capacity in superblock
+//                          entries (default 4096; must be a power of two)
 //   --trace FILE           Chrome trace-event JSON of the run (trampoline
 //                          slices, allocator events; guest cycles as µs)
 //   --report               human-readable per-site report on stdout, joining
@@ -95,7 +102,8 @@ int Usage() {
                "             [--harden=none|fast|extensive|debug]\n"
                "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
                "             [--seed N] [--limit N] [--stats] [--metrics FILE]\n"
-               "             [--metrics-epoch=N] [--engine=step|block]\n"
+               "             [--metrics-epoch=N] [--engine=step|block] [--no-chain]\n"
+               "             [--code-cache-size=N]\n"
                "             [--trace FILE] [--report] [--pipeline-stats FILE]\n"
                "             [--lib FILE[:SITEMAP]]...\n"
                "             [--sample-period=N] [--profile-folded FILE]\n"
@@ -199,6 +207,21 @@ int Main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (arg == "--no-chain") {
+      cfg.chain = false;
+    } else if (arg.rfind("--code-cache-size=", 0) == 0) {
+      const std::string value = arg.substr(18);
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 0);
+      if (value.empty() || end == nullptr || *end != '\0' || n == 0 ||
+          (n & (n - 1)) != 0) {
+        std::fprintf(stderr,
+                     "rfrun: --code-cache-size must be a power-of-two entry "
+                     "count, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      cfg.code_cache_size = static_cast<size_t>(n);
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -542,8 +565,34 @@ int Main(int argc, char** argv) {
         image_harden[libs.size()].has_value()
             ? HardenTierName(*image_harden[libs.size()])
             : ""});
+    // Overlay the host-side dispatch-layer stats on the report view only.
+    // They never enter the registry itself (and are injected after the
+    // --metrics files above were written): guest telemetry must stay
+    // bit-identical across engines, and the stepper has no chains to count.
+    TelemetrySnapshot snap = telemetry.Snapshot();
+    const Vm::DispatchStats& d = out.dispatch;
+    auto put = [&snap](const char* name, uint64_t v) {
+      if (v != 0) {
+        snap.counters[name] = v;
+      }
+    };
+    put("vm.blocks_built", d.blocks_built);
+    put("vm.block_chains", d.block_chains);
+    put("vm.chain_exits", d.chain_exits);
+    put("vm.code_cache_evictions", d.code_cache_evictions);
+    put("vm.links_patched", d.links_patched);
+    put("vm.traces_formed", d.traces_formed);
+    put("vm.trace_runs", d.trace_runs);
+    if (d.tlb_hits + d.tlb_misses != 0) {
+      snap.gauges["vm.tlb_hit_rate"] =
+          static_cast<double>(d.tlb_hits) /
+          static_cast<double>(d.tlb_hits + d.tlb_misses);
+    }
+    if (d.trace_len.Count() != 0) {
+      snap.histograms["vm.trace_len"] = d.trace_len;
+    }
     const std::string text =
-        FormatTelemetryReport(telemetry.Snapshot(), tables,
+        FormatTelemetryReport(snap, tables,
                               have_pipeline ? &pipeline : nullptr, out.result.cycles);
     std::fputs(text.c_str(), stdout);
   }

@@ -46,6 +46,51 @@ class Memory {
   // Number of pages ever materialized (a proxy for resident memory).
   size_t TouchedPages() const { return pages_.size(); }
 
+  // TLB effectiveness counters (every FindPage/TouchPage probe, from any
+  // access path). Plain uint64s: Memory is single-threaded like the Vm that
+  // owns it, and the two increments are cheap enough to keep unconditionally.
+  uint64_t tlb_hits() const { return tlb_hits_; }
+  uint64_t tlb_misses() const { return tlb_misses_; }
+
+  // Single-page fast paths for the specialized block engine: identical
+  // semantics to Read/Write (zero-extension, lazy materialization, untouched
+  // memory reads 0) with the size CHECK elided — the caller's decoder already
+  // validated the access size — and the page probe inlined. Accesses that
+  // straddle a page boundary take the generic byte-wise path.
+  uint64_t ReadFast(uint64_t addr, unsigned size) const {
+    const uint64_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+      const Page* p = FindPage(addr >> kPageShift);
+      if (p == nullptr) {
+        return 0;
+      }
+      const uint8_t* src = p->data() + off;
+      uint64_t v = 0;
+      switch (size) {
+        case 1: std::memcpy(&v, src, 1); break;
+        case 2: std::memcpy(&v, src, 2); break;
+        case 4: std::memcpy(&v, src, 4); break;
+        default: std::memcpy(&v, src, 8); break;
+      }
+      return v;
+    }
+    return Read(addr, size);
+  }
+  void WriteFast(uint64_t addr, uint64_t value, unsigned size) {
+    const uint64_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+      uint8_t* dst = TouchPage(addr >> kPageShift)->data() + off;
+      switch (size) {
+        case 1: std::memcpy(dst, &value, 1); break;
+        case 2: std::memcpy(dst, &value, 2); break;
+        case 4: std::memcpy(dst, &value, 4); break;
+        default: std::memcpy(dst, &value, 8); break;
+      }
+      return;
+    }
+    Write(addr, value, size);
+  }
+
   // Drops every cached translation. Pages themselves are untouched; this
   // only forces the next access per page through the map again (image
   // reload hygiene — correctness never depends on it, because pages are
@@ -70,8 +115,10 @@ class Memory {
   const Page* FindPage(uint64_t page_no) const {
     TlbEntry& e = tlb_[page_no & (kTlbSize - 1)];
     if (e.tag == page_no) {
+      ++tlb_hits_;
       return e.page;
     }
+    ++tlb_misses_;
     auto it = pages_.find(page_no);
     if (it == pages_.end()) {
       return nullptr;
@@ -84,8 +131,10 @@ class Memory {
   Page* TouchPage(uint64_t page_no) {
     TlbEntry& e = tlb_[page_no & (kTlbSize - 1)];
     if (e.tag == page_no) {
+      ++tlb_hits_;
       return e.page;
     }
+    ++tlb_misses_;
     std::unique_ptr<Page>& p = pages_[page_no];
     if (!p) {
       p = std::make_unique<Page>();
@@ -100,6 +149,8 @@ class Memory {
   // The TLB is a cache, not state: filling it from const reads is fine
   // (single-threaded like the Vm that owns this Memory).
   mutable std::array<TlbEntry, kTlbSize> tlb_;
+  mutable uint64_t tlb_hits_ = 0;
+  mutable uint64_t tlb_misses_ = 0;
 };
 
 }  // namespace redfat

@@ -14,6 +14,34 @@ namespace redfat {
 namespace {
 constexpr int kGuestPid = 1;
 constexpr int kGuestTid = 1;
+
+// x86-semantics flag computation, shared verbatim between the reference
+// interpreter (ExecuteOne) and the specialized handlers so the two can't
+// drift.
+inline uint64_t AddWithFlags(Flags& f, uint64_t a, uint64_t b) {
+  const uint64_t r = a + b;
+  f.zf = r == 0;
+  f.sf = (r >> 63) != 0;
+  f.cf = r < a;
+  f.of = ((~(a ^ b) & (a ^ r)) >> 63) != 0;
+  return r;
+}
+
+inline uint64_t SubWithFlags(Flags& f, uint64_t a, uint64_t b) {
+  const uint64_t r = a - b;
+  f.zf = r == 0;
+  f.sf = (r >> 63) != 0;
+  f.cf = a < b;
+  f.of = (((a ^ b) & (a ^ r)) >> 63) != 0;
+  return r;
+}
+
+inline void LogicFlags(Flags& f, uint64_t r) {
+  f.zf = r == 0;
+  f.sf = (r >> 63) != 0;
+  f.cf = false;
+  f.of = false;
+}
 }  // namespace
 
 void Vm::LoadImage(const BinaryImage& image) {
@@ -30,10 +58,28 @@ void Vm::LoadImage(const BinaryImage& image) {
   cpu_.rip = image.entry;
   cpu_.Set(Reg::kRsp, kStackTop - 64);
   // New code bytes invalidate every decoded view of memory: the step
-  // engine's per-address cache, the superblock cache, and the memory TLB.
+  // engine's per-address cache, the superblock cache (clearing it also kills
+  // every chain link — links are Block* into the cleared cache), all baked
+  // traces, and the memory TLB.
   icache_.clear();
   block_cache_.clear();
+  traces_.clear();
+  trace_recording_ = false;
+  trace_head_ = nullptr;
+  trace_rec_ = Trace{};
   memory_.InvalidateTlb();
+}
+
+void Vm::set_code_cache_size(size_t entries) {
+  REDFAT_CHECK(entries != 0 && (entries & (entries - 1)) == 0);
+  block_cache_size_ = entries;
+  // Resize invalidates every Block* (chain links, trace heads): drop the lot
+  // and rebuild on demand.
+  block_cache_.clear();
+  traces_.clear();
+  trace_recording_ = false;
+  trace_head_ = nullptr;
+  trace_rec_ = Trace{};
 }
 
 void Vm::set_telemetry(TelemetryRegistry* t) {
@@ -155,18 +201,92 @@ const Vm::Exec* Vm::FetchDecode(uint64_t addr, std::string* fault) {
   return &pos->second;
 }
 
-const Vm::Block* Vm::FetchBlock(uint64_t addr, std::string* fault) {
-  if (block_cache_.empty()) {
-    block_cache_.resize(kBlockCacheSize);
+void Vm::BuildSpec(Exec* ex, uint64_t addr) {
+  const Instruction& in = ex->insn;
+  Spec& s = ex->spec;
+  s = Spec{};
+  s.next = addr + ex->length;
+  s.imm = in.imm;
+  s.r0 = IsGpr(in.r0) ? static_cast<uint8_t>(RegIndex(in.r0)) : 0;
+  s.r1 = IsGpr(in.r1) ? static_cast<uint8_t>(RegIndex(in.r1)) : 0;
+  s.cond = static_cast<uint8_t>(in.cond);
+  auto set_mem = [&s](const MemOperand& m) {
+    s.size = static_cast<uint8_t>(m.access_size());
+    s.disp = static_cast<int64_t>(m.disp);
+    if (m.rip_relative()) {
+      // next_rip is static per decoded instruction: fold it now so the hot
+      // path computes an absolute address with no rip dependence.
+      s.disp += static_cast<int64_t>(s.next);
+    } else if (m.has_base()) {
+      s.base = static_cast<uint8_t>(RegIndex(m.base));
+    }
+    if (m.has_index()) {
+      s.idx = static_cast<uint8_t>(RegIndex(m.index));
+      s.scale = m.scale_log2;
+    }
+  };
+  switch (in.op) {
+    case Op::kNop: s.op = kSNop; break;
+    case Op::kMovRI: s.op = kSMovRI; break;
+    case Op::kMovRR: s.op = kSMovRR; break;
+    case Op::kLea: s.op = kSLea; set_mem(in.mem); break;
+    case Op::kLoad: s.op = kSLoad; set_mem(in.mem); break;
+    case Op::kStoreR: s.op = kSStoreR; set_mem(in.mem); break;
+    case Op::kStoreI: s.op = kSStoreI; set_mem(in.mem); break;
+    case Op::kAddRR: s.op = kSAddRR; break;
+    case Op::kAddRI: s.op = kSAddRI; break;
+    case Op::kSubRR: s.op = kSSubRR; break;
+    case Op::kSubRI: s.op = kSSubRI; break;
+    case Op::kAndRR: s.op = kSAndRR; break;
+    case Op::kAndRI: s.op = kSAndRI; break;
+    case Op::kOrRR: s.op = kSOrRR; break;
+    case Op::kOrRI: s.op = kSOrRI; break;
+    case Op::kXorRR: s.op = kSXorRR; break;
+    case Op::kXorRI: s.op = kSXorRI; break;
+    case Op::kShlRI: s.op = kSShlRI; break;
+    case Op::kShrRI: s.op = kSShrRI; break;
+    case Op::kSarRI: s.op = kSSarRI; break;
+    case Op::kImulRR: s.op = kSImulRR; break;
+    case Op::kImulRI: s.op = kSImulRI; break;
+    case Op::kMulhRR: s.op = kSMulhRR; break;
+    case Op::kCmpRR: s.op = kSCmpRR; break;
+    case Op::kCmpRI: s.op = kSCmpRI; break;
+    case Op::kTestRR: s.op = kSTestRR; break;
+    case Op::kCount: s.op = kSCount; s.target = 0; break;
+    case Op::kJmp: s.op = kSJmp; s.target = s.next + static_cast<uint64_t>(in.imm); break;
+    case Op::kJcc: s.op = kSJcc; s.target = s.next + static_cast<uint64_t>(in.imm); break;
+    case Op::kCall: s.op = kSCall; s.target = s.next + static_cast<uint64_t>(in.imm); break;
+    case Op::kJmpR: s.op = kSJmpR; break;
+    case Op::kCallR: s.op = kSCallR; break;
+    case Op::kRet: s.op = kSRet; break;
+    case Op::kPush: s.op = kSPush; break;
+    case Op::kPop: s.op = kSPop; break;
+    default: s.op = kSGeneric; break;  // hostcall/trap/pushf/popf/hlt/ud2/shl_rr/...
   }
-  Block& b = block_cache_[addr & (kBlockCacheSize - 1)];
+}
+
+Vm::Block* Vm::FetchBlock(uint64_t addr, std::string* fault) {
+  if (block_cache_.empty()) {
+    block_cache_.resize(block_cache_size_);
+  }
+  Block& b = block_cache_[addr & (block_cache_size_ - 1)];
   if (b.entry == addr) {
     return &b;
   }
-  // Direct-mapped: a colliding resident block is simply rebuilt over.
+  // Direct-mapped: a colliding resident block is simply rebuilt over. Links
+  // pointing AT the evicted block are left alone — followers validate the
+  // target's entry tag, so a stale link misses and re-dispatches.
+  if (b.entry != ~uint64_t{0}) {
+    ++dispatch_.code_cache_evictions;
+  }
   b.entry = ~uint64_t{0};
   b.execs.clear();
+  b.succ[0] = nullptr;
+  b.succ[1] = nullptr;
+  b.hits = 0;
+  b.trace = -1;
   const TrampRange* entry_range = TrampRangeAt(addr);
+  b.range = entry_range;
   uint64_t cur = addr;
   uint8_t buf[16];
   while (b.execs.size() < kMaxBlockInsns) {
@@ -190,6 +310,7 @@ const Vm::Block* Vm::FetchBlock(uint64_t addr, std::string* fault) {
     Exec ex;
     ex.insn = d.value().insn;
     ex.length = d.value().length;
+    BuildSpec(&ex, cur);
     b.execs.push_back(ex);
     cur += ex.length;
     const Op op = ex.insn.op;
@@ -197,7 +318,24 @@ const Vm::Block* Vm::FetchBlock(uint64_t addr, std::string* fault) {
       break;  // superblock terminator (kUd2 faults in ExecuteOne instead)
     }
   }
+  b.fall_rip = cur;
+  // cmp/test+jcc macro-op fusion: a Jcc terminates its block, so the fusable
+  // pair is always the last two entries. The fused handler reads the Jcc's
+  // own spec for cond/target, so the marker carries no extra state and the
+  // pair still executes unfused when the instruction budget splits it.
+  const size_t m = b.execs.size();
+  if (m >= 2 && b.execs[m - 1].spec.op == kSJcc) {
+    Spec& c = b.execs[m - 2].spec;
+    if (c.op == kSCmpRR) {
+      c.op = kSCmpRRJcc;
+    } else if (c.op == kSCmpRI) {
+      c.op = kSCmpRIJcc;
+    } else if (c.op == kSTestRR) {
+      c.op = kSTestRRJcc;
+    }
+  }
   b.entry = addr;
+  ++dispatch_.blocks_built;
   return &b;
 }
 
@@ -407,22 +545,8 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
   uint64_t new_rip = next_rip;
   Flags& f = cpu_.flags;
 
-  auto do_add = [&](uint64_t a, uint64_t b) {
-    const uint64_t r = a + b;
-    f.zf = r == 0;
-    f.sf = (r >> 63) != 0;
-    f.cf = r < a;
-    f.of = ((~(a ^ b) & (a ^ r)) >> 63) != 0;
-    return r;
-  };
-  auto do_sub = [&](uint64_t a, uint64_t b) {
-    const uint64_t r = a - b;
-    f.zf = r == 0;
-    f.sf = (r >> 63) != 0;
-    f.cf = a < b;
-    f.of = (((a ^ b) & (a ^ r)) >> 63) != 0;
-    return r;
-  };
+  auto do_add = [&](uint64_t a, uint64_t b) { return AddWithFlags(f, a, b); };
+  auto do_sub = [&](uint64_t a, uint64_t b) { return SubWithFlags(f, a, b); };
   const uint64_t imm_se = static_cast<uint64_t>(in.imm);  // already sign-extended
 
   switch (in.op) {
@@ -699,6 +823,406 @@ bool Vm::ExecuteOne(const Exec& ex, std::string* fault) {
   return true;
 }
 
+size_t Vm::ExecSpecs(Exec* execs, size_t count, size_t budget,
+                     std::string* fault, bool* faulted) {
+  const size_t n = count < budget ? count : budget;
+  uint64_t* const regs = cpu_.regs;
+  Flags& f = cpu_.flags;
+  auto ea = [regs](const Spec& s) {
+    uint64_t a = static_cast<uint64_t>(s.disp);
+    if (s.base != 0xff) {
+      a += regs[s.base];
+    }
+    if (s.idx != 0xff) {
+      a += regs[s.idx] << s.scale;
+    }
+    return a;
+  };
+  size_t i = 0;
+  while (i < n) {
+    Exec& ex = execs[i];
+    const Spec& s = ex.spec;
+    ++instructions_;
+    switch (static_cast<SpecOp>(s.op)) {
+      case kSNop:
+        cycles_ += model_.basic;
+        break;
+      case kSMovRI:
+        regs[s.r0] = static_cast<uint64_t>(s.imm);
+        cycles_ += model_.basic;
+        break;
+      case kSMovRR:
+        regs[s.r0] = regs[s.r1];
+        cycles_ += model_.basic;
+        break;
+      case kSLea:
+        regs[s.r0] = ea(s);
+        cycles_ += model_.basic;
+        break;
+      case kSLoad:
+        regs[s.r0] = memory_.ReadFast(ea(s), s.size);
+        ++explicit_reads_;
+        cycles_ += model_.mem;
+        break;
+      case kSStoreR:
+        memory_.WriteFast(ea(s), regs[s.r0], s.size);
+        ++explicit_writes_;
+        cycles_ += model_.mem;
+        break;
+      case kSStoreI:
+        memory_.WriteFast(ea(s), static_cast<uint64_t>(s.imm), s.size);
+        ++explicit_writes_;
+        cycles_ += model_.mem;
+        break;
+      case kSAddRR:
+        regs[s.r0] = AddWithFlags(f, regs[s.r0], regs[s.r1]);
+        cycles_ += model_.basic;
+        break;
+      case kSAddRI:
+        regs[s.r0] = AddWithFlags(f, regs[s.r0], static_cast<uint64_t>(s.imm));
+        cycles_ += model_.basic;
+        break;
+      case kSSubRR:
+        regs[s.r0] = SubWithFlags(f, regs[s.r0], regs[s.r1]);
+        cycles_ += model_.basic;
+        break;
+      case kSSubRI:
+        regs[s.r0] = SubWithFlags(f, regs[s.r0], static_cast<uint64_t>(s.imm));
+        cycles_ += model_.basic;
+        break;
+      case kSAndRR: {
+        const uint64_t r = regs[s.r0] & regs[s.r1];
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.basic;
+        break;
+      }
+      case kSAndRI: {
+        const uint64_t r = regs[s.r0] & static_cast<uint64_t>(s.imm);
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.basic;
+        break;
+      }
+      case kSOrRR: {
+        const uint64_t r = regs[s.r0] | regs[s.r1];
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.basic;
+        break;
+      }
+      case kSOrRI: {
+        const uint64_t r = regs[s.r0] | static_cast<uint64_t>(s.imm);
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.basic;
+        break;
+      }
+      case kSXorRR: {
+        const uint64_t r = regs[s.r0] ^ regs[s.r1];
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.basic;
+        break;
+      }
+      case kSXorRI: {
+        const uint64_t r = regs[s.r0] ^ static_cast<uint64_t>(s.imm);
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.basic;
+        break;
+      }
+      case kSShlRI: {
+        cycles_ += model_.basic;
+        const unsigned c = static_cast<unsigned>(s.imm & 63);
+        if (c != 0) {  // x86: zero shift leaves flags unchanged
+          const uint64_t a = regs[s.r0];
+          const uint64_t r = a << c;
+          regs[s.r0] = r;
+          f.zf = r == 0;
+          f.sf = (r >> 63) != 0;
+          f.cf = ((a >> (64 - c)) & 1) != 0;
+          f.of = false;
+        }
+        break;
+      }
+      case kSShrRI: {
+        cycles_ += model_.basic;
+        const unsigned c = static_cast<unsigned>(s.imm & 63);
+        if (c != 0) {
+          const uint64_t a = regs[s.r0];
+          const uint64_t r = a >> c;
+          regs[s.r0] = r;
+          f.zf = r == 0;
+          f.sf = (r >> 63) != 0;
+          f.cf = ((a >> (c - 1)) & 1) != 0;
+          f.of = false;
+        }
+        break;
+      }
+      case kSSarRI: {
+        cycles_ += model_.basic;
+        const unsigned c = static_cast<unsigned>(s.imm & 63);
+        if (c != 0) {
+          const uint64_t a = regs[s.r0];
+          const uint64_t r = static_cast<uint64_t>(static_cast<int64_t>(a) >> c);
+          regs[s.r0] = r;
+          f.zf = r == 0;
+          f.sf = (r >> 63) != 0;
+          f.cf = ((a >> (c - 1)) & 1) != 0;
+          f.of = false;
+        }
+        break;
+      }
+      case kSImulRR: {
+        const uint64_t r = regs[s.r0] * regs[s.r1];
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.mul;
+        break;
+      }
+      case kSImulRI: {
+        const uint64_t r = regs[s.r0] * static_cast<uint64_t>(s.imm);
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.mul;
+        break;
+      }
+      case kSMulhRR: {
+        const uint64_t r = static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(regs[s.r0]) *
+             static_cast<unsigned __int128>(regs[s.r1])) >> 64);
+        regs[s.r0] = r;
+        LogicFlags(f, r);
+        cycles_ += model_.mul;
+        break;
+      }
+      case kSCmpRR:
+        (void)SubWithFlags(f, regs[s.r0], regs[s.r1]);
+        cycles_ += model_.basic;
+        break;
+      case kSCmpRI:
+        (void)SubWithFlags(f, regs[s.r0], static_cast<uint64_t>(s.imm));
+        cycles_ += model_.basic;
+        break;
+      case kSTestRR:
+        LogicFlags(f, regs[s.r0] & regs[s.r1]);
+        cycles_ += model_.basic;
+        break;
+      case kSCount: {
+        // Zero cycles: measurement only. The counter cell pointer is cached
+        // in the spec on first execution (unordered_map values are
+        // node-stable); inserting it eagerly at decode time would create
+        // zero-count entries the step engine never makes.
+        Spec& sm = ex.spec;
+        uint64_t* cell = reinterpret_cast<uint64_t*>(sm.target);
+        if (cell == nullptr) {
+          cell = &counters_[static_cast<uint32_t>(sm.imm)];
+          sm.target = reinterpret_cast<uint64_t>(cell);
+        }
+        ++*cell;
+        if (tshard_ != nullptr || trace_ != nullptr || sampler_ != nullptr) {
+          OnCountSite(static_cast<uint32_t>(sm.imm));
+        }
+        break;
+      }
+      case kSCmpRRJcc:
+      case kSCmpRIJcc:
+      case kSTestRRJcc: {
+        // Fused only when the budget covers both halves; otherwise the
+        // compare runs alone and the Jcc re-enters as its own (tail) block.
+        const bool fuse = i + 2 <= n;
+        if (s.op == kSCmpRRJcc) {
+          (void)SubWithFlags(f, regs[s.r0], regs[s.r1]);
+        } else if (s.op == kSCmpRIJcc) {
+          (void)SubWithFlags(f, regs[s.r0], static_cast<uint64_t>(s.imm));
+        } else {
+          LogicFlags(f, regs[s.r0] & regs[s.r1]);
+        }
+        cycles_ += model_.basic;
+        if (!fuse) {
+          break;
+        }
+        const Spec& j = execs[i + 1].spec;
+        ++instructions_;
+        cycles_ += model_.branch;
+        cpu_.rip = EvalCond(static_cast<Cond>(j.cond)) ? j.target : j.next;
+        return i + 2;
+      }
+      case kSJmp:
+        cycles_ += model_.branch;
+        cpu_.rip = s.target;
+        return i + 1;
+      case kSJcc:
+        cycles_ += model_.branch;
+        cpu_.rip = EvalCond(static_cast<Cond>(s.cond)) ? s.target : s.next;
+        return i + 1;
+      case kSJmpR:
+        cycles_ += model_.call_ret;
+        cpu_.rip = regs[s.r0];
+        return i + 1;
+      case kSCall: {
+        const uint64_t rsp = regs[4] - 8;  // 4 = RegIndex(kRsp)
+        regs[4] = rsp;
+        memory_.WriteFast(rsp, s.next, 8);
+        cycles_ += model_.call_ret;
+        cpu_.rip = s.target;
+        return i + 1;
+      }
+      case kSCallR: {
+        const uint64_t rsp = regs[4] - 8;
+        regs[4] = rsp;
+        memory_.WriteFast(rsp, s.next, 8);
+        cycles_ += model_.call_ret;
+        cpu_.rip = regs[s.r0];  // after the push, like the reference
+        return i + 1;
+      }
+      case kSRet: {
+        const uint64_t rsp = regs[4];
+        cpu_.rip = memory_.ReadFast(rsp, 8);
+        regs[4] = rsp + 8;
+        cycles_ += model_.call_ret;
+        return i + 1;
+      }
+      case kSPush: {
+        const uint64_t rsp = regs[4] - 8;
+        regs[4] = rsp;
+        memory_.WriteFast(rsp, regs[s.r0], 8);
+        cycles_ += model_.push_pop;
+        break;
+      }
+      case kSPop: {
+        const uint64_t rsp = regs[4];
+        regs[s.r0] = memory_.ReadFast(rsp, 8);
+        regs[4] = rsp + 8;  // after the load, so `pop rsp` matches the reference
+        cycles_ += model_.push_pop;
+        break;
+      }
+      case kSGeneric:
+        // The reference interpreter needs rip materialized (it computes
+        // next_rip itself and reporting paths read it).
+        cpu_.rip = s.next - ex.length;
+        if (!ExecuteOne(ex, fault)) {
+          *faulted = true;
+          return i;  // instructions_ already counts the faulting instruction
+        }
+        if (halt_) {
+          return i + 1;  // rip set by ExecuteOne
+        }
+        break;
+    }
+    ++i;
+  }
+  if (i != 0) {
+    // Straight-line exit (budget cap, or a block that ends without control
+    // flow): fall through to the next address.
+    cpu_.rip = execs[i - 1].spec.next;
+  }
+  return i;
+}
+
+void Vm::BeginTraceRecording(Block* head) {
+  trace_recording_ = true;
+  trace_head_ = head;
+  trace_rec_ = Trace{};
+  trace_rec_.entry = head->entry;
+  trace_rec_.range = head->range;
+}
+
+void Vm::RecordTraceBlock(const Block& b, uint64_t next_rip) {
+  if (b.range != trace_rec_.range ||
+      (!trace_rec_.seg_end.empty() && b.entry == trace_rec_.entry)) {
+    // Left the head's range, or arrived back at the head: stop here (a
+    // closed loop is the ideal trace; a range change can't be a segment).
+    FinishTraceRecording(true);
+    return;
+  }
+  trace_rec_.seg_entry.push_back(b.entry);
+  trace_rec_.execs.insert(trace_rec_.execs.end(), b.execs.begin(), b.execs.end());
+  trace_rec_.seg_end.push_back(static_cast<uint32_t>(trace_rec_.execs.size()));
+  trace_rec_.seg_last_cf.push_back(!b.execs.empty() &&
+                                   IsControlFlow(b.execs.back().insn.op));
+  if (next_rip == trace_rec_.entry ||
+      trace_rec_.seg_end.size() >= kMaxTraceSegments ||
+      trace_rec_.execs.size() >= kMaxTraceInsns) {
+    FinishTraceRecording(true);
+  }
+}
+
+void Vm::FinishTraceRecording(bool bake) {
+  trace_recording_ = false;
+  // The head pointer is only trusted if its slot still holds the head (the
+  // block may have been evicted and rebuilt mid-recording).
+  Block* head =
+      trace_head_ != nullptr && trace_head_->entry == trace_rec_.entry ? trace_head_
+                                                                       : nullptr;
+  if (bake && head != nullptr && trace_rec_.seg_end.size() >= 2 &&
+      traces_.size() < kMaxTraces) {
+    head->trace = static_cast<int32_t>(traces_.size());
+    const uint64_t segs = trace_rec_.seg_end.size();
+    traces_.push_back(std::make_unique<Trace>(std::move(trace_rec_)));
+    ++dispatch_.traces_formed;
+    dispatch_.trace_len.sum += segs;
+    ++dispatch_.trace_len.buckets[HistogramBucketIndex(segs)];
+  } else if (head != nullptr) {
+    head->trace = -2;  // don't retry a head that can't form a useful trace
+  }
+  trace_rec_ = Trace{};
+  trace_head_ = nullptr;
+}
+
+bool Vm::ExecTrace(Trace& t, bool track_sb, std::string* fault) {
+  ++dispatch_.trace_runs;
+  for (;;) {
+    size_t seg_start = 0;
+    for (size_t seg = 0; seg < t.seg_end.size(); ++seg) {
+      const size_t seg_end = t.seg_end[seg];
+      if (seg != 0 && cpu_.rip != t.seg_entry[seg]) {
+        return true;  // interior guard failed: rip is intact, re-dispatch
+      }
+      uint64_t stop_at = instruction_limit_;
+      if (epoch_every_ != 0 && epoch_next_ < stop_at) {
+        stop_at = epoch_next_;
+      }
+      if (sampler_ != nullptr && sampler_next_ < stop_at) {
+        stop_at = sampler_next_;
+      }
+      if (instructions_ >= stop_at) {
+        return true;  // boundary due: the dispatcher handles it exactly
+      }
+      const size_t seg_insns = seg_end - seg_start;
+      const uint64_t budget = stop_at - instructions_;
+      bool faulted = false;
+      const size_t done =
+          ExecSpecs(&t.execs[seg_start], seg_insns,
+                    budget < seg_insns ? static_cast<size_t>(budget) : seg_insns,
+                    fault, &faulted);
+      if (track_sb && done > 0) {
+        sb_run_len_ += done;
+        if (done == seg_insns && t.seg_last_cf[seg]) {
+          h_superblock_len_->Record(sb_run_len_);
+          sb_run_len_ = 0;
+        }
+      }
+      if (faulted) {
+        return false;
+      }
+      if (halt_ || done < seg_insns) {
+        return true;  // halted, or an instruction boundary split the segment
+      }
+      if ((sampler_ != nullptr && instructions_ == sampler_next_) ||
+          (epoch_every_ != 0 && instructions_ == epoch_next_)) {
+        return true;  // land the boundary in the dispatcher's checks
+      }
+      seg_start = seg_end;
+    }
+    if (cpu_.rip != t.entry) {
+      return true;
+    }
+    ++dispatch_.trace_runs;  // loop-closing trace: next lap without dispatch
+  }
+}
+
 void Vm::RunStepLoop(RunResult* res) {
   std::string fault;
   // Trampoline-visit tracking is only worth per-instruction work when a sink
@@ -774,6 +1298,15 @@ void Vm::RunBlockLoop(RunResult* res) {
       (tshard_ != nullptr || trace_ != nullptr || sampler_ != nullptr) &&
       !tramp_ranges_.empty();
   const bool track_sb = h_superblock_len_ != nullptr;
+  // The per-instruction observer hook is exactly what chaining and
+  // specialization elide, so observer-attached runs transparently fall back
+  // to generic unchained dispatch: bit-identical results, the observer fires
+  // before every instruction, just slower.
+  const bool use_spec = spec_ && observer_ == nullptr;
+  const bool use_chain = chain_ && observer_ == nullptr;
+  const bool form_traces = use_chain && use_spec;
+  Block* patch_from = nullptr;  // fully-executed predecessor awaiting a link
+  int patch_slot = 0;
   while (!halt_) {
     if (instructions_ >= instruction_limit_) {
       halt_reason_ = HaltReason::kInstrLimit;
@@ -783,7 +1316,8 @@ void Vm::RunBlockLoop(RunResult* res) {
       // Blocks never span a trampoline/inline-region boundary and end at
       // every control transfer, so rip's range can only change at a block
       // entry: one classification here is exactly equivalent to the step
-      // engine's per-instruction check.
+      // engine's per-instruction check. Chain links only connect same-range
+      // blocks, so skipping the dispatcher never skips a range transition.
       const TrampRange* range = TrampRangeAt(cpu_.rip);
       const bool now = range != nullptr;
       if (now != t_in_tramp_ ||
@@ -800,79 +1334,153 @@ void Vm::RunBlockLoop(RunResult* res) {
         }
       }
     }
-    const Block* block = FetchBlock(cpu_.rip, &fault);
+    Block* block = FetchBlock(cpu_.rip, &fault);
     if (block == nullptr) {
       halt_reason_ = HaltReason::kFault;
       res->fault_message = fault;
       break;
     }
-    // Cap the dispatch count so the instruction limit and any epoch or
-    // sample boundary halt at the exact same instruction as under the step
-    // engine; the block's tail re-enters through FetchBlock (as a fresh tail
-    // block) on the next iteration.
-    uint64_t stop_at = instruction_limit_;
-    if (epoch_every_ != 0 && epoch_next_ < stop_at) {
-      stop_at = epoch_next_;
+    if (patch_from != nullptr) {
+      // Direct linking: the predecessor's exit slot now transfers straight
+      // to this block on its next visit. Same-range only, so the dispatcher
+      // classification above stays equivalent when it is skipped.
+      if (block->range == patch_from->range) {
+        patch_from->succ[patch_slot] = block;
+        ++dispatch_.links_patched;
+      }
+      patch_from = nullptr;
     }
-    if (sampler_ != nullptr && sampler_next_ < stop_at) {
-      stop_at = sampler_next_;
-    }
-    const uint64_t budget = stop_at - instructions_;
-    const size_t n = budget < block->execs.size() ? static_cast<size_t>(budget)
-                                                  : block->execs.size();
-    bool faulted = false;
-    size_t executed = 0;
-    if (observer_ == nullptr) {
-      // Hot path: dispatch the decoded run back to back.
-      for (size_t i = 0; i < n; ++i) {
-        ++instructions_;
-        if (!ExecuteOne(block->execs[i], &fault)) {
-          faulted = true;
-          break;
+    // ---- chained steady state: control stays in this loop across links ----
+    for (;;) {
+      if (form_traces) {
+        if (block->trace >= 0) {
+          if (trace_recording_) {
+            // A trace executes opaque to recording; close the pending one.
+            FinishTraceRecording(true);
+          }
+          if (!ExecTrace(*traces_[block->trace], track_sb, &fault)) {
+            halt_reason_ = HaltReason::kFault;
+            res->fault_message = fault;
+            return;
+          }
+          if (sampler_ != nullptr && instructions_ == sampler_next_) {
+            TakeSampleNow();
+          }
+          if (epoch_every_ != 0 && instructions_ == epoch_next_) {
+            epoch_hook_();
+            epoch_next_ += epoch_every_;
+          }
+          break;  // re-dispatch at the trace's exit rip
         }
-        ++executed;
-        if (halt_) {
-          break;
+        if (!trace_recording_ && block->trace == -1 &&
+            traces_.size() < kMaxTraces && ++block->hits >= kTraceThreshold) {
+          BeginTraceRecording(block);
         }
       }
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        cycles_ += observer_->OnInstruction(*this, cpu_.rip, block->execs[i].insn);
-        if (halt_) {
-          break;  // observer reported a fatal memory error (Policy::kHarden)
+      // Cap the dispatch count so the instruction limit and any epoch or
+      // sample boundary halt at the exact same instruction as under the step
+      // engine; the block's tail re-enters through FetchBlock (as a fresh
+      // tail block) on the next dispatch.
+      uint64_t stop_at = instruction_limit_;
+      if (epoch_every_ != 0 && epoch_next_ < stop_at) {
+        stop_at = epoch_next_;
+      }
+      if (sampler_ != nullptr && sampler_next_ < stop_at) {
+        stop_at = sampler_next_;
+      }
+      const uint64_t budget =
+          instructions_ < stop_at ? stop_at - instructions_ : 0;
+      const size_t total = block->execs.size();
+      const size_t n =
+          budget < total ? static_cast<size_t>(budget) : total;
+      bool faulted = false;
+      size_t executed = 0;
+      if (use_spec) {
+        executed = ExecSpecs(block->execs.data(), total, n, &fault, &faulted);
+      } else if (observer_ == nullptr) {
+        for (size_t i = 0; i < n; ++i) {
+          ++instructions_;
+          if (!ExecuteOne(block->execs[i], &fault)) {
+            faulted = true;
+            break;
+          }
+          ++executed;
+          if (halt_) {
+            break;
+          }
         }
-        ++instructions_;
-        if (!ExecuteOne(block->execs[i], &fault)) {
-          faulted = true;
-          break;
-        }
-        ++executed;
-        if (halt_) {
-          break;
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          cycles_ += observer_->OnInstruction(*this, cpu_.rip, block->execs[i].insn);
+          if (halt_) {
+            break;  // observer reported a fatal memory error (Policy::kHarden)
+          }
+          ++instructions_;
+          if (!ExecuteOne(block->execs[i], &fault)) {
+            faulted = true;
+            break;
+          }
+          ++executed;
+          if (halt_) {
+            break;
+          }
         }
       }
-    }
-    if (track_sb && executed > 0) {
-      // Control flow only ever terminates a block, so the executed prefix is
-      // straight-line except possibly its last instruction: one length check
-      // here is exactly equivalent to the step engine's per-insn check.
-      sb_run_len_ += executed;
-      if (IsControlFlow(block->execs[executed - 1].insn.op)) {
-        h_superblock_len_->Record(sb_run_len_);
-        sb_run_len_ = 0;
+      if (track_sb && executed > 0) {
+        // Control flow only ever terminates a block, so the executed prefix
+        // is straight-line except possibly its last instruction: one length
+        // check here is exactly equivalent to the step engine's per-insn
+        // check. (A fused cmp+jcc only completes as a pair, so `executed ==
+        // total` still indexes the block's real last instruction.)
+        sb_run_len_ += executed;
+        if (executed <= total && IsControlFlow(block->execs[executed - 1].insn.op)) {
+          h_superblock_len_->Record(sb_run_len_);
+          sb_run_len_ = 0;
+        }
       }
-    }
-    if (faulted) {
-      halt_reason_ = HaltReason::kFault;
-      res->fault_message = fault;
+      if (faulted) {
+        if (trace_recording_) {
+          FinishTraceRecording(true);
+        }
+        halt_reason_ = HaltReason::kFault;
+        res->fault_message = fault;
+        return;
+      }
+      if (sampler_ != nullptr && instructions_ == sampler_next_) {
+        TakeSampleNow();
+      }
+      if (epoch_every_ != 0 && instructions_ == epoch_next_) {
+        epoch_hook_();
+        epoch_next_ += epoch_every_;
+      }
+      const bool full = !halt_ && executed == total;
+      if (trace_recording_) {
+        if (full) {
+          RecordTraceBlock(*block, cpu_.rip);
+        } else {
+          FinishTraceRecording(true);  // bakes only if >= 2 segments made it
+        }
+      }
+      if (!full || !use_chain) {
+        if (use_chain) {
+          ++dispatch_.chain_exits;
+        }
+        break;
+      }
+      const int slot = cpu_.rip == block->fall_rip ? 0 : 1;
+      Block* nxt = block->succ[slot];
+      if (nxt != nullptr && nxt->entry == cpu_.rip && nxt->range == block->range) {
+        // Validated link: transfer block -> block with no dispatcher work.
+        // The entry-tag check makes links left stale by collision eviction
+        // self-invalidating.
+        ++dispatch_.block_chains;
+        block = nxt;
+        continue;
+      }
+      patch_from = block;
+      patch_slot = slot;
+      ++dispatch_.chain_exits;
       break;
-    }
-    if (sampler_ != nullptr && instructions_ == sampler_next_) {
-      TakeSampleNow();
-    }
-    if (epoch_every_ != 0 && instructions_ == epoch_next_) {
-      epoch_hook_();
-      epoch_next_ += epoch_every_;
     }
   }
 }

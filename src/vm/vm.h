@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "src/isa/abi.h"
 #include "src/isa/isa.h"
 #include "src/support/rng.h"
+#include "src/support/telemetry.h"
 #include "src/vm/allocator.h"
 #include "src/vm/memory.h"
 
@@ -191,6 +193,47 @@ class Vm {
   void set_engine(VmEngine e) { engine_ = e; }
   VmEngine engine() const { return engine_; }
 
+  // --- block-engine dispatch knobs -----------------------------------------
+  // Direct superblock chaining (default on): a block's exit patches a cached
+  // successor pointer, so steady-state control transfers block -> block
+  // without a dispatcher round-trip. Guest-visible results are bit-identical
+  // with chaining on or off; observer-attached runs transparently fall back
+  // to unchained dispatch so the observer keeps firing per instruction.
+  void set_chaining(bool on) { chain_ = on; }
+  bool chaining() const { return chain_; }
+  // Specialized opcode handlers (default on): decode-time classification of
+  // the hot opcode+operand shapes into a flat Spec form executed by a tight
+  // dedicated loop instead of the generic decode-result interpreter.
+  void set_specialize(bool on) { spec_ = on; }
+  bool specialize() const { return spec_; }
+  // Code-cache capacity in superblock entries; must be a power of two.
+  // Resets the cache (decoded blocks and chain links are rebuilt on demand).
+  void set_code_cache_size(size_t entries);
+  size_t code_cache_size() const { return block_cache_size_; }
+
+  // Host-side dispatch-layer statistics. These describe the engine, not the
+  // guest: they are deliberately NOT part of the bit-identity contract (the
+  // stepper has no chains to count) and are never written into an attached
+  // TelemetryRegistry. rfrun --report surfaces them as vm.* counters.
+  struct DispatchStats {
+    uint64_t blocks_built = 0;        // superblock decodes (cold path)
+    uint64_t code_cache_evictions = 0;  // direct-mapped collision rebuilds
+    uint64_t block_chains = 0;        // block->block transfers via chain link
+    uint64_t chain_exits = 0;         // chained execution re-entered dispatcher
+    uint64_t links_patched = 0;       // successor links installed
+    uint64_t traces_formed = 0;       // hot chains promoted to traces
+    uint64_t trace_runs = 0;          // whole-trace executions
+    uint64_t tlb_hits = 0;            // memory-TLB probes, all access paths
+    uint64_t tlb_misses = 0;
+    HistogramData trace_len;          // blocks per formed trace
+  };
+  DispatchStats dispatch_stats() const {
+    DispatchStats d = dispatch_;
+    d.tlb_hits = memory_.tlb_hits();
+    d.tlb_misses = memory_.tlb_misses();
+    return d;
+  }
+
   // Fires `hook` every `every` executed guest instructions (at the exact
   // instruction boundary, identically under both engines), e.g. to cut
   // periodic telemetry snapshots. The hook runs on the VM thread between
@@ -258,9 +301,55 @@ class Vm {
   bool InTrampoline(uint64_t addr) const;
 
  private:
+  struct TrampRange;
+
+  // Decode-time specialization: the hottest opcode+operand shapes are
+  // classified once per superblock build into a flat form that a dedicated
+  // executor runs without re-inspecting the Instruction — register numbers
+  // pre-indexed, rip-relative displacements folded to absolute (the anchor
+  // next_rip is static per decoded instruction), direct branch targets
+  // precomputed. kSGeneric routes everything else (hostcalls, traps, flag
+  // stack ops, faulting opcodes) through the reference ExecuteOne, which is
+  // also the bit-identity oracle for every specialized handler.
+  enum SpecOp : uint8_t {
+    kSGeneric = 0,
+    kSNop,
+    kSMovRI, kSMovRR, kSLea,
+    kSLoad, kSStoreR, kSStoreI,
+    kSAddRR, kSAddRI, kSSubRR, kSSubRI,
+    kSAndRR, kSAndRI, kSOrRR, kSOrRI, kSXorRR, kSXorRI,
+    kSShlRI, kSShrRI, kSSarRI,
+    kSImulRR, kSImulRI, kSMulhRR,
+    kSCmpRR, kSCmpRI, kSTestRR,
+    kSCount,
+    // cmp/test+jcc macro-op fusion: the compare executes its own semantics
+    // AND the following Jcc in one step (two guest instructions). Only ever
+    // the last two entries of a block (Jcc terminates it); when the
+    // instruction budget can't cover both, the compare executes unfused.
+    kSCmpRRJcc, kSCmpRIJcc, kSTestRRJcc,
+    // Block terminators with precomputed (kSJmp/kSJcc/kSCall) targets.
+    kSJmp, kSJcc, kSJmpR, kSCall, kSCallR, kSRet,
+    kSPush, kSPop,
+  };
+  struct Spec {
+    uint8_t op = kSGeneric;  // SpecOp
+    uint8_t r0 = 0;          // pre-indexed GPR operands
+    uint8_t r1 = 0;
+    uint8_t base = 0xff;     // memory base GPR, 0xff = none/folded
+    uint8_t idx = 0xff;      // memory index GPR, 0xff = none
+    uint8_t scale = 0;       // index scale_log2
+    uint8_t size = 8;        // memory access size in bytes
+    uint8_t cond = 0;        // Cond for kSJcc and the fused forms
+    int64_t imm = 0;         // sign-extended immediate / imm64 / shift count
+    int64_t disp = 0;        // displacement; absolute when rip-rel was folded
+    uint64_t target = 0;     // precomputed taken target (direct transfers)
+    uint64_t next = 0;       // static fall-through address (insn end)
+  };
+
   struct Exec {
     Instruction insn;
     unsigned length = 0;
+    Spec spec;
   };
 
   // A superblock: decoded straight-line instruction run starting at `entry`.
@@ -270,20 +359,69 @@ class Vm {
   // address reproduces the step engine's fault), at kMaxBlockInsns, and at
   // any trampoline/inline-region boundary, so one range classification holds
   // for the whole block.
+  //
+  // succ[] are the chain links (direct-linking a la DynamoRIO): [0] = the
+  // fall-through/untaken successor, [1] = the taken/indirect-target successor
+  // (a monomorphic inline cache for indirect transfers). Links are hints, not
+  // truth: a link is followed only after validating `succ->entry` against the
+  // actual next rip and `succ->range` against this block's range, so stale
+  // links left behind by collision eviction or a rebuilt slot self-invalidate
+  // without predecessor bookkeeping.
   struct Block {
     uint64_t entry = ~uint64_t{0};  // tag; ~0 = empty slot
     std::vector<Exec> execs;
+    const TrampRange* range = nullptr;  // classification at entry (null = user code)
+    uint64_t fall_rip = 0;          // address one past the last instruction
+    Block* succ[2] = {nullptr, nullptr};
+    uint32_t hits = 0;              // dispatcher entries; drives trace formation
+    int32_t trace = -1;             // index into traces_ once promoted
   };
   static constexpr size_t kBlockCacheSize = 4096;  // direct-mapped entries
   static constexpr size_t kMaxBlockInsns = 128;
 
-  struct TrampRange;
+  // A trace: the concatenation of a hot chain's blocks into one straight-line
+  // Exec run with interior guards. Owns copies of the member blocks' execs,
+  // so collision eviction of a member block can't tear a live trace; segment
+  // i must be entered at seg_entry[i] (the guard) or execution falls back to
+  // the dispatcher with rip intact.
+  struct Trace {
+    uint64_t entry = 0;
+    const TrampRange* range = nullptr;  // every segment shares it
+    std::vector<Exec> execs;
+    std::vector<uint32_t> seg_end;     // one past each segment's last exec
+    std::vector<uint64_t> seg_entry;   // expected entry rip per segment
+    std::vector<bool> seg_last_cf;     // segment ends with a control transfer
+  };
+  static constexpr uint32_t kTraceThreshold = 64;  // dispatches before recording
+  static constexpr size_t kMaxTraceSegments = 16;
+  static constexpr size_t kMaxTraceInsns = 512;
+  static constexpr size_t kMaxTraces = 256;
+
   const Exec* FetchDecode(uint64_t addr, std::string* fault);
   // Returns the (possibly rebuilt) superblock entered at `addr`, or null on
   // an immediate decode fault (same message as FetchDecode's).
-  const Block* FetchBlock(uint64_t addr, std::string* fault);
+  Block* FetchBlock(uint64_t addr, std::string* fault);
+  // Fills ex->spec from ex->insn as decoded at address `addr`.
+  void BuildSpec(Exec* ex, uint64_t addr);
   void RunStepLoop(RunResult* res);
   void RunBlockLoop(RunResult* res);
+  // Executes up to `budget` guest instructions from execs[0..count) through
+  // the specialized handlers. Returns instructions executed (== execs
+  // consumed, counting a fused pair as two of each). On return cpu_.rip is
+  // materialized to the next instruction to execute.
+  size_t ExecSpecs(Exec* execs, size_t count, size_t budget,
+                   std::string* fault, bool* faulted);
+  // Runs the trace (cpu_.rip == t.entry), looping while it closes on itself.
+  // Returns false on a fault (message in *fault). Respects instruction/
+  // sampler/epoch boundaries exactly, exiting mid-trace when one lands
+  // inside a segment.
+  bool ExecTrace(Trace& t, bool track_sb, std::string* fault);
+  void BeginTraceRecording(Block* head);
+  // Appends a fully-executed block to the in-progress recording; finishes
+  // (bake or discard) when a stop condition hits. `next_rip` is where
+  // execution goes after the block.
+  void RecordTraceBlock(const Block& b, uint64_t next_rip);
+  void FinishTraceRecording(bool bake);
   // Ordinal of the image whose trampoline section contains `addr`, or -1.
   int TrampImageAt(uint64_t addr) const;
   // The trampoline/inline-check range containing `addr`, or null.
@@ -331,6 +469,16 @@ class Vm {
   std::unordered_map<uint32_t, ProfCounts> prof_counts_;
   std::unordered_map<uint64_t, Exec> icache_;     // step engine decode cache
   std::vector<Block> block_cache_;                // block engine, lazily sized
+  size_t block_cache_size_ = kBlockCacheSize;     // entries; power of two
+
+  bool chain_ = true;
+  bool spec_ = true;
+  DispatchStats dispatch_;
+  std::vector<std::unique_ptr<Trace>> traces_;  // stable across growth
+  // In-progress trace recording (at most one at a time).
+  bool trace_recording_ = false;
+  Block* trace_head_ = nullptr;
+  Trace trace_rec_;
 
   VmEngine engine_ = VmEngine::kBlock;
   uint64_t epoch_every_ = 0;

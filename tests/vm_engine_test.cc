@@ -1,16 +1,21 @@
-// Differential step-vs-block equivalence (ISSUE 5 contract): the superblock
-// engine must reproduce the stepper bit-for-bit — instructions, cycles,
-// explicit reads/writes, outputs, mem-error reports, prof counts, telemetry
-// snapshots and trace slices — for every golden config × workload, for
-// randomized programs, and for every edge the block boundary logic has:
-// instruction limits landing mid-block, mem-error aborts mid-block,
+// Differential dispatch-engine equivalence (ISSUE 5 + ISSUE 8 contract):
+// every dispatch mode of the superblock engine — plain block, specialized
+// handlers, and direct chaining with trace formation — must reproduce the
+// stepper bit-for-bit: instructions, cycles, explicit reads/writes, outputs,
+// mem-error reports, prof counts, telemetry snapshots and trace slices — for
+// every golden config × workload, for randomized programs, and for every
+// edge the block boundary and chaining logic has: instruction limits landing
+// mid-block / mid-chain / mid-trace, mem-error aborts at the same points,
 // hostcall/trap termination, one-instruction self-loops, direct-mapped code
-// cache collisions, and TLB invalidation across LoadImage.
+// cache collisions evicting chained-to blocks, TLB + chain invalidation
+// across LoadImage, and observer attachment forcing the transparent
+// unchained fallback.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/harness.h"
@@ -85,33 +90,58 @@ RunFingerprint Fingerprint(const RunOutcome& out, const std::string& metrics,
   return fp;
 }
 
-// Runs `img` under both engines with identical config (telemetry + trace
-// attached when `observe`) and asserts every produced artifact matches.
+// The dispatch-mode axis: reference stepper, plain superblocks, specialized
+// handlers, and full chaining + traces (the production default). Every test
+// run through ExpectEnginesAgree is a |kModes|-way differential.
+struct EngineMode {
+  const char* name;
+  VmEngine engine;
+  bool chain;
+  bool specialize;
+};
+
+constexpr EngineMode kModes[] = {
+    {"step", VmEngine::kStep, false, false},
+    {"block", VmEngine::kBlock, false, false},
+    {"spec", VmEngine::kBlock, false, true},
+    {"chained", VmEngine::kBlock, true, true},
+};
+constexpr size_t kNumModes = sizeof(kModes) / sizeof(kModes[0]);
+
+// Runs `img` under every dispatch mode with identical config (telemetry +
+// trace attached when `observe`) and asserts every produced artifact matches
+// the stepper's.
 void ExpectEnginesAgree(const BinaryImage& img, RuntimeKind kind, RunConfig cfg,
                         bool observe, const std::string& what) {
-  RunFingerprint fps[2];
-  const VmEngine engines[2] = {VmEngine::kStep, VmEngine::kBlock};
-  for (int i = 0; i < 2; ++i) {
+  RunFingerprint ref;
+  for (size_t i = 0; i < kNumModes; ++i) {
     TelemetryRegistry telemetry;
     TraceWriter trace;
     RunConfig c = cfg;
-    c.engine = engines[i];
+    c.engine = kModes[i].engine;
+    c.chain = kModes[i].chain;
+    c.specialize = kModes[i].specialize;
     if (observe) {
       c.telemetry = &telemetry;
       c.trace = &trace;
     }
     const RunOutcome out = RunImage(img, kind, c);
-    fps[i] = Fingerprint(out, observe ? telemetry.Snapshot().ToJson() : "",
-                         observe ? trace.ToJson() : "");
+    RunFingerprint fp = Fingerprint(out, observe ? telemetry.Snapshot().ToJson() : "",
+                                    observe ? trace.ToJson() : "");
+    if (i == 0) {
+      ref = std::move(fp);
+      continue;
+    }
+    const std::string tag = what + " [" + kModes[i].name + "]";
+    EXPECT_EQ(ref.result, fp.result) << tag;
+    EXPECT_EQ(ref.outputs, fp.outputs) << tag;
+    EXPECT_EQ(ref.errors, fp.errors) << tag;
+    EXPECT_EQ(ref.prof_counts, fp.prof_counts) << tag;
+    EXPECT_EQ(ref.counters, fp.counters) << tag;
+    EXPECT_EQ(ref.touched_pages, fp.touched_pages) << tag;
+    EXPECT_EQ(ref.metrics, fp.metrics) << tag;
+    EXPECT_EQ(ref.trace, fp.trace) << tag;
   }
-  EXPECT_EQ(fps[0].result, fps[1].result) << what;
-  EXPECT_EQ(fps[0].outputs, fps[1].outputs) << what;
-  EXPECT_EQ(fps[0].errors, fps[1].errors) << what;
-  EXPECT_EQ(fps[0].prof_counts, fps[1].prof_counts) << what;
-  EXPECT_EQ(fps[0].counters, fps[1].counters) << what;
-  EXPECT_EQ(fps[0].touched_pages, fps[1].touched_pages) << what;
-  EXPECT_EQ(fps[0].metrics, fps[1].metrics) << what;
-  EXPECT_EQ(fps[0].trace, fps[1].trace) << what;
 }
 
 struct GoldenConfig {
@@ -424,6 +454,263 @@ TEST(VmEngine, EpochDeltasMergeToOneShot) {
   // observed identical state at each.
   EXPECT_EQ(epoch_counts[0], epoch_counts[1]);
   EXPECT_EQ(one_shots[0], one_shots[1]);
+}
+
+// ---- Chaining + trace-formation differential suite (ISSUE 8) ----
+
+// A loop hot enough to pass kTraceThreshold, with an internal conditional
+// branch so the body spans multiple superblocks (the trace gets interior
+// guards) and a data-dependent side that diverges on the final iterations.
+BinaryImage BuildHotLoop(uint64_t iters) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  a.MovRI(Reg::kR15, 0);
+  a.MovRI(Reg::kR8, static_cast<int64_t>(iters));
+  auto loop = a.NewLabel();
+  auto skip = a.NewLabel();
+  a.Bind(loop);
+  a.CmpI(Reg::kR8, 3);
+  a.Jcc(Cond::kUgt, skip);  // taken until the last three iterations
+  a.AddI(Reg::kR15, 1000);
+  a.Bind(skip);
+  a.AddI(Reg::kR15, 2);
+  a.SubI(Reg::kR8, 1);
+  a.CmpI(Reg::kR8, 0);
+  a.Jcc(Cond::kNe, loop);
+  a.MovRR(Reg::kRdi, Reg::kR15);
+  a.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
+// Sanity: the hot-loop workload really does drive the chained engine into
+// its steady state — links patched, blocks chained, at least one trace
+// formed and run — so the limit/abort tests below genuinely land mid-chain
+// and mid-trace rather than in cold dispatch.
+TEST(VmChaining, HotLoopFormsChainsAndTraces) {
+  const BinaryImage img = BuildHotLoop(400);
+  RunConfig cfg;  // chained production defaults
+  const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+  ASSERT_EQ(out.result.reason, HaltReason::kExit);
+  ASSERT_EQ(out.outputs.size(), 1u);
+  EXPECT_EQ(out.outputs[0], 3u * 1000u + 400u * 2u);
+  EXPECT_GT(out.dispatch.links_patched, 0u);
+  EXPECT_GT(out.dispatch.block_chains, 0u);
+  EXPECT_GT(out.dispatch.traces_formed, 0u);
+  EXPECT_GT(out.dispatch.trace_runs, 0u);
+  EXPECT_EQ(out.dispatch.trace_len.Count(), out.dispatch.traces_formed);
+
+  // And with chaining off the same run reports none of it.
+  RunConfig off = cfg;
+  off.chain = false;
+  const RunOutcome out2 = RunImage(img, RuntimeKind::kBaseline, off);
+  EXPECT_EQ(out2.outputs, out.outputs);
+  EXPECT_EQ(out2.dispatch.block_chains, 0u);
+  EXPECT_EQ(out2.dispatch.links_patched, 0u);
+  EXPECT_EQ(out2.dispatch.traces_formed, 0u);
+}
+
+// The instruction limit must halt at the exact instruction even when it
+// lands inside a chained block sequence or a baked multi-segment trace.
+TEST(VmChaining, InstructionLimitMidChainAndMidTrace) {
+  const BinaryImage img = BuildHotLoop(400);
+  // Total instruction count from the reference stepper, then limits probing
+  // the cold region, the chained-but-untraced region, deep mid-trace
+  // territory, and every offset within one loop iteration (7 insns/iter).
+  RunConfig probe;
+  probe.engine = VmEngine::kStep;
+  const RunOutcome ref = RunImage(img, RuntimeKind::kBaseline, probe);
+  const uint64_t total = ref.result.instructions;
+  ASSERT_GT(total, 1000u);
+  std::vector<uint64_t> limits = {1, 2, 50, 200, 450, 451, total / 2, total - 1, total};
+  for (uint64_t off = 0; off < 7; ++off) {
+    limits.push_back(total / 2 + 100 + off);
+  }
+  for (const uint64_t limit : limits) {
+    RunConfig cfg;
+    cfg.instruction_limit = limit;
+    ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false,
+                       StrFormat("hot-loop limit=%llu",
+                                 static_cast<unsigned long long>(limit)));
+  }
+}
+
+// A mem-error trap firing on the last iterations of a hot loop lands after
+// chains and traces are formed; under kHarden the abort must stop at the
+// identical instruction with the identical report, under kLog execution
+// continues through the trace side-exit — in every mode.
+TEST(VmChaining, MemErrorAbortMidChainAndMidTrace) {
+  constexpr uint64_t kIters = 400;
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  a.MovRI(Reg::kR15, 0);
+  a.MovRI(Reg::kR8, kIters);
+  auto loop = a.NewLabel();
+  auto skip = a.NewLabel();
+  a.Bind(loop);
+  a.CmpI(Reg::kR8, 2);
+  a.Jcc(Cond::kUgt, skip);  // the hot path; falls through on iterations 2 and 1
+  a.Trap(TrapCode::kMemError, PackErrorArg(9, ErrorKind::kBounds));
+  a.Bind(skip);
+  a.AddI(Reg::kR15, 2);
+  a.SubI(Reg::kR8, 1);
+  a.CmpI(Reg::kR8, 0);
+  a.Jcc(Cond::kNe, loop);
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  for (const Policy policy : {Policy::kHarden, Policy::kLog}) {
+    RunConfig cfg;
+    cfg.policy = policy;
+    ExpectEnginesAgree(img, RuntimeKind::kBaseline, cfg, /*observe=*/false,
+                       StrFormat("hot-loop trap policy=%d", static_cast<int>(policy)));
+    // The trap really fired after the loop went hot.
+    const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+    ASSERT_FALSE(out.errors.empty());
+    EXPECT_GT(out.dispatch.block_chains, 0u);
+  }
+}
+
+// Code-cache eviction under chaining: two hot call targets 4096 bytes apart
+// share a direct-mapped slot, so every iteration evicts a block the previous
+// iteration installed chain links to. Stale links must self-invalidate via
+// the entry tag — never execute the evicting block's code.
+TEST(VmChaining, CollisionEvictionInvalidatesChainLinks) {
+  ProgramBuilder pb;
+  Assembler& a = pb.text();
+  auto f1 = a.NewLabel();
+  auto f2 = a.NewLabel();
+  auto main_l = a.NewLabel();
+  a.Jmp(main_l);
+  const uint64_t f1_addr = a.Here();
+  a.Bind(f1);
+  a.AddI(Reg::kR15, 1);
+  a.Ret();
+  while (a.Here() < f1_addr + 4096) {
+    a.Nop();
+  }
+  ASSERT_EQ(a.Here(), f1_addr + 4096);
+  a.Bind(f2);
+  a.AddI(Reg::kR15, 3);
+  a.Ret();
+  a.Bind(main_l);
+  a.MovRI(Reg::kR15, 0);
+  a.MovRI(Reg::kR8, 500);
+  auto loop = a.NewLabel();
+  a.Bind(loop);
+  a.Call(f1);
+  a.Call(f2);
+  a.SubI(Reg::kR8, 1);
+  a.CmpI(Reg::kR8, 0);
+  a.Jcc(Cond::kNe, loop);
+  a.MovRR(Reg::kRdi, Reg::kR15);
+  a.HostCall(HostFn::kOutputU64);
+  pb.EmitExit(0);
+  const BinaryImage img = pb.Finish();
+  ExpectEnginesAgree(img, RuntimeKind::kBaseline, RunConfig{}, /*observe=*/false,
+                     "chained collisions");
+  RunConfig cfg;  // chained defaults
+  const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+  ASSERT_EQ(out.outputs.size(), 1u);
+  EXPECT_EQ(out.outputs[0], 2000u);
+  EXPECT_GT(out.dispatch.code_cache_evictions, 0u);
+  // Shrinking the cache to two entries makes *every* block collide; chains
+  // still never go stale-wrong.
+  RunConfig tiny = cfg;
+  tiny.code_cache_size = 2;
+  const RunOutcome out2 = RunImage(img, RuntimeKind::kBaseline, tiny);
+  ASSERT_EQ(out2.outputs.size(), 1u);
+  EXPECT_EQ(out2.outputs[0], 2000u);
+  EXPECT_EQ(out2.result.instructions, out.result.instructions);
+  EXPECT_EQ(out2.result.cycles, out.result.cycles);
+  EXPECT_GT(out2.dispatch.code_cache_evictions, out.dispatch.code_cache_evictions);
+}
+
+// LoadImage while chains and traces are live: the second image overlays the
+// same addresses, so any surviving link or trace would execute the first
+// image's arithmetic. Runs hot loops so both images actually form traces.
+TEST(VmChaining, LoadImageInvalidatesChainsAndTraces) {
+  auto build = [](int64_t addend, uint64_t iters) {
+    ProgramBuilder pb;
+    Assembler& a = pb.text();
+    a.MovRI(Reg::kR15, 0);
+    a.MovRI(Reg::kR8, static_cast<int64_t>(iters));
+    auto loop = a.NewLabel();
+    a.Bind(loop);
+    a.AddI(Reg::kR15, addend);
+    a.SubI(Reg::kR8, 1);
+    a.CmpI(Reg::kR8, 0);
+    a.Jcc(Cond::kNe, loop);
+    a.MovRR(Reg::kRdi, Reg::kR15);
+    a.HostCall(HostFn::kOutputU64);
+    pb.EmitExit(0);
+    return pb.Finish();
+  };
+  const BinaryImage first = build(7, 300);
+  const BinaryImage second = build(11, 200);
+  Vm vm;
+  GlibcLikeAllocator alloc;
+  vm.set_allocator(&alloc);
+  vm.LoadImage(first);
+  const RunResult r1 = vm.Run();
+  ASSERT_EQ(r1.reason, HaltReason::kExit);
+  EXPECT_GT(vm.dispatch_stats().block_chains, 0u);
+  vm.LoadImage(second);
+  const RunResult r2 = vm.Run();
+  ASSERT_EQ(r2.reason, HaltReason::kExit);
+  ASSERT_EQ(vm.outputs().size(), 2u);
+  EXPECT_EQ(vm.outputs()[0], 7u * 300u);
+  EXPECT_EQ(vm.outputs()[1], 11u * 200u);
+}
+
+// Attaching a per-instruction observer must transparently fall back to
+// unchained, unspecialized dispatch — same guest results, observer fired
+// once per instruction, zero chains formed even with chaining requested.
+TEST(VmChaining, ObserverForcesUnchainedFallback) {
+  class CountingObserver : public ExecObserver {
+   public:
+    uint64_t OnInstruction(Vm&, uint64_t, const Instruction&) override {
+      ++count;
+      return 0;
+    }
+    uint64_t count = 0;
+  };
+  const BinaryImage img = BuildHotLoop(400);
+  uint64_t counts[2] = {0, 0};
+  RunFingerprint fps[2];
+  const VmEngine engines[2] = {VmEngine::kStep, VmEngine::kBlock};
+  for (int i = 0; i < 2; ++i) {
+    CountingObserver obs;
+    RunConfig cfg;  // chain + specialize left at production defaults
+    cfg.engine = engines[i];
+    cfg.observer = &obs;
+    const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+    fps[i] = Fingerprint(out, "", "");
+    counts[i] = obs.count;
+    EXPECT_EQ(out.dispatch.block_chains, 0u) << "engine=" << i;
+    EXPECT_EQ(out.dispatch.traces_formed, 0u) << "engine=" << i;
+    EXPECT_EQ(obs.count, out.result.instructions) << "engine=" << i;
+  }
+  EXPECT_EQ(fps[0].result, fps[1].result);
+  EXPECT_EQ(fps[0].outputs, fps[1].outputs);
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+// The cache-size knob: rejects zero and non-powers-of-two via REDFAT_CHECK
+// (covered by rfrun's exit-2 validation at the CLI layer); accepted sizes
+// keep bit-identity — checked here across a drastic down-size.
+TEST(VmChaining, CodeCacheSizeKnobKeepsIdentity) {
+  const BinaryImage img = BuildHotLoop(300);
+  RunConfig ref_cfg;
+  ref_cfg.engine = VmEngine::kStep;
+  const RunOutcome ref = RunImage(img, RuntimeKind::kBaseline, ref_cfg);
+  for (const size_t entries : {size_t{1}, size_t{8}, size_t{131072}}) {
+    RunConfig cfg;
+    cfg.code_cache_size = entries;
+    const RunOutcome out = RunImage(img, RuntimeKind::kBaseline, cfg);
+    EXPECT_EQ(out.result.instructions, ref.result.instructions) << entries;
+    EXPECT_EQ(out.result.cycles, ref.result.cycles) << entries;
+    EXPECT_EQ(out.outputs, ref.outputs) << entries;
+  }
 }
 
 }  // namespace
