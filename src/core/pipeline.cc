@@ -716,7 +716,38 @@ bool Pipeline::IsEnabled(const std::string& name) const {
   return false;
 }
 
-Status Pipeline::Run(PipelineContext& ctx) {
+void RestoreCheckpoint(const PipelineCheckpoint& cp, PipelineContext& ctx) {
+  REDFAT_CHECK(cp.valid());
+  ctx.drop_eliminable = cp.drop_eliminable;
+  ctx.plan = cp.plan;
+  // Everything the back half (re)produces starts clean. The analysis cache
+  // is intentionally untouched: its contents are pure functions of the
+  // input image and stay valid across re-entries.
+  ctx.requests.clear();
+  ctx.spans.clear();
+  ctx.tramp_code = TrampolineCode{};
+  ctx.inline_code = TrampolineCode{};
+  ctx.rewrite_stats = RewriteStats{};
+  ctx.output = BinaryImage{};
+}
+
+void Pipeline::CaptureAfter(const std::string& pass_name, PipelineCheckpoint* out) {
+  capture_after_ = out != nullptr ? pass_name : std::string();
+  capture_out_ = out;
+}
+
+Status Pipeline::Run(PipelineContext& ctx) { return RunRange(ctx, 0); }
+
+Status Pipeline::RunFrom(PipelineContext& ctx, const std::string& first_pass) {
+  for (size_t i = 0; i < passes_.size(); ++i) {
+    if (first_pass == passes_[i].pass->name()) {
+      return RunRange(ctx, i);
+    }
+  }
+  return Error(StrFormat("pipeline: unknown pass '%s'", first_pass.c_str()));
+}
+
+Status Pipeline::RunRange(PipelineContext& ctx, size_t first_index) {
   stats_ = PipelineStats{};
   // One pool serves every pass of the run (no per-pass spawn/join). A batch
   // driver may inject a shared pool via ctx.pool; otherwise a scoped pool of
@@ -735,7 +766,8 @@ Status Pipeline::Run(PipelineContext& ctx) {
     ctx.pool = prior_pool;
   };
   const auto run_start = std::chrono::steady_clock::now();
-  for (Entry& e : passes_) {
+  for (size_t i = first_index; i < passes_.size(); ++i) {
+    Entry& e = passes_[i];
     if (!e.enabled) {
       continue;
     }
@@ -754,6 +786,11 @@ Status Pipeline::Run(PipelineContext& ctx) {
     ps.wall_ms = MsSince(pass_start);
     ps.start_ms = start_ms;
     stats_.passes.push_back(std::move(ps));
+    if (capture_out_ != nullptr && capture_after_ == e.pass->name()) {
+      capture_out_->after_pass = capture_after_;
+      capture_out_->drop_eliminable = ctx.drop_eliminable;
+      capture_out_->plan = ctx.plan;
+    }
   }
   stats_.total_ms = MsSince(run_start);
   detach_pool();

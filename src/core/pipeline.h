@@ -190,6 +190,32 @@ class Pass {
   virtual Result<PassOutcome> Run(PipelineContext& ctx) = 0;
 };
 
+// --- checkpoints -----------------------------------------------------------
+
+// A resumable snapshot of the planning state between two passes. A server
+// that has already paid the analysis front half (disasm .. group) for an
+// image captures one right after the group pass; a later profile upload
+// restores it into the same context and re-enters the pipeline at the tier
+// pass (RunFrom), skipping disassembly/CFG/classification entirely. The
+// snapshot holds exactly the context state the front half owns: the plan
+// (sites + singleton trampolines + stats so far) and the eliminate flag.
+// The AnalysisCache itself is not snapshotted — downstream passes only read
+// it (clobber memoisation is monotonic and deterministic), so the live
+// cache in the retained context is reused as-is.
+struct PipelineCheckpoint {
+  std::string after_pass;         // pass the snapshot was taken after
+  bool drop_eliminable = false;   // PipelineContext::drop_eliminable
+  InstrumentPlan plan;            // deep copy of PipelineContext::plan
+
+  bool valid() const { return !after_pass.empty(); }
+};
+
+// Restores a checkpoint into `ctx`: plan and eliminate flag come back from
+// the snapshot, and all downstream (rewriting) state is reset so the back
+// half of the pipeline starts clean. The context must be the one the
+// checkpoint was captured from (same image, same analysis cache).
+void RestoreCheckpoint(const PipelineCheckpoint& cp, PipelineContext& ctx);
+
 // --- the pipeline ----------------------------------------------------------
 
 class Pipeline {
@@ -220,6 +246,17 @@ class Pipeline {
   // the pipeline stops at the failing pass.
   Status Run(PipelineContext& ctx);
 
+  // Runs only the passes at and after `first_pass` (still honoring enabled
+  // flags). The context must carry the upstream state those passes expect —
+  // normally restored from a PipelineCheckpoint captured by an earlier full
+  // Run. Unknown pass names are an error.
+  Status RunFrom(PipelineContext& ctx, const std::string& first_pass);
+
+  // Arms checkpoint capture: the next Run() copies the planning state into
+  // `*out` right after the named pass executes (pass nullptr to disarm).
+  // The capture is a deep copy; `*out` must outlive the run.
+  void CaptureAfter(const std::string& pass_name, PipelineCheckpoint* out);
+
   // Stats of the last Run.
   const PipelineStats& stats() const { return stats_; }
 
@@ -228,8 +265,12 @@ class Pipeline {
     std::unique_ptr<Pass> pass;
     bool enabled = true;
   };
+  Status RunRange(PipelineContext& ctx, size_t first_index);
+
   std::vector<Entry> passes_;
   PipelineStats stats_;
+  std::string capture_after_;
+  PipelineCheckpoint* capture_out_ = nullptr;
 };
 
 }  // namespace redfat

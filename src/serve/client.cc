@@ -1,0 +1,168 @@
+#include "src/serve/client.h"
+
+#include <unistd.h>
+
+#include "src/serve/protocol.h"
+#include "src/support/str.h"
+
+namespace redfat {
+
+namespace {
+
+Result<DaemonClient::RewriteReply> ParseRewriteReply(const Frame& frame) {
+  BodyReader r(frame.body);
+  Result<uint8_t> flags = r.U8();
+  if (!flags.ok()) {
+    return Error(flags.error());
+  }
+  DaemonClient::RewriteReply reply;
+  reply.cache_hit = (flags.value() & 1) != 0;
+  reply.incremental_retier = (flags.value() & 2) != 0;
+  uint64_t* fields[3] = {&reply.key.image_hash, &reply.key.options_fp,
+                         &reply.key.profile_fp};
+  for (uint64_t* field : fields) {
+    Result<uint64_t> v = r.U64();
+    if (!v.ok()) {
+      return Error(v.error());
+    }
+    *field = v.value();
+  }
+  Result<std::vector<uint8_t>> image = r.Blob();
+  if (!image.ok()) {
+    return Error(image.error());
+  }
+  Result<std::string> sitemap = r.Str();
+  if (!sitemap.ok()) {
+    return Error(sitemap.error());
+  }
+  if (!r.Done()) {
+    return Error("reply: trailing bytes");
+  }
+  reply.image_bytes = std::move(image.value());
+  reply.sitemap = std::move(sitemap.value());
+  return reply;
+}
+
+// Decodes a kError frame into a readable message.
+std::string DecodeWireError(const Frame& frame) {
+  BodyReader r(frame.body);
+  Result<uint32_t> code = r.U32();
+  Result<std::string> message = code.ok() ? r.Str() : Error(code.error());
+  if (!message.ok()) {
+    return "daemon error (undecodable)";
+  }
+  return StrFormat("daemon error %u: %s", code.value(), message.value().c_str());
+}
+
+}  // namespace
+
+DaemonClient::~DaemonClient() { Close(); }
+
+Status DaemonClient::Connect(const std::string& socket_path) {
+  Close();
+  Result<int> fd = ConnectUnix(socket_path);
+  if (!fd.ok()) {
+    return Error(fd.error());
+  }
+  fd_ = fd.value();
+  return Status::Ok();
+}
+
+void DaemonClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<DaemonClient::RewriteReply> DaemonClient::RoundTrip(
+    uint8_t type, const std::vector<uint8_t>& body) {
+  if (fd_ < 0) {
+    return Error("client: not connected");
+  }
+  Status w = WriteFrame(fd_, static_cast<MsgType>(type), body);
+  if (!w.ok()) {
+    return Error(w.error());
+  }
+  Result<Frame> reply = ReadFrame(fd_);
+  if (!reply.ok()) {
+    return Error(reply.error());
+  }
+  if (reply.value().type == MsgType::kError) {
+    return Error(DecodeWireError(reply.value()));
+  }
+  if (reply.value().type != MsgType::kOk) {
+    return Error("reply: unexpected frame type");
+  }
+  return ParseRewriteReply(reply.value());
+}
+
+Result<DaemonClient::RewriteReply> DaemonClient::Rewrite(
+    const std::vector<uint8_t>& image_bytes, const RedFatOptions& opts,
+    const std::string& profile_json) {
+  std::vector<uint8_t> body;
+  PutBlob(&body, CanonicalOptionsBlob(opts));
+  PutBlob(&body, profile_json);
+  body.insert(body.end(), image_bytes.begin(), image_bytes.end());
+  return RoundTrip(static_cast<uint8_t>(MsgType::kRewrite), body);
+}
+
+Result<DaemonClient::RewriteReply> DaemonClient::UploadProfile(
+    uint64_t image_hash, const RedFatOptions& opts, const std::string& profile_json) {
+  std::vector<uint8_t> body;
+  PutU64(&body, image_hash);
+  PutBlob(&body, CanonicalOptionsBlob(opts));
+  PutBlob(&body, profile_json);
+  return RoundTrip(static_cast<uint8_t>(MsgType::kUploadProfile), body);
+}
+
+Result<DaemonClient::RewriteReply> DaemonClient::FetchArtifact(const CacheKey& key) {
+  std::vector<uint8_t> body;
+  PutU64(&body, key.image_hash);
+  PutU64(&body, key.options_fp);
+  PutU64(&body, key.profile_fp);
+  return RoundTrip(static_cast<uint8_t>(MsgType::kFetchArtifact), body);
+}
+
+Result<std::string> DaemonClient::Stats() {
+  if (fd_ < 0) {
+    return Error("client: not connected");
+  }
+  Status w = WriteFrame(fd_, MsgType::kStats, {});
+  if (!w.ok()) {
+    return Error(w.error());
+  }
+  Result<Frame> reply = ReadFrame(fd_);
+  if (!reply.ok()) {
+    return Error(reply.error());
+  }
+  if (reply.value().type == MsgType::kError) {
+    return Error(DecodeWireError(reply.value()));
+  }
+  BodyReader r(reply.value().body);
+  Result<std::string> json = r.Str();
+  if (!json.ok()) {
+    return Error(json.error());
+  }
+  return json.value();
+}
+
+Status DaemonClient::Shutdown() {
+  if (fd_ < 0) {
+    return Error("client: not connected");
+  }
+  Status w = WriteFrame(fd_, MsgType::kShutdown, {});
+  if (!w.ok()) {
+    return w;
+  }
+  Result<Frame> reply = ReadFrame(fd_);
+  if (!reply.ok()) {
+    return Error(reply.error());
+  }
+  if (reply.value().type != MsgType::kOk) {
+    return Error("shutdown: unexpected reply");
+  }
+  return Status::Ok();
+}
+
+}  // namespace redfat

@@ -37,7 +37,16 @@ unsigned ResolveJobs(unsigned jobs) { return jobs == 0 ? HardwareJobs() : jobs; 
 
 bool ThreadPool::OnParallelThread() { return tl_region_depth > 0; }
 
+namespace {
+std::atomic<uint64_t> g_pools_created{0};
+}  // namespace
+
+uint64_t ThreadPool::PoolsCreated() {
+  return g_pools_created.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned jobs) : jobs_(ResolveJobs(jobs)) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   threads_.reserve(jobs_ - 1);
   for (unsigned t = 1; t < jobs_; ++t) {
     threads_.emplace_back([this] { WorkerLoop(); });

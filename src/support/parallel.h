@@ -69,6 +69,14 @@ class ThreadPool {
   // The resolved degree of parallelism (>= 1, counting the caller).
   unsigned jobs() const { return jobs_; }
 
+  // Worker threads this pool spawned (constant after construction).
+  size_t threads_spawned() const { return threads_.size(); }
+
+  // Process-wide count of ThreadPool constructions. A warm server asserts
+  // this stays flat across requests: every rewrite reuses the injected pool
+  // instead of letting Pipeline::Run spawn a scoped one per request.
+  static uint64_t PoolsCreated();
+
   // Invokes fn(i) for every i in [0, n); blocks until done.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 

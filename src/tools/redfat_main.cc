@@ -55,6 +55,17 @@
 //                          (pipeline counters/gauges; '-' = stdout)
 //   --trace FILE           Chrome trace-event JSON of the pass timeline
 //                          (load in Perfetto / chrome://tracing)
+//   --connect=SOCK         submit the rewrite to a running `redfatd` on the
+//                          Unix socket SOCK instead of rewriting in-process.
+//                          Transparently falls back to the in-process path
+//                          when no daemon answers, or when the invocation
+//                          needs local-only artifacts (--stats/--metrics/
+//                          --trace/--time-passes, allow-lists, batch mode,
+//                          --profile-sitemap, --sitemap with --harden).
+//                          Daemon outputs are byte-identical to offline ones.
+//   --print-cache-key      print the daemon cache key
+//                          (image-hash, options-fp, profile-fp hex triple)
+//                          this invocation would be served under, and exit
 //   -v                     verbose plan/rewrite statistics
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +77,9 @@
 #include "src/core/policy.h"
 #include "src/core/redfat.h"
 #include "src/core/sitemap.h"
+#include "src/serve/client.h"
+#include "src/serve/fingerprint.h"
+#include "src/serve/service.h"
 #include "src/support/parallel.h"
 #include "src/support/str.h"
 #include "src/support/telemetry.h"
@@ -85,9 +99,11 @@ int Usage() {
                "              [--no-elim] [--no-batch] [--no-merge] [--shadow]\n"
                "              [--jobs=N] [--time-passes] [--stats FILE] [-v]\n"
                "              [--metrics FILE] [--trace FILE]\n"
+               "              [--connect=SOCK]\n"
                "              input.rfbin output.rfbin\n"
                "       redfat [options] --output-dir DIR input.rfbin[:0xBASE] ...\n"
-               "       redfat --merge-metrics out.json a.json b.json ...\n");
+               "       redfat --merge-metrics out.json a.json b.json ...\n"
+               "       redfat [options] --print-cache-key input.rfbin\n");
   return 2;
 }
 
@@ -323,6 +339,8 @@ int Main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string output_dir;
+  std::string connect_path;
+  bool print_cache_key = false;
   bool harden_given = false;
   bool merge_metrics = false;
   bool time_passes = false;
@@ -394,6 +412,12 @@ int Main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_path = arg.substr(10);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_path = argv[++i];
+    } else if (arg == "--print-cache-key") {
+      print_cache_key = true;
     } else if (arg == "--output-dir" && i + 1 < argc) {
       output_dir = argv[++i];
     } else if (arg.rfind("--output-dir=", 0) == 0) {
@@ -431,6 +455,96 @@ int Main(int argc, char** argv) {
   resolved.rewrite.mode = mode;
   resolved.rewrite.jobs = jobs;
   RedFatOptions& opts = resolved.rewrite;
+
+  if (print_cache_key) {
+    // The key the daemon would serve this invocation under: raw file bytes
+    // hashed as they would cross the wire, options under the service's
+    // normalized fingerprint, profile content hashed separately.
+    if (positional.size() != 1) {
+      return Usage();
+    }
+    Result<std::vector<uint8_t>> raw = ReadFileBytes(positional[0]);
+    if (!raw.ok()) {
+      std::fprintf(stderr, "redfat: %s\n", raw.error().c_str());
+      return 1;
+    }
+    CacheKey key;
+    key.image_hash = Fnv1a64(raw.value());
+    key.options_fp = CacheOptionsFingerprint(opts);
+    if (!tier_profile_path.empty()) {
+      Result<TierProfile> p = TierProfileFromMetrics(tier_profile_path);
+      if (!p.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", p.error().c_str());
+        return 1;
+      }
+      key.profile_fp = TierProfileFingerprint(p.value());
+    }
+    std::printf("%s\n", key.ToString().c_str());
+    return 0;
+  }
+
+  if (!connect_path.empty() && output_dir.empty() && positional.size() == 2) {
+    // Requests that need local-only artifacts (pipeline stats, traces,
+    // allow-lists, profile-sitemap joins, policy-stamped sitemaps) never go
+    // to the daemon; everything else does, falling back to the in-process
+    // path when no daemon answers.
+    const bool local_only = !allow_path.empty() || !profile_data_path.empty() ||
+                            !profile_sitemap_path.empty() || !stats_path.empty() ||
+                            !metrics_path.empty() || !trace_path.empty() ||
+                            time_passes || (!sitemap_path.empty() && harden_given);
+    if (!local_only) {
+      Result<std::vector<uint8_t>> raw = ReadFileBytes(positional[0]);
+      if (!raw.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", raw.error().c_str());
+        return 1;
+      }
+      std::string profile_json;
+      if (!tier_profile_path.empty()) {
+        Result<std::string> text = ReadWholeFile(tier_profile_path);
+        if (!text.ok()) {
+          std::fprintf(stderr, "redfat: %s\n", text.error().c_str());
+          return 1;
+        }
+        profile_json = std::move(text).value();
+      }
+      DaemonClient client;
+      if (client.Connect(connect_path).ok()) {
+        // A daemon that answered owns the request: its errors are surfaced,
+        // not silently retried locally (the bytes would be identical anyway).
+        Result<DaemonClient::RewriteReply> reply =
+            client.Rewrite(raw.value(), opts, profile_json);
+        if (!reply.ok()) {
+          std::fprintf(stderr, "redfat: %s\n", reply.error().c_str());
+          return 1;
+        }
+        const Status saved = WriteFileBytes(positional[1], reply.value().image_bytes);
+        if (!saved.ok()) {
+          std::fprintf(stderr, "redfat: %s\n", saved.error().c_str());
+          return 1;
+        }
+        if (!sitemap_path.empty()) {
+          const std::string& text = reply.value().sitemap;
+          const Status s = WriteFileBytes(
+              sitemap_path, std::vector<uint8_t>(text.begin(), text.end()));
+          if (!s.ok()) {
+            std::fprintf(stderr, "redfat: %s\n", s.error().c_str());
+            return 1;
+          }
+        }
+        if (verbose) {
+          std::fprintf(stderr, "redfat: served by daemon %s key=%s%s%s\n",
+                       connect_path.c_str(), reply.value().key.ToString().c_str(),
+                       reply.value().cache_hit ? " (cache hit)" : "",
+                       reply.value().incremental_retier ? " (incremental re-tier)" : "");
+        }
+        return 0;
+      }
+      if (verbose) {
+        std::fprintf(stderr, "redfat: no daemon on %s, rewriting in-process\n",
+                     connect_path.c_str());
+      }
+    }
+  }
 
   if (!output_dir.empty()) {
     // Batch mode: every positional is an input; outputs land in output_dir.

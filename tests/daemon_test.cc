@@ -1,0 +1,565 @@
+// Tests for the rewrite-as-a-service subsystem (src/serve): option
+// fingerprinting, the content-addressed artifact cache, the warm
+// RewriteService (hit / miss / incremental re-tier, all byte-identical to
+// offline rewrites), and the redfatd daemon end-to-end over a real
+// Unix-domain socket, including malformed-frame handling.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/redfat.h"
+#include "src/core/sitemap.h"
+#include "src/serve/cache.h"
+#include "src/serve/client.h"
+#include "src/serve/daemon.h"
+#include "src/serve/fingerprint.h"
+#include "src/serve/protocol.h"
+#include "src/serve/service.h"
+#include "src/support/parallel.h"
+#include "src/support/str.h"
+#include "src/support/telemetry.h"
+#include "src/workloads/synth.h"
+
+namespace redfat {
+namespace {
+
+BinaryImage SynthImage(uint64_t seed) {
+  SynthParams params;
+  params.seed = seed;
+  return GenerateSynthProgram(params);
+}
+
+struct OfflineResult {
+  std::vector<uint8_t> image_bytes;
+  std::string sitemap;
+};
+
+// What the daemon must be byte-identical to: a fresh in-process rewrite.
+OfflineResult OfflineRewrite(const BinaryImage& input, const RedFatOptions& opts) {
+  RedFatTool tool(opts);
+  Result<InstrumentResult> out = tool.Instrument(input);
+  EXPECT_TRUE(out.ok()) << (out.ok() ? "" : out.error());
+  OfflineResult r;
+  r.image_bytes = out.value().image.Serialize();
+  r.sitemap = SerializeSiteMap(out.value().sites, nullptr);
+  return r;
+}
+
+// A --metrics-style snapshot JSON from actually running the untiered
+// hardened image — the profile payload a client would upload.
+std::string ProfileJsonFromRun(const BinaryImage& hardened) {
+  TelemetryRegistry reg;
+  RunConfig cfg;
+  cfg.policy = Policy::kLog;
+  cfg.telemetry = &reg;
+  cfg.inputs = {50, 0x3f};  // synth programs: iterations, unit-mix mode
+  const RunOutcome out = RunImage(hardened, RuntimeKind::kRedFat, cfg);
+  EXPECT_EQ(out.result.reason, HaltReason::kExit);
+  return reg.Snapshot().ToJson();
+}
+
+// --- option fingerprinting ---------------------------------------------------
+
+// Every field of RedFatOptions must perturb the fingerprint. When the
+// sizeof static_assert in fingerprint.cc fires and a field is added to the
+// blob, it must be added here too.
+TEST(OptionsFingerprint, EveryFieldPerturbsTheHash) {
+  const RedFatOptions base;
+  const TierProfile dummy_profile;
+  struct Perturbation {
+    const char* field;
+    void (*apply)(RedFatOptions*, const TierProfile*);
+  };
+  const Perturbation perturbations[] = {
+      {"check_reads", [](RedFatOptions* o, const TierProfile*) { o->check_reads = false; }},
+      {"check_writes", [](RedFatOptions* o, const TierProfile*) { o->check_writes = false; }},
+      {"redzone_impl",
+       [](RedFatOptions* o, const TierProfile*) { o->redzone_impl = RedzoneImpl::kShadow; }},
+      {"lowfat", [](RedFatOptions* o, const TierProfile*) { o->lowfat = false; }},
+      {"size_hardening",
+       [](RedFatOptions* o, const TierProfile*) { o->size_hardening = false; }},
+      {"redzone_only_sites",
+       [](RedFatOptions* o, const TierProfile*) { o->redzone_only_sites = false; }},
+      {"merged_ub", [](RedFatOptions* o, const TierProfile*) { o->merged_ub = false; }},
+      {"elim", [](RedFatOptions* o, const TierProfile*) { o->elim = false; }},
+      {"batch", [](RedFatOptions* o, const TierProfile*) { o->batch = false; }},
+      {"merge", [](RedFatOptions* o, const TierProfile*) { o->merge = false; }},
+      {"clobber_analysis",
+       [](RedFatOptions* o, const TierProfile*) { o->clobber_analysis = false; }},
+      {"jobs", [](RedFatOptions* o, const TierProfile*) { o->jobs = 7; }},
+      {"mode",
+       [](RedFatOptions* o, const TierProfile*) { o->mode = RedFatOptions::Mode::kProfile; }},
+      {"trampoline_base",
+       [](RedFatOptions* o, const TierProfile*) { o->trampoline_base += 0x10000; }},
+      {"tier_profile",
+       [](RedFatOptions* o, const TierProfile* p) { o->tier_profile = p; }},
+      {"hot_threshold",
+       [](RedFatOptions* o, const TierProfile*) { o->hot_threshold = 0.5; }},
+  };
+
+  const uint64_t base_fp = OptionsFingerprint(base);
+  std::vector<std::pair<std::string, uint64_t>> fps = {{"<base>", base_fp}};
+  for (const Perturbation& p : perturbations) {
+    RedFatOptions mutated = base;
+    p.apply(&mutated, &dummy_profile);
+    fps.emplace_back(p.field, OptionsFingerprint(mutated));
+  }
+  for (size_t i = 0; i < fps.size(); ++i) {
+    for (size_t j = i + 1; j < fps.size(); ++j) {
+      EXPECT_NE(fps[i].second, fps[j].second)
+          << fps[i].first << " and " << fps[j].first << " collide";
+    }
+  }
+}
+
+TEST(OptionsFingerprint, BlobRoundTripsAndRejectsGarbage) {
+  RedFatOptions opts;
+  opts.check_reads = false;
+  opts.jobs = 3;
+  opts.mode = RedFatOptions::Mode::kProfile;
+  opts.trampoline_base = 0x7100000;
+  opts.hot_threshold = 0.75;
+  const std::vector<uint8_t> blob = CanonicalOptionsBlob(opts);
+  Result<RedFatOptions> back = OptionsFromBlob(blob);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(CanonicalOptionsBlob(back.value()), blob);
+
+  std::vector<uint8_t> truncated(blob.begin(), blob.end() - 1);
+  EXPECT_FALSE(OptionsFromBlob(truncated).ok());
+  std::vector<uint8_t> bad_version = blob;
+  bad_version[0] = 99;
+  EXPECT_FALSE(OptionsFromBlob(bad_version).ok());
+  std::vector<uint8_t> bad_mode = blob;
+  bad_mode[16] = 9;
+  EXPECT_FALSE(OptionsFromBlob(bad_mode).ok());
+}
+
+TEST(OptionsFingerprint, CacheKeyNormalizesTransportKnobs) {
+  // --jobs never changes the output bytes, so it must not split cache
+  // entries; check-selection knobs must.
+  RedFatOptions one_job;
+  RedFatOptions four_jobs;
+  four_jobs.jobs = 4;
+  EXPECT_EQ(CacheOptionsFingerprint(one_job), CacheOptionsFingerprint(four_jobs));
+  RedFatOptions no_merge;
+  no_merge.merge = false;
+  EXPECT_NE(CacheOptionsFingerprint(one_job), CacheOptionsFingerprint(no_merge));
+  // hot_threshold steers tiered output: it stays in the key.
+  RedFatOptions low_threshold;
+  low_threshold.hot_threshold = 0.25;
+  EXPECT_NE(CacheOptionsFingerprint(one_job), CacheOptionsFingerprint(low_threshold));
+}
+
+// --- artifact cache ----------------------------------------------------------
+
+CacheKey KeyOf(uint64_t image_hash) {
+  CacheKey k;
+  k.image_hash = image_hash;
+  k.options_fp = 1;
+  return k;
+}
+
+CachedArtifact ArtifactOfSize(size_t n) {
+  CachedArtifact a;
+  a.image_bytes.assign(n, 0xab);
+  return a;
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedOverBudget) {
+  ArtifactCache cache(250);
+  cache.Insert(KeyOf(1), ArtifactOfSize(100));
+  cache.Insert(KeyOf(2), ArtifactOfSize(100));
+  // Touch key 1 so key 2 is the LRU victim.
+  EXPECT_TRUE(cache.Lookup(KeyOf(1), nullptr));
+  cache.Insert(KeyOf(3), ArtifactOfSize(100));
+  EXPECT_TRUE(cache.Lookup(KeyOf(1), nullptr));
+  EXPECT_FALSE(cache.Lookup(KeyOf(2), nullptr));
+  EXPECT_TRUE(cache.Lookup(KeyOf(3), nullptr));
+  const ArtifactCacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.bytes, 250u);
+}
+
+TEST(ArtifactCache, OversizedSingleEntryStaysResident) {
+  ArtifactCache cache(10);
+  cache.Insert(KeyOf(1), ArtifactOfSize(100));
+  EXPECT_TRUE(cache.Lookup(KeyOf(1), nullptr));
+  cache.Insert(KeyOf(2), ArtifactOfSize(100));
+  EXPECT_FALSE(cache.Lookup(KeyOf(1), nullptr));
+  EXPECT_TRUE(cache.Lookup(KeyOf(2), nullptr));
+}
+
+// --- warm service: hit / miss byte identity and pipeline reuse ---------------
+
+TEST(RewriteService, HitAndMissAreByteIdenticalToOffline) {
+  const BinaryImage img = SynthImage(11);
+  const std::vector<uint8_t> wire = img.Serialize();
+  const RedFatOptions opts;
+  const OfflineResult offline = OfflineRewrite(img, opts);
+
+  RewriteService::Config cfg;
+  cfg.jobs = 2;
+  RewriteService svc(cfg);
+
+  Result<RewriteService::Outcome> miss = svc.Rewrite(wire, opts, "");
+  ASSERT_TRUE(miss.ok()) << miss.error();
+  EXPECT_FALSE(miss.value().cache_hit);
+  EXPECT_EQ(miss.value().image_bytes, offline.image_bytes);
+  EXPECT_EQ(miss.value().sitemap, offline.sitemap);
+
+  Result<RewriteService::Outcome> hit = svc.Rewrite(wire, opts, "");
+  ASSERT_TRUE(hit.ok()) << hit.error();
+  EXPECT_TRUE(hit.value().cache_hit);
+  EXPECT_EQ(hit.value().image_bytes, offline.image_bytes);
+  EXPECT_EQ(hit.value().sitemap, offline.sitemap);
+  EXPECT_EQ(hit.value().key, miss.value().key);
+
+  Result<RewriteService::Outcome> fetched = svc.FetchArtifact(miss.value().key);
+  ASSERT_TRUE(fetched.ok()) << fetched.error();
+  EXPECT_EQ(fetched.value().image_bytes, offline.image_bytes);
+
+  CacheKey bogus;
+  bogus.image_hash = 0xdead;
+  EXPECT_FALSE(svc.FetchArtifact(bogus).ok());
+}
+
+TEST(RewriteService, WarmPipelineNeverRespawnsPoolsOrLeaksAnalysis) {
+  const BinaryImage img_a = SynthImage(21);
+  const BinaryImage img_b = SynthImage(22);  // different program entirely
+  const RedFatOptions opts;
+  RedFatOptions no_merge = opts;
+  no_merge.merge = false;
+
+  RewriteService::Config cfg;
+  cfg.jobs = 2;
+  RewriteService svc(cfg);
+
+  // First request may lazily warm things up; after it, the pool population
+  // must be flat across every further request (no per-request respawn).
+  Result<RewriteService::Outcome> first = svc.Rewrite(img_a.Serialize(), opts, "");
+  ASSERT_TRUE(first.ok()) << first.error();
+  const uint64_t pools_after_warmup = ThreadPool::PoolsCreated();
+
+  Result<RewriteService::Outcome> b = svc.Rewrite(img_b.Serialize(), opts, "");
+  ASSERT_TRUE(b.ok()) << b.error();
+  Result<RewriteService::Outcome> a_again = svc.Rewrite(img_a.Serialize(), opts, "");
+  ASSERT_TRUE(a_again.ok()) << a_again.error();
+  EXPECT_TRUE(a_again.value().cache_hit);
+  Result<RewriteService::Outcome> b_variant =
+      svc.Rewrite(img_b.Serialize(), no_merge, "");
+  ASSERT_TRUE(b_variant.ok()) << b_variant.error();
+  EXPECT_EQ(ThreadPool::PoolsCreated(), pools_after_warmup)
+      << "a request respawned a thread pool instead of reusing the warm one";
+
+  // No analysis-state leakage across images or option sets: every warm
+  // output matches a fresh offline tool's.
+  EXPECT_EQ(first.value().image_bytes, OfflineRewrite(img_a, opts).image_bytes);
+  EXPECT_EQ(b.value().image_bytes, OfflineRewrite(img_b, opts).image_bytes);
+  EXPECT_EQ(b_variant.value().image_bytes,
+            OfflineRewrite(img_b, no_merge).image_bytes);
+}
+
+// --- incremental re-tier -----------------------------------------------------
+
+TEST(RewriteService, RetierMatchesOfflineTieredRewrite) {
+  const BinaryImage img = SynthImage(31);
+  const std::vector<uint8_t> wire = img.Serialize();
+  const RedFatOptions opts;
+
+  const OfflineResult offline_untiered = OfflineRewrite(img, opts);
+  Result<BinaryImage> hardened = BinaryImage::Deserialize(offline_untiered.image_bytes);
+  ASSERT_TRUE(hardened.ok());
+  const std::string profile_json = ProfileJsonFromRun(hardened.value());
+
+  // Offline tiered reference, through the same snapshot-JSON parse the
+  // daemon applies.
+  Result<TierProfile> profile = TierProfileFromSnapshotJson(profile_json);
+  ASSERT_TRUE(profile.ok()) << profile.error();
+  RedFatOptions tiered_opts = opts;
+  tiered_opts.tier_profile = &profile.value();
+  const OfflineResult offline_tiered = OfflineRewrite(img, tiered_opts);
+  ASSERT_NE(offline_tiered.image_bytes, offline_untiered.image_bytes);
+
+  // Warm path: untiered rewrite deposits the analysis, the tiered request
+  // re-enters at the tier pass.
+  RewriteService svc(RewriteService::Config{});
+  Result<RewriteService::Outcome> base = svc.Rewrite(wire, opts, "");
+  ASSERT_TRUE(base.ok()) << base.error();
+  EXPECT_EQ(base.value().image_bytes, offline_untiered.image_bytes);
+  Result<RewriteService::Outcome> retier = svc.Rewrite(wire, opts, profile_json);
+  ASSERT_TRUE(retier.ok()) << retier.error();
+  EXPECT_TRUE(retier.value().incremental_retier);
+  EXPECT_EQ(retier.value().image_bytes, offline_tiered.image_bytes);
+  EXPECT_EQ(retier.value().sitemap, offline_tiered.sitemap);
+
+  // Cold path on a fresh service: full tiered run, same bytes.
+  RewriteService cold(RewriteService::Config{});
+  Result<RewriteService::Outcome> cold_tiered = cold.Rewrite(wire, opts, profile_json);
+  ASSERT_TRUE(cold_tiered.ok()) << cold_tiered.error();
+  EXPECT_FALSE(cold_tiered.value().incremental_retier);
+  EXPECT_EQ(cold_tiered.value().image_bytes, offline_tiered.image_bytes);
+
+  // The re-tiered artifact is now cached: the same request is a pure hit.
+  Result<RewriteService::Outcome> hit = svc.Rewrite(wire, opts, profile_json);
+  ASSERT_TRUE(hit.ok()) << hit.error();
+  EXPECT_TRUE(hit.value().cache_hit);
+  EXPECT_EQ(hit.value().image_bytes, offline_tiered.image_bytes);
+}
+
+TEST(RewriteService, UploadProfileRetiersWithoutResendingTheImage) {
+  const BinaryImage img = SynthImage(31);
+  const std::vector<uint8_t> wire = img.Serialize();
+  const RedFatOptions opts;
+
+  const OfflineResult offline_untiered = OfflineRewrite(img, opts);
+  Result<BinaryImage> hardened = BinaryImage::Deserialize(offline_untiered.image_bytes);
+  ASSERT_TRUE(hardened.ok());
+  const std::string profile_json = ProfileJsonFromRun(hardened.value());
+  Result<TierProfile> profile = TierProfileFromSnapshotJson(profile_json);
+  ASSERT_TRUE(profile.ok());
+  RedFatOptions tiered_opts = opts;
+  tiered_opts.tier_profile = &profile.value();
+  const OfflineResult offline_tiered = OfflineRewrite(img, tiered_opts);
+
+  RewriteService svc(RewriteService::Config{});
+  ASSERT_TRUE(svc.Rewrite(wire, opts, "").ok());
+  const uint64_t image_hash = Fnv1a64(wire);
+  Result<RewriteService::Outcome> up = svc.UploadProfile(image_hash, opts, profile_json);
+  ASSERT_TRUE(up.ok()) << up.error();
+  EXPECT_TRUE(up.value().incremental_retier);
+  EXPECT_EQ(up.value().image_bytes, offline_tiered.image_bytes);
+
+  // Without warm analysis the upload has nothing to re-tier against.
+  RewriteService cold(RewriteService::Config{});
+  Result<RewriteService::Outcome> missing =
+      cold.UploadProfile(image_hash, opts, profile_json);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().find("no warm analysis"), std::string::npos);
+}
+
+TEST(RewriteService, LruBudgetEvictsOldImages) {
+  RewriteService::Config cfg;
+  cfg.cache_bytes = 1;  // every insert evicts everything but itself
+  RewriteService svc(cfg);
+  const RedFatOptions opts;
+
+  Result<RewriteService::Outcome> a = svc.Rewrite(SynthImage(41).Serialize(), opts, "");
+  ASSERT_TRUE(a.ok()) << a.error();
+  Result<RewriteService::Outcome> b = svc.Rewrite(SynthImage(42).Serialize(), opts, "");
+  ASSERT_TRUE(b.ok()) << b.error();
+
+  EXPECT_FALSE(svc.FetchArtifact(a.value().key).ok());
+  ASSERT_TRUE(svc.FetchArtifact(b.value().key).ok());
+  EXPECT_GE(svc.cache().stats().evictions, 1u);
+}
+
+TEST(RewriteService, StatsReportLatencyPercentiles) {
+  RewriteService svc(RewriteService::Config{});
+  const RedFatOptions opts;
+  ASSERT_TRUE(svc.Rewrite(SynthImage(51).Serialize(), opts, "").ok());
+  const std::string json = svc.StatsJson();
+  EXPECT_NE(json.find("\"requests\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"request_latency_cycles\":{\"count\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// --- daemon end-to-end over a real socket ------------------------------------
+
+class DaemonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = StrFormat("/tmp/redfatd_test_%d_%s.sock", getpid(),
+                             ::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name());
+    Daemon::Config config;
+    config.socket_path = socket_path_;
+    config.service.jobs = 2;
+    daemon_ = std::make_unique<Daemon>(config);
+    ASSERT_TRUE(daemon_->Listen().ok());
+    serve_thread_ = std::thread([this] { serve_status_ = daemon_->Serve(); });
+  }
+
+  void TearDown() override {
+    if (serve_thread_.joinable()) {
+      DaemonClient client;
+      if (client.Connect(socket_path_).ok()) {
+        (void)client.Shutdown();
+      } else {
+        daemon_->Stop();
+      }
+      serve_thread_.join();
+      EXPECT_TRUE(serve_status_.ok()) << serve_status_.error();
+    }
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Daemon> daemon_;
+  std::thread serve_thread_;
+  Status serve_status_;
+};
+
+TEST_F(DaemonFixture, ConcurrentClientsGetByteIdenticalImages) {
+  const RedFatOptions opts;
+  constexpr int kClients = 4;
+  std::vector<BinaryImage> images;
+  std::vector<OfflineResult> offline;
+  for (int i = 0; i < kClients; ++i) {
+    images.push_back(SynthImage(60 + i % 2));  // two distinct programs
+    offline.push_back(OfflineRewrite(images.back(), opts));
+  }
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      DaemonClient client;
+      Status c = client.Connect(socket_path_);
+      if (!c.ok()) {
+        failures[i] = c.error();
+        return;
+      }
+      // Each client sends its request twice: the second round is served
+      // from the cache and must be identical.
+      for (int round = 0; round < 2; ++round) {
+        Result<DaemonClient::RewriteReply> r =
+            client.Rewrite(images[i].Serialize(), opts, "");
+        if (!r.ok()) {
+          failures[i] = r.error();
+          return;
+        }
+        if (r.value().image_bytes != offline[i].image_bytes ||
+            r.value().sitemap != offline[i].sitemap) {
+          failures[i] = "daemon bytes differ from offline rewrite";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << "client " << i << ": " << failures[i];
+  }
+
+  DaemonClient stats_client;
+  ASSERT_TRUE(stats_client.Connect(socket_path_).ok());
+  Result<std::string> stats = stats_client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_NE(stats.value().find("\"hits\""), std::string::npos);
+  EXPECT_NE(stats.value().find("\"queue_depth\""), std::string::npos);
+}
+
+TEST_F(DaemonFixture, UploadProfileRoundTripMatchesOfflineTieredBuild) {
+  const BinaryImage img = SynthImage(70);
+  const RedFatOptions opts;
+  const OfflineResult offline_untiered = OfflineRewrite(img, opts);
+  Result<BinaryImage> hardened = BinaryImage::Deserialize(offline_untiered.image_bytes);
+  ASSERT_TRUE(hardened.ok());
+  const std::string profile_json = ProfileJsonFromRun(hardened.value());
+  Result<TierProfile> profile = TierProfileFromSnapshotJson(profile_json);
+  ASSERT_TRUE(profile.ok());
+  RedFatOptions tiered_opts = opts;
+  tiered_opts.tier_profile = &profile.value();
+  const OfflineResult offline_tiered = OfflineRewrite(img, tiered_opts);
+
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  Result<DaemonClient::RewriteReply> base =
+      client.Rewrite(img.Serialize(), opts, "");
+  ASSERT_TRUE(base.ok()) << base.error();
+  EXPECT_EQ(base.value().image_bytes, offline_untiered.image_bytes);
+
+  Result<DaemonClient::RewriteReply> up =
+      client.UploadProfile(base.value().key.image_hash, opts, profile_json);
+  ASSERT_TRUE(up.ok()) << up.error();
+  EXPECT_TRUE(up.value().incremental_retier);
+  EXPECT_EQ(up.value().image_bytes, offline_tiered.image_bytes);
+
+  // The re-tiered artifact is fetchable by its key.
+  Result<DaemonClient::RewriteReply> fetched = client.FetchArtifact(up.value().key);
+  ASSERT_TRUE(fetched.ok()) << fetched.error();
+  EXPECT_EQ(fetched.value().image_bytes, offline_tiered.image_bytes);
+
+  // An unknown key is a clean kNotFound-class error, not a hang or close.
+  CacheKey bogus;
+  bogus.image_hash = 0xfeed;
+  EXPECT_FALSE(client.FetchArtifact(bogus).ok());
+}
+
+TEST_F(DaemonFixture, MalformedFramesAreRejectedWithoutKillingTheDaemon) {
+  // Raw garbage (bad magic): the daemon answers with a malformed-frame
+  // error (when it can) and closes that connection only.
+  {
+    Result<int> fd = ConnectUnix(socket_path_);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    const uint8_t garbage[16] = {0xde, 0xad, 0xbe, 0xef};
+    ASSERT_EQ(write(fd.value(), garbage, sizeof(garbage)),
+              static_cast<ssize_t>(sizeof(garbage)));
+    Result<Frame> reply = ReadFrame(fd.value());
+    if (reply.ok()) {
+      EXPECT_EQ(reply.value().type, MsgType::kError);
+    }
+    close(fd.value());
+  }
+
+  // Well-framed but truncated body: error reply, connection stays usable.
+  {
+    Result<int> fd = ConnectUnix(socket_path_);
+    ASSERT_TRUE(fd.ok()) << fd.error();
+    std::vector<uint8_t> short_body = {0x01};  // kRewrite body cut mid-field
+    ASSERT_TRUE(WriteFrame(fd.value(), MsgType::kRewrite, short_body).ok());
+    Result<Frame> reply = ReadFrame(fd.value());
+    ASSERT_TRUE(reply.ok()) << reply.error();
+    EXPECT_EQ(reply.value().type, MsgType::kError);
+    // Same connection, now a valid request.
+    ASSERT_TRUE(WriteFrame(fd.value(), MsgType::kStats, {}).ok());
+    Result<Frame> stats = ReadFrame(fd.value());
+    ASSERT_TRUE(stats.ok()) << stats.error();
+    EXPECT_EQ(stats.value().type, MsgType::kOk);
+    close(fd.value());
+  }
+
+  // The daemon survived both abuses.
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  Result<std::string> stats = client.Stats();
+  EXPECT_TRUE(stats.ok()) << (stats.ok() ? "" : stats.error());
+}
+
+TEST(DaemonClientFallback, ConnectFailsFastWhenNoDaemonListens) {
+  DaemonClient client;
+  Status s = client.Connect("/tmp/redfatd_test_no_such_daemon.sock");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(DaemonListen, SecondDaemonOnALiveSocketIsRejected) {
+  const std::string path = StrFormat("/tmp/redfatd_test_%d_dup.sock", getpid());
+  Daemon::Config config;
+  config.socket_path = path;
+  Daemon first(config);
+  ASSERT_TRUE(first.Listen().ok());
+  std::thread serve([&] { (void)first.Serve(); });
+
+  Daemon second(config);
+  Status s = second.Listen();
+  EXPECT_FALSE(s.ok());
+
+  DaemonClient client;
+  ASSERT_TRUE(client.Connect(path).ok());
+  ASSERT_TRUE(client.Shutdown().ok());
+  serve.join();
+}
+
+}  // namespace
+}  // namespace redfat
