@@ -66,6 +66,7 @@ const char* ErrorKindToken(ErrorKind kind) {
     case ErrorKind::kUaf: return "uaf";
     case ErrorKind::kMeta: return "meta";
     case ErrorKind::kDoubleFree: return "double-free";
+    case ErrorKind::kFreelistCorruption: return "freelist-corruption";
   }
   return "?";
 }

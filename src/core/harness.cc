@@ -17,10 +17,16 @@ RunOutcome RunImage(const BinaryImage& image, RuntimeKind runtime, const RunConf
 RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind runtime,
                      const RunConfig& config) {
   Vm vm(config.model);
+  RheapOptions ropts = config.rheap;
+  if (ropts.random) {
+    // Derive the placement seed from the run seed: randomized layouts are
+    // reproducible per run, different across seeds.
+    ropts.random_seed ^= config.rng_seed * 0x9e3779b97f4a7c15ULL;
+  }
   GlibcLikeAllocator glibc;
-  RedFatAllocator libredfat;
-  ShadowRedFatAllocator libredfat_shadow;
-  DebugRedFatAllocator libredfat_debug;
+  RedFatAllocator libredfat(ropts);
+  ShadowRedFatAllocator libredfat_shadow(ropts.quarantine_slots);
+  DebugRedFatAllocator libredfat_debug(ropts);
   // The allocator whose low-fat heap stats feed the telemetry gauges.
   RedFatAllocator* gauged = nullptr;
   switch (runtime) {
@@ -138,6 +144,24 @@ RunOutcome RunImages(const std::vector<const BinaryImage*>& images, RuntimeKind 
                     static_cast<double>(gauged->fallback_allocs()));
       reg->SetGauge("redzone.live_bytes",
                     static_cast<double>(hs.live_slots * kRedzoneSize));
+      reg->SetGauge("lowfat.freelist_pops", static_cast<double>(hs.freelist_pops));
+      reg->SetGauge("lowfat.arena_carves", static_cast<double>(hs.arena_carves));
+      reg->SetGauge("lowfat.malloc_cycles", static_cast<double>(hs.malloc_cycles));
+      reg->SetGauge("lowfat.free_cycles", static_cast<double>(hs.free_cycles));
+      if (hs.corruptions != 0) {
+        reg->SetGauge("lowfat.corruptions", static_cast<double>(hs.corruptions));
+      }
+      const RedFatAllocatorStats& rs = gauged->redfat_stats();
+      if (rs.exhausted_fallbacks != 0) {
+        reg->SetGauge("lowfat.exhausted_fallbacks",
+                      static_cast<double>(rs.exhausted_fallbacks));
+      }
+      if (rs.guard_checks != 0) {
+        reg->SetGauge("heap.guard_checks", static_cast<double>(rs.guard_checks));
+        reg->SetGauge("heap.guard_violations",
+                      static_cast<double>(rs.guard_violations));
+        reg->SetGauge("heap.guard_cycles", static_cast<double>(rs.guard_cycles));
+      }
     }
   }
   return out;

@@ -16,6 +16,7 @@
 #include "src/bin/image.h"
 #include "src/core/forensics_report.h"
 #include "src/core/plan.h"
+#include "src/heap/rheap.h"
 #include "src/vm/vm.h"
 
 namespace redfat {
@@ -37,6 +38,12 @@ struct RunConfig {
   uint64_t rng_seed = 1;
   uint64_t instruction_limit = 200'000'000'000ULL;
   CycleModel model;
+  // Allocator hardening features for the redfat/debug runtime bindings
+  // (resolved from --rheap / the policy tier; core/policy.h). The default
+  // keeps every feature off — byte-identical to the historical allocator.
+  // When `random` is on, the placement seed is derived from rng_seed so
+  // randomized layouts stay reproducible per run.
+  RheapOptions rheap;
   // Dispatch engine. kBlock (superblock code cache) is the production
   // default; kStep remains for differential testing. Guest-visible results
   // are bit-identical either way.

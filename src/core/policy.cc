@@ -67,6 +67,12 @@ Result<ResolvedPolicy> HardeningPolicy::Resolve() const {
             "--harden=%s disables all checks; --shadow selects a redzone "
             "implementation and has nothing to apply to", tname));
       }
+      if (rheap.has_value()) {
+        return Error(StrFormat(
+            "--harden=%s binds the baseline (glibc-like) allocator; --rheap "
+            "configures the hardened allocator and has nothing to apply to",
+            tname));
+      }
       break;
     case HardenTier::kFast:
       if (lowfat == false) {
@@ -105,6 +111,8 @@ Result<ResolvedPolicy> HardeningPolicy::Resolve() const {
   r.tier = tier;
   r.explicit_tier = true;
   r.runtime = RuntimeForTier(tier);
+  r.rheap = rheap.has_value() ? *rheap : RheapForTier(tier);
+  r.explicit_rheap = rheap.has_value();
   RedFatOptions& o = r.rewrite;  // starts at the extensive/default knobs
 
   // Tier defaults.
@@ -198,6 +206,24 @@ RuntimeKind RuntimeForTier(HardenTier tier) {
       return RuntimeKind::kRedFatDebug;
   }
   return RuntimeKind::kBaseline;
+}
+
+RheapOptions RheapForTier(HardenTier tier) {
+  RheapOptions o;  // perf-only defaults: features off, quarantine=64
+  switch (tier) {
+    case HardenTier::kNone:
+    case HardenTier::kFast:
+      break;
+    case HardenTier::kExtensive:
+      o.prot_freelist = true;
+      break;
+    case HardenTier::kDebug:
+      o.prot_freelist = true;
+      o.guard_memcpy = true;
+      o.random = true;
+      break;
+  }
+  return o;
 }
 
 double TierOverheadBudgetPct(HardenTier tier) {

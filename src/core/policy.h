@@ -41,6 +41,7 @@
 
 #include "src/core/harness.h"
 #include "src/core/options.h"
+#include "src/heap/rheap.h"
 #include "src/support/result.h"
 
 namespace redfat {
@@ -59,6 +60,8 @@ struct ResolvedPolicy {
   bool explicit_tier = false;   // tier was chosen via a policy (not inferred)
   RedFatOptions rewrite;        // rrw/plan/codegen knobs
   RuntimeKind runtime = RuntimeKind::kRedFat;  // rheap allocator binding
+  RheapOptions rheap;           // rheap allocator hardening features
+  bool explicit_rheap = false;  // rheap came from an explicit --rheap list
   bool dbi_shadow_check = false;  // rdbi: attach the shadow-check observer
 
   // Wraps free-floating options for pre-policy call sites (RedFatTool's
@@ -90,6 +93,11 @@ struct HardeningPolicy {
   // debug 1.0); --hot-threshold overrides.
   std::optional<double> hot_threshold;
 
+  // Allocator hardening features (--rheap=LIST). An explicit list replaces
+  // the tier default wholesale (fast = perf-only, extensive =
+  // +prot-freelist, debug = everything).
+  std::optional<RheapOptions> rheap;
+
   // Validates the combination and resolves it to concrete knobs.
   // Contradictory combinations (e.g. fast+shadow, debug without lowfat)
   // return a diagnostic naming both sides of the conflict.
@@ -105,6 +113,11 @@ HardeningPolicy AblationPolicy(AblationPreset preset);
 // --harden=TIER` selects): none->baseline, fast/extensive->redfat,
 // debug->redfat-debug.
 RuntimeKind RuntimeForTier(HardenTier tier);
+
+// The default allocator-hardening features for a tier: none/fast carry the
+// perf-only defaults (every feature off, historical quarantine depth),
+// extensive adds prot-freelist, debug turns everything on.
+RheapOptions RheapForTier(HardenTier tier);
 
 // Per-tier overhead budget (percent over a baseline run) asserted by
 // bench_harden_tiers and the CI harden-tiers job. Generous ceilings, not

@@ -18,6 +18,8 @@ RedFatTool::RedFatTool(RedFatOptions opts) : opts_(opts) {
 RedFatTool::RedFatTool(const ResolvedPolicy& policy) : RedFatTool(policy.rewrite) {
   harden_ = policy.tier;
   harden_explicit_ = policy.explicit_tier;
+  rheap_ = policy.rheap;
+  rheap_explicit_ = policy.explicit_rheap;
 }
 
 Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
@@ -38,6 +40,8 @@ Result<InstrumentResult> RedFatTool::Instrument(const BinaryImage& input,
   out.pipeline_stats = pipeline.stats();
   out.harden = harden_;
   out.harden_explicit = harden_explicit_;
+  out.rheap = rheap_;
+  out.rheap_explicit = rheap_explicit_;
   return out;
 }
 

@@ -40,6 +40,12 @@ struct InstrumentResult {
   // the tier only then, so legacy invocations stay byte-identical.
   HardenTier harden = HardenTier::kExtensive;
   bool harden_explicit = false;
+  // The rheap allocator feature list the image was configured for; recorded
+  // in the sitemap ("# rheap: <list>") only when rheap_explicit, i.e. the
+  // user passed --rheap (tier defaults need no header — rfrun re-derives
+  // them from the tier).
+  RheapOptions rheap;
+  bool rheap_explicit = false;
 };
 
 class RedFatTool {
@@ -65,6 +71,8 @@ class RedFatTool {
   RedFatOptions opts_;
   HardenTier harden_ = HardenTier::kExtensive;
   bool harden_explicit_ = false;
+  RheapOptions rheap_;
+  bool rheap_explicit_ = false;
 };
 
 // Fig. 5 step 1 output -> allow-list: full-check sites that were observed

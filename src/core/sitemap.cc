@@ -10,7 +10,7 @@
 namespace redfat {
 
 std::string SerializeSiteMap(const std::vector<SiteRecord>& sites,
-                             const HardenTier* harden) {
+                             const HardenTier* harden, const RheapOptions* rheap) {
   // The tier column only appears when the tier pass actually ran (some site
   // is non-warm), so untiered site maps stay byte-identical to older builds.
   bool tiered = false;
@@ -23,6 +23,9 @@ std::string SerializeSiteMap(const std::vector<SiteRecord>& sites,
   std::string out;
   if (harden != nullptr) {
     out += StrFormat("# harden: %s\n", HardenTierName(*harden));
+  }
+  if (rheap != nullptr) {
+    out += StrFormat("# rheap: %s\n", RheapListName(*rheap).c_str());
   }
   out += tiered ? "# redfat site map: id addr rw kind tier\n"
                 : "# redfat site map: id addr rw kind\n";
@@ -39,15 +42,19 @@ std::string SerializeSiteMap(const std::vector<SiteRecord>& sites,
 }
 
 Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines,
-                                             std::optional<HardenTier>* harden) {
+                                             std::optional<HardenTier>* harden,
+                                             std::optional<RheapOptions>* rheap) {
   std::vector<SiteRecord> sites;
   if (harden != nullptr) {
     harden->reset();
   }
+  if (rheap != nullptr) {
+    rheap->reset();
+  }
   for (const std::string& line : lines) {
     if (line.empty() || line[0] == '#') {
-      // The policy header ("# harden: <tier>") is the one comment that
-      // carries data; any other comment line is skipped as before.
+      // The policy headers ("# harden: <tier>", "# rheap: <list>") are the
+      // comments that carry data; any other comment line is skipped.
       const std::string prefix = "# harden: ";
       if (harden != nullptr && line.rfind(prefix, 0) == 0) {
         Result<HardenTier> t = ParseHardenTier(line.substr(prefix.size()));
@@ -55,6 +62,14 @@ Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lin
           return Error(StrFormat("sitemap: %s", t.error().c_str()));
         }
         *harden = t.value();
+      }
+      const std::string rprefix = "# rheap: ";
+      if (rheap != nullptr && line.rfind(rprefix, 0) == 0) {
+        Result<RheapOptions> o = ParseRheapList(line.substr(rprefix.size()));
+        if (!o.ok()) {
+          return Error(StrFormat("sitemap: %s", o.error().c_str()));
+        }
+        *rheap = o.value();
       }
       continue;
     }
@@ -104,11 +119,16 @@ std::string DescribeError(const MemErrorReport& error, const std::vector<SiteRec
     case ErrorKind::kDoubleFree:
       what = "double free";
       break;
+    case ErrorKind::kFreelistCorruption:
+      what = "freelist corruption";
+      break;
   }
-  // Double frees are raised by the VM with a placeholder site id, so a site
-  // join would point at an unrelated instruction.
-  if (error.kind == ErrorKind::kDoubleFree) {
-    return StrFormat("double free (rip=0x%llx)",
+  // Double frees and freelist corruptions are raised by the VM/allocator
+  // with a placeholder site id, so a site join would point at an unrelated
+  // instruction.
+  if (error.kind == ErrorKind::kDoubleFree ||
+      error.kind == ErrorKind::kFreelistCorruption) {
+    return StrFormat("%s (rip=0x%llx)", what,
                      static_cast<unsigned long long>(error.rip));
   }
   if (sites != nullptr && error.site < sites->size()) {

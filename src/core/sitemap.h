@@ -9,7 +9,9 @@
 // A map written under an explicit hardening policy (--harden=TIER) starts
 // with a policy header line, "# harden: <tier>", which round-trips through
 // ParseSiteMap; maps from legacy invocations carry no header and stay
-// byte-identical to older builds.
+// byte-identical to older builds. An explicit --rheap feature list adds a
+// second header line, "# rheap: <list>", with the same round-trip and
+// byte-identity rules.
 #ifndef REDFAT_SRC_CORE_SITEMAP_H_
 #define REDFAT_SRC_CORE_SITEMAP_H_
 
@@ -24,14 +26,19 @@
 namespace redfat {
 
 enum class HardenTier : uint8_t;  // core/policy.h
+struct RheapOptions;              // heap/rheap.h
 
-// `harden` non-null adds the "# harden: <tier>" policy header.
+// `harden` non-null adds the "# harden: <tier>" policy header; `rheap`
+// non-null adds the "# rheap: <list>" allocator-feature header.
 std::string SerializeSiteMap(const std::vector<SiteRecord>& sites,
-                             const HardenTier* harden = nullptr);
+                             const HardenTier* harden = nullptr,
+                             const RheapOptions* rheap = nullptr);
 // `harden` non-null receives the policy header's tier when the map carries
-// one (reset to nullopt otherwise).
-Result<std::vector<SiteRecord>> ParseSiteMap(const std::vector<std::string>& lines,
-                                             std::optional<HardenTier>* harden = nullptr);
+// one (reset to nullopt otherwise); same for `rheap` and the feature header.
+Result<std::vector<SiteRecord>> ParseSiteMap(
+    const std::vector<std::string>& lines,
+    std::optional<HardenTier>* harden = nullptr,
+    std::optional<RheapOptions>* rheap = nullptr);
 
 // Human-readable one-line report, e.g.
 //   "out-of-bounds write at 0x400123 (site 5, full check)"

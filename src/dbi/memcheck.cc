@@ -7,19 +7,19 @@ namespace redfat {
 AllocOutcome Memcheck::Malloc(Memory& mem, uint64_t size) {
   const uint64_t ptr = heap_.Alloc(mem, size);
   if (ptr == 0) {
-    return AllocOutcome{0, kMallocCycles};
+    return AllocOutcome{0, heapcost::kLegacyMalloc};
   }
   shadow_.Mark(ptr - kRedzoneSize, kRedzoneSize, ShadowState::kRedzone);
   shadow_.Mark(ptr, size, ShadowState::kAllocated);
   shadow_.Mark(ptr + size, kRedzoneSize, ShadowState::kRedzone);
   sizes_[ptr] = size;
-  return AllocOutcome{ptr, kMallocCycles + costs_.alloc_extra};
+  return AllocOutcome{ptr, heapcost::kLegacyMalloc + costs_.alloc_extra};
 }
 
-uint64_t Memcheck::Free(Memory& mem, uint64_t ptr) {
+FreeOutcome Memcheck::Free(Memory& mem, uint64_t ptr) {
   (void)mem;
   if (ptr == 0) {
-    return kFreeCycles;
+    return FreeOutcome{heapcost::kLegacyFree};
   }
   auto it = sizes_.find(ptr);
   REDFAT_CHECK(it != sizes_.end());
@@ -30,7 +30,7 @@ uint64_t Memcheck::Free(Memory& mem, uint64_t ptr) {
     heap_.Free(quarantine_.front());
     quarantine_.pop_front();
   }
-  return kFreeCycles + costs_.alloc_extra;
+  return FreeOutcome{heapcost::kLegacyFree + costs_.alloc_extra};
 }
 
 uint64_t Memcheck::OnInstruction(Vm& vm, uint64_t addr, const Instruction& insn) {

@@ -47,7 +47,7 @@ class Memcheck : public GuestAllocator, public ExecObserver {
 
   // GuestAllocator
   AllocOutcome Malloc(Memory& mem, uint64_t size) override;
-  uint64_t Free(Memory& mem, uint64_t ptr) override;
+  FreeOutcome Free(Memory& mem, uint64_t ptr) override;
   const char* name() const override { return "memcheck"; }
 
   // ExecObserver

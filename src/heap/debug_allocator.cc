@@ -24,20 +24,27 @@ AllocOutcome DebugRedFatAllocator::Malloc(Memory& mem, uint64_t size) {
   MarkShadow(mem, out.ptr, size, GuestShadow::kOk);                      // payload (clear stale)
   MarkShadow(mem, out.ptr + size, kRedzoneSize, GuestShadow::kRedzone);  // trailing guard
   sizes_[out.ptr] = size;
-  out.cycles += 5 + (size + 2 * kRedzoneSize) / 64;  // O(size) shadow marking
+  // O(size) shadow marking
+  out.cycles += heapcost::ShadowMarkCycles(size + 2 * kRedzoneSize);
   return out;
 }
 
-uint64_t DebugRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
+FreeOutcome DebugRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
   if (ptr == 0) {
     return RedFatAllocator::Free(mem, ptr);
   }
   auto it = sizes_.find(ptr);
-  REDFAT_CHECK(it != sizes_.end());
+  if (it == sizes_.end()) {
+    // Invalid free (never handed out, or already freed): let the base
+    // class diagnose it; there is no shadow range to clear.
+    return RedFatAllocator::Free(mem, ptr);
+  }
   const uint64_t size = it->second;
   sizes_.erase(it);
   MarkShadow(mem, ptr, size, GuestShadow::kFreed);
-  return RedFatAllocator::Free(mem, ptr) + 5 + size / 64;
+  FreeOutcome out = RedFatAllocator::Free(mem, ptr);
+  out.cycles += heapcost::ShadowMarkCycles(size);
+  return out;
 }
 
 }  // namespace redfat

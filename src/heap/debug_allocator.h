@@ -22,11 +22,12 @@ namespace redfat {
 
 class DebugRedFatAllocator : public RedFatAllocator {
  public:
+  explicit DebugRedFatAllocator(const RheapOptions& opts) : RedFatAllocator(opts) {}
   explicit DebugRedFatAllocator(unsigned quarantine_slots = 64)
       : RedFatAllocator(quarantine_slots) {}
 
   AllocOutcome Malloc(Memory& mem, uint64_t size) override;
-  uint64_t Free(Memory& mem, uint64_t ptr) override;
+  FreeOutcome Free(Memory& mem, uint64_t ptr) override;
   const char* name() const override { return "libredfat-debug"; }
 
  private:

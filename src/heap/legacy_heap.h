@@ -16,15 +16,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/heap/cost_model.h"
 #include "src/isa/abi.h"
 #include "src/vm/allocator.h"
 #include "src/vm/memory.h"
 
 namespace redfat {
-
-// Default modeled costs of a malloc/free call beyond the hostcall base.
-inline constexpr uint64_t kMallocCycles = 25;
-inline constexpr uint64_t kFreeCycles = 15;
 
 class LegacyHeap {
  public:
@@ -52,14 +49,17 @@ class LegacyHeap {
 class GlibcLikeAllocator : public GuestAllocator {
  public:
   AllocOutcome Malloc(Memory& mem, uint64_t size) override {
-    return AllocOutcome{heap_.Alloc(mem, size), kMallocCycles};
+    AllocOutcome out;
+    out.ptr = heap_.Alloc(mem, size);
+    out.cycles = heapcost::kLegacyMalloc;
+    return out;
   }
-  uint64_t Free(Memory& mem, uint64_t ptr) override {
+  FreeOutcome Free(Memory& mem, uint64_t ptr) override {
     (void)mem;
     if (ptr != 0) {
       heap_.Free(ptr);
     }
-    return kFreeCycles;
+    return FreeOutcome{heapcost::kLegacyFree};
   }
   const char* name() const override { return "glibc-like"; }
 

@@ -1,7 +1,6 @@
 #include "src/heap/lowfat.h"
 
-#include <algorithm>
-
+#include "src/heap/cost_model.h"
 #include "src/support/bits.h"
 #include "src/support/check.h"
 
@@ -25,6 +24,17 @@ LowFatTables BuildTables() {
   }
   return t;
 }
+
+// SplitMix64 finalizer: the per-slot key mix for link obfuscation.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The in-guest freelist link word lives in the redzone pad word, just after
+// the state/size metadata: [SIZE u64][link u64][payload...].
+inline uint64_t LinkAddr(uint64_t slot) { return slot + 8; }
 
 }  // namespace
 
@@ -69,61 +79,202 @@ unsigned SizeClassFor(uint64_t size) {
   return 33 + (k - 10);
 }
 
-uint64_t LowFatHeap::Alloc(uint64_t size) {
+LowFatHeap::LowFatHeap(const RheapOptions& opts)
+    : opts_(opts),
+      classes_(kNumSizeClasses + 1),
+      link_key_(0x9e3779b97f4a7c15ULL ^ opts.random_seed) {
+  if (opts_.random) {
+    rng_.emplace(opts_.random_seed);
+  }
+}
+
+LowFatHeap::LowFatHeap(unsigned quarantine_slots)
+    : LowFatHeap([quarantine_slots] {
+        RheapOptions o;
+        o.quarantine_slots = quarantine_slots;
+        return o;
+      }()) {}
+
+void LowFatHeap::EnableRandomization(uint64_t seed) {
+  opts_.random = true;
+  opts_.random_seed = seed;
+  rng_.emplace(seed);
+}
+
+uint64_t LowFatHeap::LinkKey(uint64_t slot) const { return Mix64(slot ^ link_key_); }
+
+uint64_t LowFatHeap::EncodeLink(uint64_t next, uint64_t slot) const {
+  return opts_.prot_freelist ? next ^ LinkKey(slot) : next;
+}
+
+uint64_t LowFatHeap::DecodeLink(uint64_t enc, uint64_t slot) const {
+  return opts_.prot_freelist ? enc ^ LinkKey(slot) : enc;
+}
+
+bool LowFatHeap::LinkValid(uint64_t next, unsigned c, uint64_t slot,
+                           const ClassState& cs) const {
+  if (next == 0) {
+    return true;  // end of chain
+  }
+  // A plausible successor is a distinct slot base of the same class, below
+  // the bump high-water mark (everything ever handed out is below it).
+  return RegionOf(next) == c && next % SizeClassBytes(c) == 0 && next != slot &&
+         next < cs.next_bump;
+}
+
+void LowFatHeap::PushFree(Memory& mem, ClassState& cs, unsigned c, uint64_t slot) {
+  (void)c;
+  const unsigned idx = (rng_.has_value() && rng_->Chance(1, 2)) ? 1 : 0;
+  mem.WriteU64(LinkAddr(slot), EncodeLink(cs.heads[idx], slot));
+  cs.heads[idx] = slot;
+  ++cs.free_count;
+}
+
+LowFatAllocResult LowFatHeap::Alloc(Memory& mem, uint64_t size) {
+  LowFatAllocResult out;
   const unsigned c = SizeClassFor(size);
   if (c == 0) {
-    return 0;
+    out.status = LowFatAllocStatus::kTooLarge;
+    out.cycles = heapcost::kBumpAlloc;
+    stats_.malloc_cycles += out.cycles;
+    return out;
   }
   ClassState& cs = classes_[c];
   const uint64_t bytes = SizeClassBytes(c);
-  uint64_t slot = 0;
-  if (!cs.free_list.empty()) {
-    if (rng_.has_value() && cs.free_list.size() > 1) {
-      // Randomized reuse: swap a random entry to the back first.
-      const size_t pick = rng_->Below(cs.free_list.size());
-      std::swap(cs.free_list[pick], cs.free_list.back());
+
+  // Freelist pop. With `random`, coin-flip between the two heads (falling
+  // back to whichever is nonempty); otherwise strict LIFO off heads_[0].
+  unsigned idx = 0;
+  if (rng_.has_value()) {
+    idx = rng_->Chance(1, 2) ? 1 : 0;
+    if (cs.heads[idx] == 0) {
+      idx ^= 1;
     }
-    slot = cs.free_list.back();
-    cs.free_list.pop_back();
-  } else {
-    if (cs.next_bump == 0) {
-      cs.next_bump = AlignUp(static_cast<uint64_t>(c) << kRegionShift, bytes);
-      if (rng_.has_value()) {
-        // Random starting slot: up to 64 Ki slots of entropy per class.
-        cs.next_bump += bytes * rng_->Below(1 << 16);
+    out.cycles += heapcost::kRandomPick;
+  }
+  if (cs.heads[idx] != 0) {
+    const uint64_t slot = cs.heads[idx];
+    out.cycles += heapcost::kFreelistPop;
+    uint64_t next = DecodeLink(mem.ReadU64(LinkAddr(slot)), slot);
+    if (opts_.prot_freelist) {
+      out.cycles += heapcost::kProtDecode;
+      if (!LinkValid(next, c, slot, cs)) {
+        // Forged/corrupted link: report it, quarantine the whole chain out
+        // of circulation, and satisfy the allocation from the bump arena.
+        out.corrupted = true;
+        out.corrupt_addr = LinkAddr(slot);
+        ++stats_.corruptions;
+        cs.heads[0] = cs.heads[1] = 0;
+        cs.free_count = 0;
       }
     }
-    const uint64_t region_end = (static_cast<uint64_t>(c) + 1) << kRegionShift;
-    if (cs.next_bump + bytes > region_end) {
-      return 0;  // region exhausted
+    if (!out.corrupted) {
+      cs.heads[idx] = next;
+      --cs.free_count;
+      ++stats_.freelist_pops;
+      ++stats_.allocs;
+      ++stats_.live_slots;
+      stats_.malloc_cycles += out.cycles;
+      out.slot = slot;
+      return out;
     }
-    slot = cs.next_bump;
-    cs.next_bump += bytes;
-    stats_.bump_bytes += bytes;
   }
+
+  // Bump path: carve a fresh arena segment when the current one is spent.
+  // Lazy poisoning: untouched guest memory reads 0, which *is* the Freed
+  // metadata encoding, so a carve needs no redzone writes.
+  if (cs.next_bump == 0) {
+    cs.next_bump = AlignUp(static_cast<uint64_t>(c) << kRegionShift, bytes);
+    if (rng_.has_value()) {
+      // Random starting slot: up to 64 Ki slots of entropy per class.
+      cs.next_bump += bytes * rng_->Below(1 << 16);
+    }
+  }
+  const uint64_t region_end = (static_cast<uint64_t>(c) + 1) << kRegionShift;
+  if (cs.next_bump + bytes > region_end) {
+    out.status = LowFatAllocStatus::kExhausted;
+    out.cycles += heapcost::kBumpAlloc;
+    ++stats_.exhausted_allocs;
+    stats_.malloc_cycles += out.cycles;
+    return out;
+  }
+  if (cs.next_bump >= cs.arena_end) {
+    const uint64_t seg = cs.next_bump + kArenaSlots * bytes;
+    cs.arena_end = seg < region_end ? seg : region_end;
+    out.cycles += heapcost::kArenaCarve;
+    ++stats_.arena_carves;
+  }
+  out.slot = cs.next_bump;
+  cs.next_bump += bytes;
+  out.cycles += heapcost::kBumpAlloc;
+  stats_.bump_bytes += bytes;
   ++stats_.allocs;
   ++stats_.live_slots;
-  return slot;
+  stats_.malloc_cycles += out.cycles;
+  return out;
 }
 
-void LowFatHeap::Free(uint64_t slot) {
+LowFatFreeResult LowFatHeap::Free(Memory& mem, uint64_t slot) {
+  LowFatFreeResult out;
+  out.cycles = heapcost::kFreePush;
   const unsigned r = RegionOf(slot);
-  REDFAT_CHECK(r >= 1 && r <= kNumSizeClasses);
-  const uint64_t bytes = SizeClassBytes(r);
-  REDFAT_CHECK(slot % bytes == 0);
+  if (r < 1 || r > kNumSizeClasses || slot % SizeClassBytes(r) != 0) {
+    // Not a slot base of any low-fat class: an overlapping/interior free.
+    // Never a host abort — the caller decides whether to diagnose it.
+    out.invalid = true;
+    stats_.free_cycles += out.cycles;
+    return out;
+  }
   ClassState& cs = classes_[r];
   ++stats_.frees;
-  REDFAT_CHECK(stats_.live_slots > 0);
-  --stats_.live_slots;
-  if (quarantine_slots_ == 0) {
-    cs.free_list.push_back(slot);
-    return;
+  if (stats_.live_slots > 0) {
+    --stats_.live_slots;
   }
-  cs.quarantine.push_back(slot);
-  if (cs.quarantine.size() > quarantine_slots_) {
-    cs.free_list.push_back(cs.quarantine.front());
-    cs.quarantine.pop_front();
+  if (rng_.has_value()) {
+    out.cycles += heapcost::kRandomPick;
   }
+  if (opts_.quarantine_slots == 0) {
+    PushFree(mem, cs, r, slot);
+    stats_.free_cycles += out.cycles;
+    return out;
+  }
+
+  // Quarantine: append to the in-guest FIFO chain, then drain the oldest
+  // entry into the free list once the depth budget is exceeded.
+  out.cycles += heapcost::kQuarantinePush;
+  mem.WriteU64(LinkAddr(slot), EncodeLink(0, slot));
+  if (cs.quar_tail != 0) {
+    mem.WriteU64(LinkAddr(cs.quar_tail), EncodeLink(slot, cs.quar_tail));
+  } else {
+    cs.quar_head = slot;
+  }
+  cs.quar_tail = slot;
+  ++cs.quar_count;
+  if (cs.quar_count > opts_.quarantine_slots) {
+    const uint64_t oldest = cs.quar_head;
+    const uint64_t next = DecodeLink(mem.ReadU64(LinkAddr(oldest)), oldest);
+    if (opts_.prot_freelist &&
+        (!LinkValid(next, r, oldest, cs) || (next == 0 && cs.quar_count > 1))) {
+      // The quarantine chain was tampered with (quarantine-bypass attempt).
+      // Discard the whole chain — conservative, but nothing on it can be
+      // trusted to re-enter circulation.
+      out.corrupted = true;
+      out.corrupt_addr = LinkAddr(oldest);
+      ++stats_.corruptions;
+      cs.quar_head = cs.quar_tail = 0;
+      cs.quar_count = 0;
+      stats_.free_cycles += out.cycles;
+      return out;
+    }
+    cs.quar_head = next;
+    if (next == 0) {
+      cs.quar_tail = 0;
+    }
+    --cs.quar_count;
+    PushFree(mem, cs, r, oldest);
+  }
+  stats_.free_cycles += out.cycles;
+  return out;
 }
 
 }  // namespace redfat

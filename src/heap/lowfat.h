@@ -12,17 +12,35 @@
 // Non-fat regions have SIZES[r] == 0 (the paper uses SIZE_MAX; the sentinel
 // choice only changes one comparison in the generated check).
 //
-// The allocator state (bump pointers, free lists, quarantine) is host-side:
-// it models the LD_PRELOADed libredfat runtime, which is host code from the
-// guest's perspective.
+// Fast path (DESIGN.md §4.14): every operation is O(1).
+//
+//   * Free lists are intrusive and live *in guest memory*: a freed slot's
+//     body doubles as the list node, chaining through a link word at
+//     slot + 8 (the redzone pad word — [SIZE u64][link u64][payload...]).
+//     Only the per-class head pointer is host state, modeling libredfat's
+//     thread-local head register. With the prot-freelist feature the link
+//     is obfuscated (snmalloc-style XOR with a per-slot mixed key) and
+//     validated on every pop; a forged or corrupted link is detected and
+//     surfaced as a corruption outcome instead of being followed.
+//   * Bump allocation carves the region in fixed arena segments of
+//     kArenaSlots slots; segment setup cost is paid once per carve, not per
+//     malloc. Redzone poisoning is lazy: untouched guest memory reads 0,
+//     which is exactly the Freed metadata encoding, so fresh slots need no
+//     poisoning writes at all.
+//   * The quarantine is an in-guest FIFO chain (head + tail host-side)
+//     draining into the free list once its depth exceeds quarantine_slots.
+//
+// With every rheap feature off, allocation addresses are bit-identical to
+// the historical vector/deque implementation (LIFO reuse, FIFO quarantine,
+// same bump sequence) — the features-off byte-identity contract.
 #ifndef REDFAT_SRC_HEAP_LOWFAT_H_
 #define REDFAT_SRC_HEAP_LOWFAT_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "src/heap/rheap.h"
 #include "src/isa/abi.h"
 #include "src/support/magic_div.h"
 #include "src/support/rng.h"
@@ -63,47 +81,100 @@ unsigned SizeClassFor(uint64_t size);
 
 // --- the allocator itself --------------------------------------------------
 
+// Bump arenas are carved kArenaSlots slots at a time; the carve cost
+// (heapcost::kArenaCarve) amortizes across the segment.
+inline constexpr uint64_t kArenaSlots = 64;
+
 struct LowFatHeapStats {
   uint64_t allocs = 0;
   uint64_t frees = 0;
   uint64_t live_slots = 0;
   uint64_t bump_bytes = 0;  // address space consumed by bump allocation
+  uint64_t freelist_pops = 0;
+  uint64_t arena_carves = 0;
+  uint64_t corruptions = 0;      // forged/corrupt links detected (prot-freelist)
+  uint64_t exhausted_allocs = 0; // Alloc failures due to region exhaustion
+  uint64_t malloc_cycles = 0;    // modeled fast-path cycles, accumulated
+  uint64_t free_cycles = 0;
+};
+
+// Why an allocation could not be serviced. The wrapper allocators fall back
+// to the legacy heap on kTooLarge (by design: huge objects are non-fat) and
+// on kExhausted (resource exhaustion — reported distinctly in telemetry).
+enum class LowFatAllocStatus : uint8_t {
+  kOk = 0,
+  kTooLarge = 1,   // size exceeds kMaxLowFatSize: no class can hold it
+  kExhausted = 2,  // the class's 32 GiB region is fully carved
+};
+
+struct LowFatAllocResult {
+  uint64_t slot = 0;  // slot base (size-aligned); 0 unless status == kOk
+  LowFatAllocStatus status = LowFatAllocStatus::kOk;
+  uint64_t cycles = 0;       // modeled fast-path cost of this operation
+  bool corrupted = false;    // a forged/corrupt freelist link was detected
+  uint64_t corrupt_addr = 0; // guest address of the bad link word
+};
+
+struct LowFatFreeResult {
+  // Set when `slot` is not a valid slot base of any low-fat class (e.g. an
+  // overlapping free of an interior pointer). The free is skipped.
+  bool invalid = false;
+  uint64_t cycles = 0;
+  bool corrupted = false;    // quarantine-drain link validation failed
+  uint64_t corrupt_addr = 0;
 };
 
 class LowFatHeap {
  public:
-  // `quarantine_slots` delays slot reuse after free (per size class), making
-  // use-after-free detection deterministic in tests; 0 disables quarantine.
-  explicit LowFatHeap(unsigned quarantine_slots = 64)
-      : quarantine_slots_(quarantine_slots), classes_(kNumSizeClasses + 1) {}
+  explicit LowFatHeap(const RheapOptions& opts);
+  // Legacy convenience: quarantine depth only, every hardening feature off.
+  explicit LowFatHeap(unsigned quarantine_slots = 64);
 
   // Basic heap randomization (paper §8: "our current implementation also
   // incorporates basic heap randomization"): each size class starts its
   // bump allocation at a random slot offset into the region, and freed
-  // slots are drawn from a random free-list position instead of LIFO.
-  // Probabilistic defense only; detection guarantees are unchanged.
-  void EnableRandomization(uint64_t seed) { rng_.emplace(seed); }
+  // slots spread over two free lists with coin-flip push/pop so reuse
+  // order deviates from strict LIFO. Probabilistic defense only; detection
+  // guarantees are unchanged.
+  void EnableRandomization(uint64_t seed);
 
-  // Allocates a slot of the smallest class >= size. Returns the slot base
-  // (size-aligned) or 0 if size exceeds kMaxLowFatSize or the region is full.
-  uint64_t Alloc(uint64_t size);
+  // Allocates a slot of the smallest class >= size. The freelist chain is
+  // read from (and maintained in) guest memory.
+  LowFatAllocResult Alloc(Memory& mem, uint64_t size);
 
-  // Frees a slot previously returned by Alloc. `slot` must be the slot base.
-  void Free(uint64_t slot);
+  // Frees a slot previously returned by Alloc. `slot` must be the slot
+  // base; anything else yields .invalid (never a host abort).
+  LowFatFreeResult Free(Memory& mem, uint64_t slot);
 
   const LowFatHeapStats& stats() const { return stats_; }
+  const RheapOptions& options() const { return opts_; }
 
  private:
+  // Two heads so `random` can coin-flip push/pop targets; with random off
+  // only heads_[0] is used (exact legacy LIFO order).
   struct ClassState {
-    uint64_t next_bump = 0;  // 0 = not yet initialized
-    std::vector<uint64_t> free_list;
-    std::deque<uint64_t> quarantine;
+    uint64_t next_bump = 0;   // 0 = class untouched
+    uint64_t arena_end = 0;   // current carved segment watermark
+    uint64_t heads[2] = {0, 0};
+    uint64_t free_count = 0;
+    uint64_t quar_head = 0;   // FIFO chain, in guest memory
+    uint64_t quar_tail = 0;
+    uint64_t quar_count = 0;
   };
 
-  unsigned quarantine_slots_;
+  uint64_t LinkKey(uint64_t slot) const;
+  uint64_t EncodeLink(uint64_t next, uint64_t slot) const;
+  uint64_t DecodeLink(uint64_t enc, uint64_t slot) const;
+  // Is `next` a plausible freelist successor within class c?
+  bool LinkValid(uint64_t next, unsigned c, uint64_t slot,
+                 const ClassState& cs) const;
+  void PushFree(Memory& mem, ClassState& cs, unsigned c, uint64_t slot);
+
+  RheapOptions opts_;
   std::vector<ClassState> classes_;
   LowFatHeapStats stats_;
-  std::optional<Rng> rng_;  // engaged iff randomization is enabled
+  std::optional<Rng> rng_;  // engaged iff opts_.random
+  uint64_t link_key_;
 };
 
 }  // namespace redfat

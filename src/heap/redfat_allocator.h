@@ -8,46 +8,71 @@
 // The redzone doubles as shadow storage for the object's state/size
 // metadata: [slot] holds the malloc SIZE as a u64, with SIZE == 0 encoding
 // the Free state (the state/size merge described in §4.2 "Mergeable code").
+// The second redzone word is the low-fat heap's in-guest freelist link.
 // Because the redzone at the start of the *next* slot ends the current
 // object, no trailing redzone is needed.
 //
 // Allocations larger than the biggest low-fat class fall back to the legacy
 // heap; such objects are non-fat and are passed over by the checks, exactly
-// like the LowFat runtime's legacy-malloc fallback.
+// like the LowFat runtime's legacy-malloc fallback. Region exhaustion also
+// falls back, but is counted separately (exhausted_fallbacks) so the
+// harness can tell resource pressure from by-design huge objects.
+//
+// The optional hardening features (RheapOptions, DESIGN.md §4.14):
+// prot-freelist surfaces tampered links and invalid frees as
+// ErrorKind::kFreelistCorruption / kDoubleFree outcomes; guard-memcpy
+// implements GuardRange over the redzone metadata; random / quarantine=N
+// configure the low-fat heap.
 #ifndef REDFAT_SRC_HEAP_REDFAT_ALLOCATOR_H_
 #define REDFAT_SRC_HEAP_REDFAT_ALLOCATOR_H_
 
 #include <cstdint>
 
+#include "src/heap/cost_model.h"
 #include "src/heap/legacy_heap.h"
 #include "src/heap/lowfat.h"
+#include "src/heap/rheap.h"
 #include "src/vm/allocator.h"
 
 namespace redfat {
 
-// Extra modeled cost of the redzone wrapper (metadata write) per call.
-inline constexpr uint64_t kRedzoneWrapperCycles = 5;
+struct RedFatAllocatorStats {
+  uint64_t fallback_allocs = 0;    // total legacy-heap fallbacks
+  uint64_t exhausted_fallbacks = 0;  // ... of which due to region exhaustion
+  uint64_t guard_checks = 0;
+  uint64_t guard_violations = 0;
+  uint64_t guard_cycles = 0;
+};
 
 class RedFatAllocator : public GuestAllocator {
  public:
+  explicit RedFatAllocator(const RheapOptions& opts) : opts_(opts), lowfat_(opts) {}
   explicit RedFatAllocator(unsigned quarantine_slots = 64)
-      : lowfat_(quarantine_slots) {}
+      : RedFatAllocator([quarantine_slots] {
+          RheapOptions o;
+          o.quarantine_slots = quarantine_slots;
+          return o;
+        }()) {}
 
   AllocOutcome Malloc(Memory& mem, uint64_t size) override;
-  uint64_t Free(Memory& mem, uint64_t ptr) override;
+  FreeOutcome Free(Memory& mem, uint64_t ptr) override;
+  GuardOutcome GuardRange(Memory& mem, uint64_t addr, uint64_t len) override;
   const char* name() const override { return "libredfat"; }
 
   // Optional probabilistic defense layered on top of the deterministic
   // checks (paper §8): randomized slot placement and reuse order.
   void EnableHeapRandomization(uint64_t seed) { lowfat_.EnableRandomization(seed); }
 
+  const RheapOptions& options() const { return opts_; }
   const LowFatHeapStats& lowfat_stats() const { return lowfat_.stats(); }
-  uint64_t fallback_allocs() const { return fallback_allocs_; }
+  const RedFatAllocatorStats& redfat_stats() const { return stats_; }
+  uint64_t fallback_allocs() const { return stats_.fallback_allocs; }
 
  private:
+  RheapOptions opts_;
   LowFatHeap lowfat_;
   LegacyHeap legacy_;
-  uint64_t fallback_allocs_ = 0;
+  RedFatAllocatorStats stats_;
 };
 
 }  // namespace redfat

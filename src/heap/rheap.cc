@@ -1,0 +1,77 @@
+#include "src/heap/rheap.h"
+
+#include <cstdlib>
+
+#include "src/support/str.h"
+
+namespace redfat {
+
+Result<RheapOptions> ParseRheapList(const std::string& list) {
+  RheapOptions opts;
+  opts.quarantine_slots = 0;  // explicit lists start from everything-off
+  if (list.empty()) {
+    return Error{"--rheap: empty feature list"};
+  }
+  bool saw_none = false;
+  size_t ntokens = 0;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    if (tok.empty()) {
+      return Error{"--rheap: empty token in feature list"};
+    }
+    ++ntokens;
+    if (tok == "none") {
+      saw_none = true;
+    } else if (tok == "prot-freelist") {
+      opts.prot_freelist = true;
+    } else if (tok == "guard-memcpy") {
+      opts.guard_memcpy = true;
+    } else if (tok == "random") {
+      opts.random = true;
+    } else if (tok.rfind("quarantine=", 0) == 0) {
+      const std::string num = tok.substr(11);
+      if (num.empty() || num.find_first_not_of("0123456789") != std::string::npos) {
+        return Error{StrFormat("--rheap: bad quarantine depth '%s'", num.c_str())};
+      }
+      opts.quarantine_slots = static_cast<unsigned>(std::strtoul(num.c_str(), nullptr, 10));
+    } else {
+      return Error{StrFormat(
+          "--rheap: unknown feature '%s' (want prot-freelist, guard-memcpy, "
+          "random, quarantine=N or none)",
+          tok.c_str())};
+    }
+  }
+  if (saw_none && (ntokens > 1 || opts.any_hardening() || opts.quarantine_slots != 0)) {
+    return Error{"--rheap: 'none' must appear alone"};
+  }
+  return opts;
+}
+
+std::string RheapListName(const RheapOptions& opts) {
+  std::string out;
+  auto append = [&out](const std::string& tok) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += tok;
+  };
+  if (opts.prot_freelist) {
+    append("prot-freelist");
+  }
+  if (opts.guard_memcpy) {
+    append("guard-memcpy");
+  }
+  if (opts.random) {
+    append("random");
+  }
+  if (opts.quarantine_slots != 0) {
+    append(StrFormat("quarantine=%u", opts.quarantine_slots));
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace redfat

@@ -16,14 +16,19 @@ void ShadowRedFatAllocator::MarkShadow(Memory& mem, uint64_t addr, uint64_t size
 
 AllocOutcome ShadowRedFatAllocator::Malloc(Memory& mem, uint64_t size) {
   const uint64_t total = size + kRedzoneSize;
+  AllocOutcome out;
   uint64_t slot = 0;
+  uint64_t cycles = 0;
   if (total <= kMaxLowFatSize && total >= size) {
-    slot = lowfat_.Alloc(total);
+    const LowFatAllocResult lf = lowfat_.Alloc(mem, total);
+    slot = lf.slot;
+    cycles = lf.cycles;
   }
   if (slot == 0) {
     slot = legacy_.Alloc(mem, total);
     if (slot == 0) {
-      return AllocOutcome{0, kMallocCycles};
+      out.cycles = heapcost::kLegacyMalloc;
+      return out;
     }
   }
   const uint64_t ptr = slot + kRedzoneSize;
@@ -32,12 +37,14 @@ AllocOutcome ShadowRedFatAllocator::Malloc(Memory& mem, uint64_t size) {
   MarkShadow(mem, ptr + size, kRedzoneSize, GuestShadow::kRedzone);  // trailing redzone
   sizes_[ptr] = size;
   // O(size) shadow marking is the scheme's intrinsic cost.
-  return AllocOutcome{ptr, kMallocCycles + 5 + (size + 2 * kRedzoneSize) / 64};
+  out.ptr = ptr;
+  out.cycles = cycles + heapcost::ShadowMarkCycles(size + 2 * kRedzoneSize);
+  return out;
 }
 
-uint64_t ShadowRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
+FreeOutcome ShadowRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
   if (ptr == 0) {
-    return kFreeCycles;
+    return FreeOutcome{heapcost::kFreePush};
   }
   auto it = sizes_.find(ptr);
   REDFAT_CHECK(it != sizes_.end());
@@ -45,12 +52,14 @@ uint64_t ShadowRedFatAllocator::Free(Memory& mem, uint64_t ptr) {
   sizes_.erase(it);
   MarkShadow(mem, ptr, size, GuestShadow::kFreed);
   const uint64_t slot = ptr - kRedzoneSize;
+  uint64_t cycles = 0;
   if (LowFatSize(slot) != 0) {
-    lowfat_.Free(slot);
+    cycles = lowfat_.Free(mem, slot).cycles;
   } else {
     legacy_.Free(slot);
+    cycles = heapcost::kFreePush;
   }
-  return kFreeCycles + 5 + size / 64;
+  return FreeOutcome{cycles + heapcost::ShadowMarkCycles(size)};
 }
 
 }  // namespace redfat

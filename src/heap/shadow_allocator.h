@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/heap/cost_model.h"
 #include "src/heap/legacy_heap.h"
 #include "src/heap/lowfat.h"
 #include "src/vm/allocator.h"
@@ -29,7 +30,7 @@ class ShadowRedFatAllocator : public GuestAllocator {
       : lowfat_(quarantine_slots) {}
 
   AllocOutcome Malloc(Memory& mem, uint64_t size) override;
-  uint64_t Free(Memory& mem, uint64_t ptr) override;
+  FreeOutcome Free(Memory& mem, uint64_t ptr) override;
   const char* name() const override { return "libredfat-shadow"; }
 
  private:

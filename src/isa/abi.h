@@ -59,9 +59,14 @@ enum class ErrorKind : uint8_t {
   kUaf = 1,     // use-after-free (separate only when checks are not merged)
   kMeta = 2,    // corrupted size metadata (size-hardening check, Fig. 4 l.23)
   // Free of an already-freed base pointer. Raised by the VM's forensics
-  // interception, never by generated check code (the allocators treat a
-  // double free as a hard host abort, not a reportable guest error).
+  // interception or (with --rheap=prot-freelist) by the allocator's own
+  // metadata validation, never by generated check code.
   kDoubleFree = 3,
+  // Tampered allocator metadata: a forged/corrupted in-guest freelist or
+  // quarantine link, or an invalid (overlapping/interior) free. Raised by
+  // the hardened allocator under --rheap=prot-freelist; the faulting
+  // address is the tampered link word, not a guest access site.
+  kFreelistCorruption = 4,
 };
 
 inline uint32_t PackErrorArg(uint32_t site_id, ErrorKind kind) {

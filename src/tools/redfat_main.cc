@@ -27,6 +27,14 @@
 //                          contradictory combinations (--harden=fast
 //                          --shadow, --harden=debug --no-lowfat, ...) are
 //                          rejected with a diagnostic.
+//   --rheap=LIST           allocator hardening features the output expects
+//                          at runtime: a comma list of prot-freelist,
+//                          guard-memcpy, random, quarantine=N, or `none`
+//                          (heap/rheap.h). Validated here and recorded in
+//                          the --sitemap header ("# rheap: <list>") so
+//                          `rfrun` picks the list up without re-passing the
+//                          flag; without --rheap the --harden tier's
+//                          defaults apply and no header is emitted.
 //   --profile              emit profiling instrumentation (Fig. 5, step 1)
 //   --profile=FILE         tier checks using a prior run's --metrics
 //                          snapshot: hot sites get inline checks, cold
@@ -92,6 +100,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: redfat [--harden=none|fast|extensive|debug]\n"
+               "              [--rheap=prot-freelist,guard-memcpy,random,"
+               "quarantine=N|none]\n"
                "              [--profile] [--allowlist FILE | --profile-data FILE]\n"
                "              [--profile=METRICS.json] [--profile-sitemap FILE]\n"
                "              [--hot-threshold=F]\n"
@@ -260,9 +270,10 @@ Status EmitArtifacts(const InstrumentResult& out, const std::string& sitemap_pat
                      const std::string& stats_path, const std::string& metrics_path,
                      const std::string& trace_path) {
   if (!sitemap_path.empty()) {
-    // The policy header appears only for explicit --harden builds.
+    // The policy headers appear only for explicit --harden/--rheap builds.
     const std::string text =
-        SerializeSiteMap(out.sites, out.harden_explicit ? &out.harden : nullptr);
+        SerializeSiteMap(out.sites, out.harden_explicit ? &out.harden : nullptr,
+                         out.rheap_explicit ? &out.rheap : nullptr);
     const Status s = WriteFileBytes(sitemap_path,
                                     std::vector<uint8_t>(text.begin(), text.end()));
     if (!s.ok()) {
@@ -362,6 +373,13 @@ int Main(int argc, char** argv) {
       }
       policy.tier = tier.value();
       harden_given = true;
+    } else if (arg.rfind("--rheap=", 0) == 0) {
+      Result<RheapOptions> opts_r = ParseRheapList(arg.substr(8));
+      if (!opts_r.ok()) {
+        std::fprintf(stderr, "redfat: %s\n", opts_r.error().c_str());
+        return 2;
+      }
+      policy.rheap = opts_r.value();
     } else if (arg == "--profile-sitemap" && i + 1 < argc) {
       profile_sitemap_path = argv[++i];
     } else if (arg.rfind("--profile-sitemap=", 0) == 0) {
@@ -491,7 +509,9 @@ int Main(int argc, char** argv) {
     const bool local_only = !allow_path.empty() || !profile_data_path.empty() ||
                             !profile_sitemap_path.empty() || !stats_path.empty() ||
                             !metrics_path.empty() || !trace_path.empty() ||
-                            time_passes || (!sitemap_path.empty() && harden_given);
+                            time_passes ||
+                            (!sitemap_path.empty() &&
+                             (harden_given || policy.rheap.has_value()));
     if (!local_only) {
       Result<std::vector<uint8_t>> raw = ReadFileBytes(positional[0]);
       if (!raw.ok()) {

@@ -7,6 +7,8 @@
 //   rfgen synth SEED out.rfbin        # generic synthetic program
 //   rfgen server SEED out.rfbin       # request/response heap-churn server
 //   rfgen uaf SEED out.rfbin          # forensics workload (mode-gated bug)
+//   rfgen churn SEED out.rfbin        # fragmentation workload (mode-gated
+//                                     # freelist-corruption bugs)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,9 +32,12 @@ int Usage() {
                "       rfgen synth SEED out.rfbin\n"
                "       rfgen server SEED out.rfbin\n"
                "       rfgen uaf SEED out.rfbin\n"
+               "       rfgen churn SEED out.rfbin\n"
                "Programs read inputs[0]=iterations, inputs[1]=mode (SPEC/Kraken/synth);\n"
                "the server program reads inputs[0]=requests; the uaf program reads\n"
-               "inputs[0]=mode (0 benign, 1 use-after-free, 2 double free).\n");
+               "inputs[0]=mode (0 benign, 1 use-after-free, 2 double free); the churn\n"
+               "program reads inputs[0]=operations, inputs[1]=mode (0 benign, 1 forged\n"
+               "freelist link, 2 overlapping free).\n");
   return 2;
 }
 
@@ -124,6 +129,14 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "rfgen: inputs[0]=0 benign, =1 use-after-free, =2 double free\n");
     return Save(GenerateUafProgram(p), out);
+  }
+  if (cmd == "churn") {
+    ChurnParams p;
+    p.seed = std::strtoull(name.c_str(), nullptr, 0);
+    std::fprintf(stderr,
+                 "rfgen: inputs[0]=operations, inputs[1]=0 benign, =1 forged "
+                 "freelist link, =2 overlapping free\n");
+    return Save(GenerateChurnProgram(p), out);
   }
   return Usage();
 }

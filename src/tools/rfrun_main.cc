@@ -14,6 +14,15 @@
 //                          plus the DBI shadow-check observer classifying
 //                          every uninstrumented access. Mutually exclusive
 //                          with --runtime
+//   --rheap=LIST           allocator hardening features for the redfat/
+//                          redfat-debug runtimes: a comma list of
+//                          prot-freelist, guard-memcpy, random,
+//                          quarantine=N, or `none`. An explicit list is
+//                          absolute (starts from everything off).
+//                          Default precedence: --rheap flag, else the
+//                          --harden tier's defaults, else the sitemap's
+//                          "# rheap:" header, else every feature off
+//                          (byte-identical to the historical allocator)
 //   --policy=harden|log                                (default: harden)
 //   --profile-dump FILE    write "<site> <passes> <fails>" lines (feed into
 //                          `redfat --profile-data`)
@@ -100,6 +109,7 @@ int Usage() {
                "usage: rfrun [--runtime=baseline|redfat|redfat-shadow|redfat-debug|"
                "memcheck]\n"
                "             [--harden=none|fast|extensive|debug]\n"
+               "             [--rheap=prot-freelist,guard-memcpy,random,quarantine=N|none]\n"
                "             [--policy=harden|log] [--profile-dump FILE] [--sitemap FILE]\n"
                "             [--seed N] [--limit N] [--stats] [--metrics FILE]\n"
                "             [--metrics-epoch=N] [--engine=step|block] [--no-chain]\n"
@@ -136,13 +146,14 @@ std::string BaseName(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-Result<std::vector<SiteRecord>> LoadSiteMapFile(const std::string& path,
-                                                std::optional<HardenTier>* harden = nullptr) {
+Result<std::vector<SiteRecord>> LoadSiteMapFile(
+    const std::string& path, std::optional<HardenTier>* harden = nullptr,
+    std::optional<RheapOptions>* rheap = nullptr) {
   Result<std::vector<std::string>> lines = ReadLines(path);
   if (!lines.ok()) {
     return Error(lines.error());
   }
-  return ParseSiteMap(lines.value(), harden);
+  return ParseSiteMap(lines.value(), harden, rheap);
 }
 
 int Main(int argc, char** argv) {
@@ -150,6 +161,7 @@ int Main(int argc, char** argv) {
   bool runtime_given = false;
   bool harden_given = false;
   HardenTier harden = HardenTier::kExtensive;
+  std::optional<RheapOptions> rheap_flag;
   std::string policy = "harden";
   std::string profile_dump;
   std::string sitemap_path;
@@ -178,6 +190,13 @@ int Main(int argc, char** argv) {
       }
       harden = tier.value();
       harden_given = true;
+    } else if (arg.rfind("--rheap=", 0) == 0) {
+      Result<RheapOptions> opts = ParseRheapList(arg.substr(8));
+      if (!opts.ok()) {
+        std::fprintf(stderr, "rfrun: %s\n", opts.error().c_str());
+        return 2;
+      }
+      rheap_flag = opts.value();
     } else if (arg.rfind("--policy=", 0) == 0) {
       policy = arg.substr(9);
     } else if (arg == "--profile-dump" && i + 1 < argc) {
@@ -265,6 +284,24 @@ int Main(int argc, char** argv) {
                  "pass one or the other\n");
     return 2;
   }
+  if (rheap_flag.has_value()) {
+    // The flag configures the hardened allocator family; reject bindings that
+    // never construct one (defaulted baseline included) instead of silently
+    // dropping the request.
+    const bool hardened_runtime =
+        harden_given ? harden != HardenTier::kNone
+                     : runtime == "redfat" || runtime == "redfat-shadow" ||
+                           runtime == "redfat-debug";
+    if (!hardened_runtime) {
+      std::fprintf(stderr,
+                   "rfrun: --rheap configures the hardened allocator; select one "
+                   "with --runtime=redfat|redfat-shadow|redfat-debug or "
+                   "--harden=fast|extensive|debug (got %s%s)\n",
+                   harden_given ? "--harden=" : "--runtime=",
+                   harden_given ? HardenTierName(harden) : runtime.c_str());
+      return 2;
+    }
+  }
   cfg.policy = policy == "log" ? Policy::kLog : Policy::kHarden;
   for (size_t i = 1; i < positional.size(); ++i) {
     cfg.inputs.push_back(std::strtoull(positional[i].c_str(), nullptr, 0));
@@ -307,9 +344,10 @@ int Main(int argc, char** argv) {
     image_sites[i] = std::move(parsed).value();
     have_image_sites[i] = true;
   }
+  std::optional<RheapOptions> sitemap_rheap;
   if (!sitemap_path.empty()) {
     Result<std::vector<SiteRecord>> parsed =
-        LoadSiteMapFile(sitemap_path, &image_harden[libs.size()]);
+        LoadSiteMapFile(sitemap_path, &image_harden[libs.size()], &sitemap_rheap);
     if (!parsed.ok()) {
       std::fprintf(stderr, "rfrun: %s\n", parsed.error().c_str());
       return 1;
@@ -320,6 +358,16 @@ int Main(int argc, char** argv) {
   // The main image's tier may also come from an explicit --harden flag.
   if (!image_harden[libs.size()].has_value() && harden_given) {
     image_harden[libs.size()] = harden;
+  }
+  // Allocator feature precedence: explicit --rheap, else the --harden tier's
+  // defaults, else the rewrite-time "# rheap:" sitemap header, else every
+  // feature off (byte-identical to the historical allocator).
+  if (rheap_flag.has_value()) {
+    cfg.rheap = *rheap_flag;
+  } else if (harden_given) {
+    cfg.rheap = RheapForTier(harden);
+  } else if (sitemap_rheap.has_value()) {
+    cfg.rheap = *sitemap_rheap;
   }
   const std::vector<SiteRecord>& sites = image_sites[libs.size()];
   const bool have_sites = have_image_sites[libs.size()];

@@ -437,6 +437,12 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
       const AllocOutcome out = allocator_->Malloc(memory_, a0);
       cpu_.Set(Reg::kRax, out.ptr);
       cycles_ += out.cycles;
+      if (out.corrupted) {
+        // The allocator's own metadata validation tripped (forged freelist
+        // link). The allocation itself was recovered from the bump arena;
+        // under Policy::kHarden the report halts the run.
+        ReportMemError(0, out.corrupt_kind, out.corrupt_addr);
+      }
       if ((heap_obs_ != nullptr || h_malloc_bytes_ != nullptr) && out.ptr != 0) {
         live_allocs_[out.ptr] = LiveAlloc{a0, cycles_};
         live_bytes_ += a0;
@@ -481,7 +487,11 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
         ReportMemError(0, ErrorKind::kDoubleFree, a0);
         return true;
       }
-      cycles_ += allocator_->Free(memory_, a0);
+      const FreeOutcome fout = allocator_->Free(memory_, a0);
+      cycles_ += fout.cycles;
+      if (fout.corrupted) {
+        ReportMemError(0, fout.corrupt_kind, fout.corrupt_addr);
+      }
       if ((heap_obs_ != nullptr || h_malloc_bytes_ != nullptr) && a0 != 0) {
         const auto it = live_allocs_.find(a0);
         if (it != live_allocs_.end()) {
@@ -512,11 +522,31 @@ bool Vm::DoHostCall(HostFn fn, std::string* fault) {
       }
       return true;
     }
-    case HostFn::kMemset:
+    case HostFn::kMemset: {
+      if (allocator_ != nullptr) {
+        // guard-memcpy: pre-check the destination range against allocator
+        // metadata. A violation is reported *before* any byte is written;
+        // under Policy::kHarden the operation is suppressed entirely.
+        const GuardOutcome g = allocator_->GuardRange(memory_, a0, a2);
+        cycles_ += g.cycles;
+        if (g.violation && ReportMemError(0, g.kind, g.addr)) {
+          return true;
+        }
+      }
       memory_.Fill(a0, static_cast<uint8_t>(a1), a2);
       cycles_ += (a2 / 8) * model_.membyte_per8;
       return true;
+    }
     case HostFn::kMemcpy: {
+      if (allocator_ != nullptr) {
+        const GuardOutcome gsrc = allocator_->GuardRange(memory_, a1, a2);
+        const GuardOutcome gdst = allocator_->GuardRange(memory_, a0, a2);
+        cycles_ += gsrc.cycles + gdst.cycles;
+        const GuardOutcome& g = gsrc.violation ? gsrc : gdst;
+        if (g.violation && ReportMemError(0, g.kind, g.addr)) {
+          return true;
+        }
+      }
       std::vector<uint8_t> buf(a2);
       memory_.ReadBytes(a1, buf.data(), buf.size());
       memory_.WriteBytes(a0, buf.data(), buf.size());

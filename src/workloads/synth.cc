@@ -740,6 +740,166 @@ BinaryImage GenerateUafProgram(const UafParams& params) {
   return pb.Finish();
 }
 
+// Churn workload register roles (hostcalls clobber rax, read rdi/rsi/rdx):
+//   r8  operations remaining      r9  pointer-table base
+//   rbp mode (inputs[1])          r15 checksum
+//   rbx LCG state                 r10/r11/r13/rcx/rdx/rdi/rsi scratch
+BinaryImage GenerateChurnProgram(const ChurnParams& params) {
+  REDFAT_CHECK(params.table_slots >= 2 &&
+               (params.table_slots & (params.table_slots - 1)) == 0);
+  REDFAT_CHECK(params.size_steps >= 1 &&
+               (params.size_steps & (params.size_steps - 1)) == 0);
+  REDFAT_CHECK(params.min_bytes >= 16 && params.min_bytes % 8 == 0);
+  REDFAT_CHECK(params.tail_objects >= 2);
+
+  ProgramBuilder pb;
+  const uint64_t table = pb.AddZeroData(8 * params.table_slots);
+  const uint64_t tail_table = pb.AddZeroData(8 * params.tail_objects);
+  Assembler& a = pb.text();
+
+  a.HostCall(HostFn::kInputU64);  // inputs[0]: operations
+  a.MovRR(Reg::kR8, Reg::kRax);
+  a.HostCall(HostFn::kInputU64);  // inputs[1]: mode
+  a.MovRR(Reg::kRbp, Reg::kRax);
+  a.MovRI(Reg::kRbx, params.seed | 1);
+  a.MovRI(Reg::kR9, table);
+  a.MovRI(Reg::kR15, 0);
+
+  auto loop_head = a.NewLabel();
+  auto drain = a.NewLabel();
+  a.Bind(loop_head);
+  a.CmpI(Reg::kR8, 0);
+  a.Jcc(Cond::kEq, drain);
+  // LCG step (Knuth MMIX constants); slot and size come from disjoint bit
+  // ranges so they decorrelate.
+  a.MovRI(Reg::kRcx, 6364136223846793005ULL);
+  a.Imul(Reg::kRbx, Reg::kRcx);
+  a.MovRI(Reg::kRcx, 1442695040888963407ULL);
+  a.Add(Reg::kRbx, Reg::kRcx);
+  a.MovRR(Reg::kR10, Reg::kRbx);
+  a.ShrI(Reg::kR10, 41);
+  a.AndI(Reg::kR10, static_cast<int32_t>(params.table_slots - 1));
+  a.ShlI(Reg::kR10, 3);  // byte offset into the table
+  // Evict the slot's current tenant: checksum its header, then free it.
+  auto no_free = a.NewLabel();
+  a.Load(Reg::kR11, MemBIS(Reg::kR9, Reg::kR10, 0, 0));
+  a.CmpI(Reg::kR11, 0);
+  a.Jcc(Cond::kEq, no_free);
+  a.Load(Reg::kRcx, MemAt(Reg::kR11, 0));
+  a.Add(Reg::kR15, Reg::kRcx);
+  a.MovRR(Reg::kRdi, Reg::kR11);
+  a.HostCall(HostFn::kFree);
+  a.Bind(no_free);
+  // New tenant: bytes = min + (lcg bits) * 16, deterministically filled.
+  a.MovRR(Reg::kRcx, Reg::kRbx);
+  a.ShrI(Reg::kRcx, 13);
+  a.AndI(Reg::kRcx, static_cast<int32_t>(params.size_steps - 1));
+  a.ShlI(Reg::kRcx, 4);
+  a.AddI(Reg::kRcx, static_cast<int32_t>(params.min_bytes));
+  a.MovRR(Reg::kR11, Reg::kRcx);  // bytes survives the hostcalls
+  a.MovRR(Reg::kRdi, Reg::kRcx);
+  a.HostCall(HostFn::kMalloc);
+  a.MovRR(Reg::kR13, Reg::kRax);
+  a.Store(Reg::kR13, MemBIS(Reg::kR9, Reg::kR10, 0, 0));
+  a.MovRR(Reg::kRdi, Reg::kR13);
+  a.MovRR(Reg::kRsi, Reg::kR8);
+  a.AndI(Reg::kRsi, 0xff);
+  a.MovRR(Reg::kRdx, Reg::kR11);
+  a.HostCall(HostFn::kMemset);
+  // Header word: a pure function of the LCG stream, so the checksum the
+  // next eviction folds in is allocator-independent.
+  a.MovRR(Reg::kRcx, Reg::kRbx);
+  a.ShrI(Reg::kRcx, 7);
+  a.Store(Reg::kRcx, MemAt(Reg::kR13, 0));
+  a.SubI(Reg::kR8, 1);
+  a.Jmp(loop_head);
+
+  // Final drain: checksum and free every surviving tenant, then emit the
+  // checksum — before any mode-gated bug, so it always reaches the output.
+  a.Bind(drain);
+  for (unsigned i = 0; i < params.table_slots; ++i) {
+    auto skip = a.NewLabel();
+    a.Load(Reg::kR11, MemAbs(static_cast<int32_t>(table + 8 * i)));
+    a.CmpI(Reg::kR11, 0);
+    a.Jcc(Cond::kEq, skip);
+    a.Load(Reg::kRcx, MemAt(Reg::kR11, 0));
+    a.Add(Reg::kR15, Reg::kRcx);
+    a.MovRR(Reg::kRdi, Reg::kR11);
+    a.HostCall(HostFn::kFree);
+    a.Bind(skip);
+  }
+  a.MovRR(Reg::kRdi, Reg::kR15);
+  a.HostCall(HostFn::kOutputU64);
+
+  auto not_forge = a.NewLabel();
+  auto exit_l = a.NewLabel();
+  a.CmpI(Reg::kRbp, 1);
+  a.Jcc(Cond::kNe, not_forge);
+  {
+    // mode 1: populate a fresh size class, free everything (the first object
+    // freed — the victim — ends up at the bottom of the class freelist once
+    // any quarantine drains past it), forge the victim's in-guest link word
+    // through a stale pointer, then reallocate until the allocator pops the
+    // victim and decodes the forged link. The forge happens after the frees:
+    // a freed slot's link is legitimately rewritten while later frees chain
+    // behind it, so only a post-free forge survives to be walked.
+    a.MovRI(Reg::kR13, tail_table);
+    a.MovRI(Reg::kR10, 0);
+    auto alloc_loop = a.NewLabel();
+    auto alloc_done = a.NewLabel();
+    a.Bind(alloc_loop);
+    a.CmpI(Reg::kR10, static_cast<int32_t>(params.tail_objects));
+    a.Jcc(Cond::kEq, alloc_done);
+    a.MovRI(Reg::kRdi, params.tail_bytes);
+    a.HostCall(HostFn::kMalloc);
+    a.Store(Reg::kRax, MemBIS(Reg::kR13, Reg::kR10, 3, 0));
+    a.AddI(Reg::kR10, 1);
+    a.Jmp(alloc_loop);
+    a.Bind(alloc_done);
+    a.Load(Reg::kR11, MemAt(Reg::kR13, 0));  // victim, kept stale
+    a.MovRI(Reg::kR10, 0);
+    auto free_loop = a.NewLabel();
+    auto free_done = a.NewLabel();
+    a.Bind(free_loop);
+    a.CmpI(Reg::kR10, static_cast<int32_t>(params.tail_objects));
+    a.Jcc(Cond::kEq, free_done);
+    a.Load(Reg::kRdi, MemBIS(Reg::kR13, Reg::kR10, 3, 0));
+    a.HostCall(HostFn::kFree);
+    a.AddI(Reg::kR10, 1);
+    a.Jmp(free_loop);
+    a.Bind(free_done);
+    a.MovRI(Reg::kRcx, 0x4141414141414141ULL);
+    a.Store(Reg::kRcx, MemAt(Reg::kR11, -8));  // the freed slot's link word
+    // Reallocate until the pop path reaches the victim and decodes the
+    // forged link (the victim sits at the bottom of the LIFO chain).
+    a.MovRI(Reg::kR10, 0);
+    auto pop_loop = a.NewLabel();
+    a.Bind(pop_loop);
+    a.CmpI(Reg::kR10, static_cast<int32_t>(params.tail_objects));
+    a.Jcc(Cond::kEq, exit_l);
+    a.MovRI(Reg::kRdi, params.tail_bytes);
+    a.HostCall(HostFn::kMalloc);
+    a.AddI(Reg::kR10, 1);
+    a.Jmp(pop_loop);
+  }
+  a.Bind(not_forge);
+  a.CmpI(Reg::kRbp, 2);
+  a.Jcc(Cond::kNe, exit_l);
+  {
+    // mode 2: free an interior pointer of a live object — misaligned for
+    // its size class, so prot-freelist rejects it instead of poisoning the
+    // freelist with an overlapping slot.
+    a.MovRI(Reg::kRdi, params.tail_bytes);
+    a.HostCall(HostFn::kMalloc);
+    a.MovRR(Reg::kRdi, Reg::kRax);
+    a.AddI(Reg::kRdi, 64);
+    a.HostCall(HostFn::kFree);
+  }
+  a.Bind(exit_l);
+  pb.EmitExit(0);
+  return pb.Finish();
+}
+
 std::vector<uint64_t> TrainInputs(uint64_t iters) { return {iters, 0x3e}; }
 
 std::vector<uint64_t> RefInputs(uint64_t iters) { return {iters, 0x3f}; }

@@ -128,6 +128,39 @@ struct UafParams {
 
 BinaryImage GenerateUafProgram(const UafParams& params);
 
+// Fragmentation/churn workload: a bounded pointer table hammered by an LCG —
+// each operation picks a random slot, frees whatever lives there (checksumming
+// its header first) and allocates a fresh object of LCG-chosen size in its
+// place. Object lifetimes are exponential-ish and sizes span many size
+// classes, so the allocator's freelists see constant push/pop traffic: the
+// workload bench_heap_throughput uses to price the rheap fast path.
+// inputs[0] = operations, inputs[1] = mode:
+//   mode 0  benign churn; exits cleanly after the final drain;
+//   mode 1  forged next pointer: frees the first object of an otherwise
+//           untouched size class, overwrites the freed slot's in-guest
+//           freelist link word (ptr-8) through a stale pointer, then
+//           frees/reallocates enough neighbours that the allocator walks the
+//           forged link — detected as kFreelistCorruption under
+//           --rheap=prot-freelist (with or without quarantine);
+//   mode 2  overlapping free: frees base+64 of a live object — a misaligned
+//           interior pointer, also diagnosed under prot-freelist.
+// The checksum is emitted before the bug tail and is allocator-independent
+// (header words are functions of the LCG stream alone; pointer values never
+// flow into it), so mode-0 output is identical across runtimes and rheap
+// feature sets.
+struct ChurnParams {
+  uint64_t seed = 1;
+  unsigned table_slots = 16;   // live-object table capacity (power of two)
+  uint64_t min_bytes = 16;     // smallest object (multiple of 8)
+  unsigned size_steps = 64;    // sizes: min_bytes + (lcg & (steps-1)) * 16
+  unsigned tail_objects = 66;  // mode-1 victim chain; > the default
+                               // quarantine depth so the drain path triggers
+  uint64_t tail_bytes = 4080;  // mode-1/2 object size; lands in a size class
+                               // the churn loop never touches (4096 total)
+};
+
+BinaryImage GenerateChurnProgram(const ChurnParams& params);
+
 // Canonical inputs for the two-phase workflow.
 std::vector<uint64_t> TrainInputs(uint64_t iters);  // mode bit 0 clear
 std::vector<uint64_t> RefInputs(uint64_t iters);    // mode bit 0 set

@@ -147,14 +147,15 @@ TEST(ShadowImpl, AllocatorShadowLifecycle) {
 }
 
 TEST(HeapRandomization, ChangesPlacementDeterministicallyPerSeed) {
+  Memory mem;
   LowFatHeap plain, r1, r2, r1b;
   r1.EnableRandomization(111);
   r1b.EnableRandomization(111);
   r2.EnableRandomization(222);
-  const uint64_t a = plain.Alloc(64);
-  const uint64_t b = r1.Alloc(64);
-  const uint64_t c = r2.Alloc(64);
-  EXPECT_EQ(b, r1b.Alloc(64)) << "same seed, same layout";
+  const uint64_t a = plain.Alloc(mem, 64).slot;
+  const uint64_t b = r1.Alloc(mem, 64).slot;
+  const uint64_t c = r2.Alloc(mem, 64).slot;
+  EXPECT_EQ(b, r1b.Alloc(mem, 64).slot) << "same seed, same layout";
   EXPECT_NE(a, b) << "randomized start offset";
   EXPECT_NE(b, c) << "different seeds differ";
   // Invariants hold regardless of randomization.
@@ -163,20 +164,21 @@ TEST(HeapRandomization, ChangesPlacementDeterministicallyPerSeed) {
 }
 
 TEST(HeapRandomization, RandomizedReuseOrder) {
+  Memory mem;
   LowFatHeap heap(/*quarantine_slots=*/0);
   heap.EnableRandomization(5);
   std::vector<uint64_t> slots;
   for (int i = 0; i < 16; ++i) {
-    slots.push_back(heap.Alloc(32));
+    slots.push_back(heap.Alloc(mem, 32).slot);
   }
   for (uint64_t s : slots) {
-    heap.Free(s);
+    heap.Free(mem, s);
   }
-  // LIFO would return slots back-to-front; randomized reuse should deviate
-  // somewhere within 16 draws (probability of accidental LIFO ~ 1/16!).
+  // LIFO would return slots back-to-front; the two-freelist coin-flip reuse
+  // should deviate somewhere within 16 draws.
   bool deviated = false;
   for (int i = 15; i >= 0; --i) {
-    if (heap.Alloc(32) != slots[static_cast<size_t>(i)]) {
+    if (heap.Alloc(mem, 32).slot != slots[static_cast<size_t>(i)]) {
       deviated = true;
       break;
     }

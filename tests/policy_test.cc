@@ -172,6 +172,120 @@ TEST(Parse, TierNamesRoundTrip) {
   EXPECT_NE(bad.error().find("paranoid"), std::string::npos);
 }
 
+// --- rheap feature lists (--rheap=LIST) -------------------------------------
+
+TEST(Rheap, ListNameRoundTripsThroughParse) {
+  std::vector<RheapOptions> cases;
+  cases.emplace_back();  // defaults: features off, quarantine=64
+  RheapOptions none;
+  none.quarantine_slots = 0;
+  cases.push_back(none);
+  RheapOptions prot;
+  prot.prot_freelist = true;
+  prot.quarantine_slots = 0;
+  cases.push_back(prot);
+  RheapOptions all;
+  all.prot_freelist = all.guard_memcpy = all.random = true;
+  all.quarantine_slots = 7;
+  cases.push_back(all);
+  for (const RheapOptions& o : cases) {
+    const std::string name = RheapListName(o);
+    const Result<RheapOptions> back = ParseRheapList(name);
+    ASSERT_TRUE(back.ok()) << name << ": " << back.error();
+    EXPECT_EQ(back.value(), o) << name;
+  }
+  EXPECT_EQ(RheapListName(none), "none");
+}
+
+TEST(Rheap, ExplicitListIsAbsolute) {
+  const RheapOptions o = ParseRheapList("prot-freelist").value();
+  EXPECT_TRUE(o.prot_freelist);
+  EXPECT_FALSE(o.guard_memcpy);
+  EXPECT_FALSE(o.random);
+  EXPECT_EQ(o.quarantine_slots, 0u) << "an explicit list starts from all-off";
+}
+
+TEST(Rheap, MalformedListsAreErrors) {
+  for (const char* bad : {"", "bogus", "none,random", "quarantine=",
+                          "quarantine=xyz", "prot-freelist,,random"}) {
+    EXPECT_FALSE(ParseRheapList(bad).ok()) << bad;
+  }
+  const Result<RheapOptions> unknown = ParseRheapList("bogus");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("bogus"), std::string::npos);
+}
+
+TEST(Rheap, TierDefaultsMatchTheDocumentedLadder) {
+  // fast = perf-only, extensive = +prot-freelist, debug = everything.
+  EXPECT_EQ(RheapForTier(HardenTier::kNone), RheapOptions{});
+  EXPECT_EQ(RheapForTier(HardenTier::kFast), RheapOptions{});
+  const RheapOptions ext = RheapForTier(HardenTier::kExtensive);
+  EXPECT_TRUE(ext.prot_freelist);
+  EXPECT_FALSE(ext.guard_memcpy);
+  EXPECT_FALSE(ext.random);
+  const RheapOptions dbg = RheapForTier(HardenTier::kDebug);
+  EXPECT_TRUE(dbg.prot_freelist);
+  EXPECT_TRUE(dbg.guard_memcpy);
+  EXPECT_TRUE(dbg.random);
+}
+
+TEST(Rheap, ExplicitListReplacesTierDefaultOnResolve) {
+  HardeningPolicy p;
+  p.tier = HardenTier::kExtensive;
+  p.rheap = ParseRheapList("random,quarantine=8").value();
+  const ResolvedPolicy r = p.Resolve().value();
+  EXPECT_TRUE(r.explicit_rheap);
+  EXPECT_EQ(r.rheap, *p.rheap);
+  const ResolvedPolicy d = ResolveTier(HardenTier::kExtensive);
+  EXPECT_FALSE(d.explicit_rheap);
+  EXPECT_EQ(d.rheap, RheapForTier(HardenTier::kExtensive));
+}
+
+TEST(Rheap, NoneTierRejectsRheapList) {
+  HardeningPolicy p;
+  p.tier = HardenTier::kNone;
+  p.rheap = ParseRheapList("prot-freelist").value();
+  const Result<ResolvedPolicy> r = p.Resolve();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("--rheap"), std::string::npos) << r.error();
+}
+
+TEST(SiteMapHeader, RheapHeaderRoundTrips) {
+  std::vector<SiteRecord> sites(1);
+  sites[0].addr = 0x400020;
+  sites[0].is_write = true;
+  sites[0].kind = CheckKind::kFull;
+  const HardenTier tier = HardenTier::kExtensive;
+  const RheapOptions opts = ParseRheapList("prot-freelist,quarantine=32").value();
+  const std::string text = SerializeSiteMap(sites, &tier, &opts);
+  EXPECT_NE(text.find("# rheap: prot-freelist,quarantine=32\n"), std::string::npos)
+      << text;
+
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  std::optional<HardenTier> harden;
+  std::optional<RheapOptions> rheap;
+  const auto back = ParseSiteMap(lines, &harden, &rheap);
+  ASSERT_TRUE(back.ok()) << back.error();
+  ASSERT_TRUE(harden.has_value());
+  EXPECT_EQ(*harden, HardenTier::kExtensive);
+  ASSERT_TRUE(rheap.has_value());
+  EXPECT_EQ(*rheap, opts);
+
+  // Absent header: byte-identical legacy map, out-param reset.
+  const std::string legacy = SerializeSiteMap(sites, &tier, nullptr);
+  EXPECT_EQ(legacy.find("# rheap:"), std::string::npos);
+  std::optional<RheapOptions> stale = RheapOptions{};
+  ASSERT_TRUE(
+      ParseSiteMap({"# redfat site map: id addr rw kind"}, &harden, &stale).ok());
+  EXPECT_FALSE(stale.has_value());
+}
+
 // --- ablation presets (Table 1) ---------------------------------------------
 
 TEST(Ablation, PresetsEncodeTheTableOneColumns) {
